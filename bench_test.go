@@ -1,0 +1,197 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// runs a size-reduced version of the corresponding experiment (the
+// full-size runs live behind cmd/califorms-bench) and reports the
+// headline quantity as a custom metric, so `go test -bench=.` doubles
+// as a quick reproduction smoke.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cache"
+	"repro/internal/cacheline"
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+const benchVisits = 4000
+
+// BenchmarkFig3StructDensity regenerates the Figure 3 histograms.
+func BenchmarkFig3StructDensity(b *testing.B) {
+	var padded float64
+	for i := 0; i < b.N; i++ {
+		h := layout.Densities(layout.SPECProfile().Generate(5000, int64(i)))
+		padded = h.PaddedFraction
+	}
+	b.ReportMetric(padded*100, "%structs-padded")
+}
+
+// BenchmarkFig4PaddingSweep regenerates the Figure 4 padding sweep on
+// three representative kernels.
+func BenchmarkFig4PaddingSweep(b *testing.B) {
+	specs := []string{"mcf", "hmmer", "perlbench"}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		var sds []float64
+		for _, name := range specs {
+			s, _ := workload.ByName(name)
+			base := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits})
+			v := sim.Run(s, sim.RunConfig{Policy: sim.PolicyFull, FixedPad: 7, Visits: benchVisits})
+			sds = append(sds, stats.Slowdown(base.Cycles, v.Cycles))
+		}
+		last = stats.Mean(sds)
+	}
+	b.ReportMetric(last*100, "%slowdown-7B")
+}
+
+// BenchmarkTable1CFORMKmap measures the CFORM semantic path.
+func BenchmarkTable1CFORMKmap(b *testing.B) {
+	bv := cacheline.NewBitvector(cacheline.Data{}, 0)
+	for i := 0; i < b.N; i++ {
+		attrs := cacheline.SecMask(1) << uint(i%64)
+		if bv.Caliform(attrs, attrs) >= 0 {
+			b.Fatal("unexpected conflict")
+		}
+		if bv.Caliform(0, attrs) >= 0 {
+			b.Fatal("unexpected conflict")
+		}
+	}
+}
+
+// BenchmarkTable2VLSI regenerates the Table 2 cost model.
+func BenchmarkTable2VLSI(b *testing.B) {
+	var over vlsi.Overheads
+	for i := 0; i < b.N; i++ {
+		t := vlsi.TSMC65()
+		over = vlsi.CaliformsBitvector8B(t).Over(vlsi.BaselineL1(t))
+	}
+	b.ReportMetric(over.DelayPct, "%L1-delay-ovh")
+}
+
+// BenchmarkTable7Variants regenerates the Table 7 variant rows.
+func BenchmarkTable7Variants(b *testing.B) {
+	var rows []vlsi.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = vlsi.Table7(vlsi.TSMC65())
+	}
+	b.ReportMetric(rows[2].L1.DelayPct, "%4B-delay-ovh")
+}
+
+// BenchmarkFig10ExtraLatency regenerates the +1-cycle L2/L3 experiment
+// on three kernels spanning the sensitivity range.
+func BenchmarkFig10ExtraLatency(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		var sds []float64
+		for _, name := range []string{"hmmer", "mcf", "xalancbmk"} {
+			s, _ := workload.ByName(name)
+			base := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits})
+			slow := cache.Westmere()
+			slow.ExtraL2L3 = 1
+			v := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits, Hier: &slow})
+			sds = append(sds, stats.Slowdown(base.Cycles, v.Cycles))
+		}
+		avg = stats.Mean(sds)
+	}
+	b.ReportMetric(avg*100, "%slowdown")
+}
+
+// BenchmarkFig11FullPolicy regenerates the full-policy-with-CFORM
+// column of Figure 11 on the malloc-heavy kernels.
+func BenchmarkFig11FullPolicy(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		var sds []float64
+		for _, name := range []string{"gobmk", "perlbench", "xalancbmk"} {
+			s, _ := workload.ByName(name)
+			base := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits})
+			v := sim.Run(s, sim.RunConfig{Policy: sim.PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: benchVisits})
+			sds = append(sds, stats.Slowdown(base.Cycles, v.Cycles))
+		}
+		avg = stats.Mean(sds)
+	}
+	b.ReportMetric(avg*100, "%slowdown")
+}
+
+// BenchmarkFig12IntelligentPolicy regenerates the intelligent-policy
+// column of Figure 12.
+func BenchmarkFig12IntelligentPolicy(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		var sds []float64
+		for _, name := range []string{"gobmk", "perlbench", "milc"} {
+			s, _ := workload.ByName(name)
+			base := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits})
+			v := sim.Run(s, sim.RunConfig{Policy: sim.PolicyIntelligent, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: benchVisits})
+			sds = append(sds, stats.Slowdown(base.Cycles, v.Cycles))
+		}
+		avg = stats.Mean(sds)
+	}
+	b.ReportMetric(avg*100, "%slowdown")
+}
+
+// BenchmarkSecurityScan regenerates the §7.3 Monte Carlo
+// derandomization experiment.
+func BenchmarkSecurityScan(b *testing.B) {
+	defs := layout.SPECProfile().Generate(50, 9)
+	var surv float64
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		cfg := layout.PolicyConfig{MinPad: 1, MaxPad: 7, Rand: r}
+		surv, _ = attack.ScanExperiment(defs, layout.Full, cfg, 40, 2000, int64(i))
+	}
+	b.ReportMetric(surv, "scan-survival")
+}
+
+// BenchmarkSpillFillPath measures the raw L1<->L2 conversion
+// machinery under load (the hardware of Figures 8 and 9).
+func BenchmarkSpillFillPath(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	lines := make([]cacheline.Bitvector, 512)
+	for i := range lines {
+		var d cacheline.Data
+		r.Read(d[:])
+		var m cacheline.SecMask
+		for m.Count() < 1+i%9 {
+			m = m.Set(r.Intn(64))
+		}
+		lines[i] = cacheline.NewBitvector(d, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := cacheline.Spill(lines[i%len(lines)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := cacheline.Fill(s)
+		if got.Mask != lines[i%len(lines)].Mask {
+			b.Fatal("round trip corrupted mask")
+		}
+	}
+}
+
+// BenchmarkHierarchyCaliformedAccess measures end-to-end access cost
+// through the simulated hierarchy with califormed lines in play.
+func BenchmarkHierarchyCaliformedAccess(b *testing.B) {
+	h := cache.New(cache.Westmere(), mem.New())
+	for line := uint64(0); line < 4096; line++ {
+		attrs := uint64(0b11) << (8 * (line % 8))
+		h.CForm(isa.CFORM{Base: line * 64, Attrs: attrs, Mask: attrs})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := (uint64(i) * 8) % (4096 * 64)
+		if addr%64 >= 48 {
+			addr -= 16
+		}
+		h.LoadTouch(addr, 4)
+	}
+}

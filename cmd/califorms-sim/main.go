@@ -1,0 +1,91 @@
+// Command califorms-sim runs one benchmark kernel under one
+// protection configuration and prints detailed machine statistics:
+// cycles, IPC, per-level cache behaviour, CFORM traffic and
+// califormed line conversions. It is the inspection tool behind the
+// aggregated figures of califorms-bench.
+//
+// Usage:
+//
+//	califorms-sim -bench mcf -policy full -maxpad 7 -cform [-visits N] [-extral2l3 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark kernel name (see -list)")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	policy := flag.String("policy", "none", "none, opportunistic, full, intelligent")
+	minPad := flag.Int("minpad", 1, "minimum random security-span size")
+	maxPad := flag.Int("maxpad", 7, "maximum random security-span size")
+	fixedPad := flag.Int("fixedpad", 0, "fixed security-span size (overrides min/max)")
+	cform := flag.Bool("cform", false, "issue CFORM instructions at allocation sites")
+	visits := flag.Int("visits", 30000, "steady-state object visits")
+	extra := flag.Int("extral2l3", 0, "extra cycles on every L2/L3 access (Figure 10 knob)")
+	seed := flag.Int64("seed", 0, "layout randomization seed")
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Fig10Set() {
+			fmt.Printf("%-12s live=%-7d chase=%.2f structFrac=%.2f alloc/1k=%d\n",
+				s.Name, s.LiveObjects, s.ChaseFrac, s.StructFrac, s.AllocPer1K)
+		}
+		return
+	}
+
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *bench)
+		os.Exit(2)
+	}
+
+	var pol sim.PolicyChoice
+	switch *policy {
+	case "none":
+		pol = sim.PolicyNone
+	case "opportunistic":
+		pol = sim.PolicyOpportunistic
+	case "full":
+		pol = sim.PolicyFull
+	case "intelligent":
+		pol = sim.PolicyIntelligent
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	hier := cache.Westmere()
+	hier.ExtraL2L3 = *extra
+	rc := sim.RunConfig{
+		Policy: pol, MinPad: *minPad, MaxPad: *maxPad, FixedPad: *fixedPad,
+		UseCForm: *cform, LayoutSeed: *seed, Visits: *visits, Hier: &hier,
+	}
+
+	base := sim.Run(spec, sim.RunConfig{Policy: sim.PolicyNone, Visits: *visits})
+	r := sim.Run(spec, rc)
+
+	fmt.Printf("benchmark %s, policy %s (cform=%v, pads %d-%d fixed=%d, +L2L3 %d)\n\n",
+		spec.Name, pol, *cform, *minPad, *maxPad, *fixedPad, *extra)
+	t := stats.Table{Headers: []string{"metric", "baseline", "configured"}}
+	t.AddRow("cycles", fmt.Sprintf("%.0f", base.Cycles), fmt.Sprintf("%.0f", r.Cycles))
+	t.AddRow("instructions", fmt.Sprint(base.Instructions), fmt.Sprint(r.Instructions))
+	t.AddRow("IPC", fmt.Sprintf("%.2f", base.IPC()), fmt.Sprintf("%.2f", r.IPC()))
+	t.AddRow("L1D miss rate", fmt.Sprintf("%.4f", base.L1MissRate), fmt.Sprintf("%.4f", r.L1MissRate))
+	t.AddRow("L2 miss rate", fmt.Sprintf("%.4f", base.L2MissRate), fmt.Sprintf("%.4f", r.L2MissRate))
+	t.AddRow("L3 miss rate", fmt.Sprintf("%.4f", base.L3MissRate), fmt.Sprintf("%.4f", r.L3MissRate))
+	t.AddRow("CFORMs executed", fmt.Sprint(base.CForms), fmt.Sprint(r.CForms))
+	t.AddRow("califormed spills", fmt.Sprint(base.Spills), fmt.Sprint(r.Spills))
+	t.AddRow("califormed fills", fmt.Sprint(base.Fills), fmt.Sprint(r.Fills))
+	t.AddRow("heap bytes", fmt.Sprint(base.HeapBytes), fmt.Sprint(r.HeapBytes))
+	t.AddRow("exceptions", fmt.Sprint(base.Exceptions), fmt.Sprint(r.Exceptions))
+	fmt.Println(t.String())
+	fmt.Printf("slowdown vs baseline: %s\n", stats.Pct(stats.Slowdown(base.Cycles, r.Cycles)))
+}

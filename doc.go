@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Practical
+// Byte-Granular Memory Blacklisting using Califorms" (Sasaki et al.,
+// MICRO 2019): the califorms cache-line formats and CFORM ISA, a
+// Westmere-like cache/CPU timing simulator, the compiler insertion
+// policies, a clean-before-use allocator, a VLSI cost model, synthetic
+// SPEC-stand-in workloads, and a harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The root-level
+// benchmarks in bench_test.go regenerate each experiment via
+// `go test -bench=.`.
+package repro

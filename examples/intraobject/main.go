@@ -1,0 +1,71 @@
+// Intra-object overflow study: compare how the three insertion
+// policies respond to the same overflow campaign.
+//
+// The paper's core claim is byte-granular *intra-object* protection —
+// overflows within a struct, field to field — which prior tripwire
+// schemes (REST, SafeMem, ADI) cannot express. This example runs a
+// linear overflow from every field of a randomly generated corpus of
+// structs under each policy and reports detection rates and how far
+// each attack got.
+//
+// Run: go run ./examples/intraobject
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+func main() {
+	defs := layout.SPECProfile().Generate(60, 2024)
+	policies := []struct {
+		name string
+		pol  layout.Policy
+	}{
+		{"opportunistic", layout.Opportunistic},
+		{"intelligent", layout.Intelligent},
+		{"full", layout.Full},
+	}
+
+	fmt.Println("linear overflow from every field of 60 random structs (16B budget):")
+	fmt.Printf("%-15s %10s %10s %22s\n", "policy", "attacks", "detected", "mean bytes before trip")
+	for _, p := range policies {
+		r := rand.New(rand.NewSource(7))
+		attacks, detected, bytesSum := 0, 0, 0
+		for i := range defs {
+			in := compiler.Instrument(defs[i], p.pol, layout.PolicyConfig{MinPad: 1, MaxPad: 7, Rand: r})
+			h := cache.New(cache.Westmere(), mem.New())
+			base := uint64(0x100000)
+			for _, op := range in.FrameEnterOps(base) {
+				if res := h.CForm(op); res.Exc != nil {
+					panic(res.Exc)
+				}
+			}
+			for f := range defs[i].Fields {
+				res := attack.InjectLinearOverflow(h, in, base, f, 16)
+				attacks++
+				if res.Detected {
+					detected++
+					bytesSum += res.BytesWritten
+				}
+			}
+		}
+		mean := 0.0
+		if detected > 0 {
+			mean = float64(bytesSum) / float64(detected)
+		}
+		fmt.Printf("%-15s %10d %9.1f%% %19.1fB\n",
+			p.name, attacks, 100*float64(detected)/float64(attacks), mean)
+	}
+
+	fmt.Println("\nNotes:")
+	fmt.Println(" - full detects (nearly) every field-to-field overflow: every boundary is armed")
+	fmt.Println(" - intelligent guards arrays and pointers, the overflow-prone types (§2)")
+	fmt.Println(" - opportunistic only trips where the compiler had already inserted padding")
+}

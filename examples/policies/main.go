@@ -1,0 +1,105 @@
+// Policy tuning: the performance/security dial of §8.2 on one
+// workload.
+//
+// The paper positions Califorms as tunable: opportunistic costs
+// nothing in memory, intelligent protects the overflow-prone types
+// cheaply, full buys the widest coverage at the highest price. This
+// example runs the perlbench-like kernel (malloc-intensive, the
+// paper's stress case) under each configuration and prints the
+// slowdown, memory overhead, CFORM traffic and what each buys in
+// terms of blacklisted surface.
+//
+// Run: go run ./examples/policies
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compiler"
+	"repro/internal/layout"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	spec, _ := workload.ByName("perlbench")
+	const visits = 20000
+
+	base := sim.Run(spec, sim.RunConfig{Policy: sim.PolicyNone, Visits: visits})
+
+	configs := []struct {
+		label string
+		rc    sim.RunConfig
+	}{
+		{"opportunistic + CFORM", sim.RunConfig{Policy: sim.PolicyOpportunistic, UseCForm: true, Visits: visits}},
+		{"intelligent 1-7B", sim.RunConfig{Policy: sim.PolicyIntelligent, MinPad: 1, MaxPad: 7, Visits: visits}},
+		{"intelligent 1-7B + CFORM", sim.RunConfig{Policy: sim.PolicyIntelligent, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: visits}},
+		{"full 1-7B", sim.RunConfig{Policy: sim.PolicyFull, MinPad: 1, MaxPad: 7, Visits: visits}},
+		{"full 1-7B + CFORM", sim.RunConfig{Policy: sim.PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: visits}},
+	}
+
+	t := stats.Table{
+		Title:   fmt.Sprintf("perlbench kernel, %d visits (baseline: %.0f cycles)", visits, base.Cycles),
+		Headers: []string{"configuration", "slowdown", "mem ovh", "CFORMs", "blacklisted bytes"},
+	}
+	for _, c := range configs {
+		r := sim.Run(spec, c.rc)
+		t.AddRow(c.label,
+			stats.Pct(stats.Slowdown(base.Cycles, r.Cycles)),
+			stats.Pct(memOverhead(spec, c.rc)),
+			fmt.Sprint(r.CForms),
+			fmt.Sprintf("%.1f%% of struct bytes", 100*blacklistedFrac(spec, c.rc)))
+	}
+	fmt.Println(t.String())
+	fmt.Println("Reading the dial (paper §8.2): opportunistic = free memory, pure CFORM cost;")
+	fmt.Println("intelligent = the practical default; full = maximum coverage, highest cost.")
+}
+
+// memOverhead computes the struct-size growth of a configuration.
+func memOverhead(spec workload.Spec, rc sim.RunConfig) float64 {
+	nat, cal := sizes(spec, rc)
+	return float64(cal)/float64(nat) - 1
+}
+
+// blacklistedFrac computes the fraction of struct bytes blacklisted.
+func blacklistedFrac(spec workload.Spec, rc sim.RunConfig) float64 {
+	if rc.Policy == sim.PolicyNone {
+		return 0
+	}
+	defs := spec.Types()
+	r := rand.New(rand.NewSource(1))
+	sec, tot := 0, 0
+	for i := range defs {
+		in := instrument(defs[i], rc, r)
+		sec += len(in.SecurityOffsets())
+		tot += in.Size()
+	}
+	return float64(sec) / float64(tot)
+}
+
+func sizes(spec workload.Spec, rc sim.RunConfig) (nat, cal int) {
+	defs := spec.Types()
+	r := rand.New(rand.NewSource(1))
+	for i := range defs {
+		nat += compiler.InstrumentNone(defs[i]).Size()
+		cal += instrument(defs[i], rc, r).Size()
+	}
+	return nat, cal
+}
+
+func instrument(def layout.StructDef, rc sim.RunConfig, r *rand.Rand) *compiler.Instrumented {
+	var pol layout.Policy
+	switch rc.Policy {
+	case sim.PolicyOpportunistic:
+		pol = layout.Opportunistic
+	case sim.PolicyFull:
+		pol = layout.Full
+	case sim.PolicyIntelligent:
+		pol = layout.Intelligent
+	default:
+		return compiler.InstrumentNone(def)
+	}
+	return compiler.Instrument(def, pol, layout.PolicyConfig{MinPad: rc.MinPad, MaxPad: rc.MaxPad, Rand: r})
+}

@@ -1,0 +1,63 @@
+// Temporal safety: use-after-free and double-free on the
+// clean-before-use heap (§6.1).
+//
+// Freed memory is re-blacklisted (and zeroed, §7.2) and parked in a
+// quarantine so it is not immediately reused — the same design
+// principles as REST, at byte granularity. This example walks a
+// use-after-free, shows the zeroing that defeats speculative
+// disclosure of stale data, and demonstrates that quarantined memory
+// stays blacklisted until the heap recycles it safely.
+//
+// Run: go run ./examples/temporal
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+)
+
+func main() {
+	node := layout.StructDef{Name: "node", Fields: []layout.Field{
+		{Name: "key", Kind: layout.Long},
+		{Name: "payload", Kind: layout.Char, ArrayLen: 48},
+		{Name: "next", Kind: layout.Ptr},
+	}}
+
+	m := core.NewMachine(core.Options{Policy: core.PolicyOpportunistic})
+	m.Define(node)
+
+	// A small linked structure.
+	a, _ := m.New("node")
+	b, _ := m.New("node")
+	a.WriteField(0, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	a.WriteField(1, []byte("secret-session-token"))
+	b.WriteField(0, []byte{2, 0, 0, 0, 0, 0, 0, 0})
+
+	fmt.Println("allocated nodes a and b; a holds a secret payload")
+
+	// Free a; the allocator re-blacklists and zeroes it.
+	m.Free(a)
+	fmt.Println("freed a (clean-before-use: region blacklisted + zeroed)")
+
+	// Use-after-free: read the dangling pointer's payload.
+	data, err := a.ReadField(1)
+	fmt.Printf("use-after-free read -> %v\n", err)
+	fmt.Printf("data returned to the (speculative) attacker: %v...\n", data[:8])
+
+	// Dangling write is also caught, and never corrupts future
+	// allocations.
+	err = a.WriteField(0, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	fmt.Printf("use-after-free write -> %v\n", err)
+
+	// Quarantine: an immediate reallocation does not land on a.
+	c, _ := m.New("node")
+	fmt.Printf("new allocation at %#x; freed region was %#x (quarantined, not reused)\n",
+		c.Addr, a.Addr)
+
+	fmt.Printf("\ncaliforms exceptions delivered: %d\n", m.Exceptions())
+	fmt.Printf("heap stats: %d allocs, %d frees, %d CFORMs issued, %dB quarantined\n",
+		m.Heap().Stats.Allocs, m.Heap().Stats.Frees,
+		m.Heap().Stats.CFormsIssued, m.Heap().Stats.QuarantinedNow)
+}

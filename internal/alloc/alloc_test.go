@@ -1,0 +1,222 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/cpu"
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+func structA() layout.StructDef {
+	return layout.StructDef{Name: "A", Fields: []layout.Field{
+		{Name: "c", Kind: layout.Char},
+		{Name: "i", Kind: layout.Int},
+		{Name: "buf", Kind: layout.Char, ArrayLen: 64},
+		{Name: "fp", Kind: layout.FuncPtr},
+		{Name: "d", Kind: layout.Double},
+	}}
+}
+
+func testCore() *cpu.Core {
+	return cpu.New(cpu.DefaultConfig(), cache.New(cache.Westmere(), mem.New()))
+}
+
+func TestAllocProtectsObject(t *testing.T) {
+	core := testCore()
+	h := New(DefaultConfig(), core)
+	r := rand.New(rand.NewSource(1))
+	in := compiler.Instrument(structA(), layout.Full, layout.PolicyConfig{MinPad: 1, MaxPad: 7, Rand: r})
+
+	addr := h.Alloc(in)
+	if addr%16 != 0 {
+		t.Fatalf("allocation not 16B aligned: %#x", addr)
+	}
+	hier := core.Hierarchy()
+
+	secSet := map[int]bool{}
+	for _, o := range in.SecurityOffsets() {
+		secSet[o] = true
+	}
+	for off := 0; off < in.Size(); off++ {
+		_, res := hier.Load(addr+uint64(off), 1)
+		if secSet[off] != (res.Exc != nil) {
+			t.Fatalf("offset %d: security=%v exc=%v", off, secSet[off], res.Exc)
+		}
+	}
+	// Inter-object redzone: byte past the object is still blacklisted
+	// (clean-before-use keeps free memory califormed).
+	if _, res := hier.Load(addr+uint64(in.Size()), 1); res.Exc == nil {
+		t.Fatal("redzone past object must be blacklisted")
+	}
+}
+
+func TestFreeRestoresBlacklistAndZeroes(t *testing.T) {
+	core := testCore()
+	h := New(DefaultConfig(), core)
+	in := compiler.Instrument(structA(), layout.Opportunistic, layout.PolicyConfig{})
+
+	addr := h.Alloc(in)
+	core.StoreData(addr+8, []byte{0xAA, 0xBB}) // into buf
+	h.Free(addr, in)
+
+	hier := core.Hierarchy()
+	// Use-after-free: any access to the freed object faults.
+	if _, res := hier.Load(addr+8, 1); res.Exc == nil {
+		t.Fatal("use-after-free not detected")
+	}
+	// And the data was zeroed (§7.2: deallocation zeroes to prevent
+	// speculative disclosure).
+	data, _ := hier.Load(addr+8, 2)
+	if data[0] != 0 || data[1] != 0 {
+		t.Fatal("freed data must be zeroed")
+	}
+}
+
+func TestQuarantineDelaysReuse(t *testing.T) {
+	core := testCore()
+	cfg := DefaultConfig()
+	cfg.QuarantineFrac = 0.9 // hold almost everything
+	h := New(cfg, core)
+	in := compiler.Instrument(structA(), layout.Opportunistic, layout.PolicyConfig{})
+
+	a := h.Alloc(in)
+	h.Free(a, in)
+	b := h.Alloc(in)
+	if a == b {
+		t.Fatal("freed region reused immediately despite quarantine")
+	}
+
+	// With a tiny quarantine, reuse happens.
+	core2 := testCore()
+	cfg2 := DefaultConfig()
+	cfg2.QuarantineFrac = 0
+	h2 := New(cfg2, core2)
+	c := h2.Alloc(in)
+	h2.Free(c, in)
+	d := h2.Alloc(in)
+	if c != d {
+		t.Fatalf("zero quarantine must reuse immediately: %#x vs %#x", c, d)
+	}
+}
+
+func TestReuseAfterQuarantineIsAccessible(t *testing.T) {
+	core := testCore()
+	cfg := DefaultConfig()
+	cfg.QuarantineFrac = 0
+	h := New(cfg, core)
+	in := compiler.Instrument(structA(), layout.Opportunistic, layout.PolicyConfig{})
+
+	a := h.Alloc(in)
+	h.Free(a, in)
+	b := h.Alloc(in) // same region, re-cleaned
+	hier := core.Hierarchy()
+	if _, res := hier.Load(b, 1); res.Exc != nil {
+		t.Fatalf("reallocated region must be accessible: %v", res.Exc)
+	}
+}
+
+func TestNoCFormModeIssuesNothing(t *testing.T) {
+	core := testCore()
+	cfg := DefaultConfig()
+	cfg.UseCForm = false
+	h := New(cfg, core)
+	r := rand.New(rand.NewSource(2))
+	in := compiler.Instrument(structA(), layout.Full, layout.PolicyConfig{MinPad: 1, MaxPad: 7, Rand: r})
+
+	addr := h.Alloc(in)
+	h.Free(addr, in)
+	if h.Stats.CFormsIssued != 0 || core.Stats.CForms != 0 {
+		t.Fatal("UseCForm=false must not issue CFORMs")
+	}
+	// And nothing is blacklisted.
+	if _, res := core.Hierarchy().Load(addr, 1); res.Exc != nil {
+		t.Fatal("no-CFORM mode must leave memory accessible")
+	}
+}
+
+func TestManyAllocationsNoConflicts(t *testing.T) {
+	// Alloc/free churn across all policies must never trigger a
+	// CFORM K-map conflict: the clean-before-use invariant holds.
+	core := testCore()
+	h := New(DefaultConfig(), core)
+	r := rand.New(rand.NewSource(3))
+	defs := layout.SPECProfile().Generate(40, 5)
+	var ins []*compiler.Instrumented
+	for i := range defs {
+		pol := []layout.Policy{layout.Opportunistic, layout.Full, layout.Intelligent}[i%3]
+		ins = append(ins, compiler.Instrument(defs[i], pol, layout.PolicyConfig{MinPad: 1, MaxPad: 7, Rand: r}))
+	}
+
+	type live struct {
+		addr uint64
+		in   *compiler.Instrumented
+	}
+	var lives []live
+	for i := 0; i < 3000; i++ {
+		if len(lives) > 0 && r.Intn(2) == 0 {
+			k := r.Intn(len(lives))
+			h.Free(lives[k].addr, lives[k].in)
+			lives[k] = lives[len(lives)-1]
+			lives = lives[:len(lives)-1]
+		} else {
+			in := ins[r.Intn(len(ins))]
+			lives = append(lives, live{addr: h.Alloc(in), in: in})
+		}
+	}
+	if core.Stats.Delivered != 0 {
+		t.Fatalf("allocator churn raised %d exceptions (last: %v)",
+			core.Stats.Delivered, core.Stats.LastException)
+	}
+	if h.Stats.CFormsIssued == 0 {
+		t.Fatal("expected CFORM traffic")
+	}
+}
+
+func TestStackFrames(t *testing.T) {
+	core := testCore()
+	cfg := DefaultConfig()
+	r := rand.New(rand.NewSource(4))
+	in := compiler.Instrument(structA(), layout.Intelligent, layout.PolicyConfig{MinPad: 1, MaxPad: 3, Rand: r})
+	st := NewStack(cfg, core, 0x7fff_0000)
+
+	f1 := st.PushFrame(in)
+	f2 := st.PushFrame(in)
+	hier := core.Hierarchy()
+
+	secs := in.SecurityOffsets()
+	if len(secs) == 0 {
+		t.Fatal("intelligent layout must protect struct A")
+	}
+	if _, res := hier.Load(f2.Base+uint64(secs[0]), 1); res.Exc == nil {
+		t.Fatal("frame security byte not set")
+	}
+	st.PopFrame(f2)
+	if _, res := hier.Load(f2.Base+uint64(secs[0]), 1); res.Exc != nil {
+		t.Fatal("frame security byte not cleared after pop")
+	}
+	st.PopFrame(f1)
+
+	// Non-LIFO pop panics.
+	f3 := st.PushFrame(in)
+	st.PushFrame(in)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-LIFO pop must panic")
+		}
+	}()
+	st.PopFrame(f3)
+}
+
+func TestSizeClassRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 16}, {1, 16}, {16, 16}, {17, 32}, {88, 96}, {96, 96},
+	} {
+		if got := sizeClass(tc.in); got != tc.want {
+			t.Fatalf("sizeClass(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

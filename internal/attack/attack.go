@@ -1,0 +1,181 @@
+// Package attack implements the security evaluation of §7: intra- and
+// inter-object overflow injection against a califormed machine, the
+// derandomization math of §7.3 (memory-scan survival probability and
+// security-span guessing), and the speculative-probe check that
+// security bytes are architecturally indistinguishable from zeroes.
+package attack
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/layout"
+)
+
+// OverflowResult reports one injected overflow.
+type OverflowResult struct {
+	// Detected is true when the access raised a Califorms exception.
+	Detected bool
+	// BytesWritten counts bytes the attacker modified before (and
+	// excluding) the detection point.
+	BytesWritten int
+	// FaultAddr is the address that triggered detection.
+	FaultAddr uint64
+}
+
+// InjectLinearOverflow writes attacker bytes starting at the end of
+// field fieldIdx of the object at base, one byte at a time (a classic
+// strcpy-style sequential overflow), up to maxLen bytes. It stops at
+// the first Califorms exception. The hierarchy state is modified by
+// the successful writes, as a real attack would.
+func InjectLinearOverflow(h *cache.Hierarchy, in *compiler.Instrumented, base uint64, fieldIdx, maxLen int) OverflowResult {
+	var start int
+	found := false
+	for _, sp := range in.Layout.Spans {
+		if sp.Kind == layout.SpanField && sp.Field == fieldIdx {
+			start = sp.Offset + sp.Size
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic("attack: field not present in layout")
+	}
+	var res OverflowResult
+	for i := 0; i < maxLen; i++ {
+		addr := base + uint64(start+i)
+		r := h.Store(addr, []byte{0x41})
+		if r.Exc != nil {
+			res.Detected = true
+			res.FaultAddr = r.Exc.Addr
+			return res
+		}
+		res.BytesWritten++
+	}
+	return res
+}
+
+// InjectLinearOverread performs the read analogue (memcpy-style
+// overread): sequential loads past the end of the field. Unlike
+// canaries, Califorms tripwires detect overreads too (§9).
+func InjectLinearOverread(h *cache.Hierarchy, in *compiler.Instrumented, base uint64, fieldIdx, maxLen int) OverflowResult {
+	var start int
+	found := false
+	for _, sp := range in.Layout.Spans {
+		if sp.Kind == layout.SpanField && sp.Field == fieldIdx {
+			start = sp.Offset + sp.Size
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic("attack: field not present in layout")
+	}
+	var res OverflowResult
+	for i := 0; i < maxLen; i++ {
+		addr := base + uint64(start+i)
+		if _, r := h.Load(addr, 1); r.Exc != nil {
+			res.Detected = true
+			res.FaultAddr = r.Exc.Addr
+			return res
+		}
+		res.BytesWritten++
+	}
+	return res
+}
+
+// ScanSurvival is the closed-form derandomization model of §7.3: the
+// probability that an attacker scanning O objects, each of N bytes of
+// which P are security bytes, touches no security byte — (1 − P/N)^O.
+func ScanSurvival(pOverN float64, objects int) float64 {
+	if pOverN <= 0 {
+		return 1
+	}
+	if pOverN >= 1 {
+		return 0
+	}
+	return math.Pow(1-pOverN, float64(objects))
+}
+
+// GuessProbability is the §7.3 ideal-case model: with security spans
+// of 1..spanMax bytes, the chance of guessing n consecutive span
+// sizes is (1/spanMax)^n.
+func GuessProbability(n, spanMax int) float64 {
+	return math.Pow(1/float64(spanMax), float64(n))
+}
+
+// ScanExperiment runs the Monte Carlo counterpart of ScanSurvival on
+// real califormed layouts: `trials` attackers each probe one random
+// byte in every one of `objects` instances; survival means never
+// touching a security byte. It returns the surviving fraction, to be
+// compared against the closed form.
+func ScanExperiment(defs []layout.StructDef, pol layout.Policy, cfg layout.PolicyConfig, objects, trials int, seed int64) (survival float64, avgPOverN float64) {
+	r := rand.New(rand.NewSource(seed))
+	type inst struct {
+		size int
+		sec  map[int]bool
+	}
+	insts := make([]inst, len(defs))
+	totalP, totalN := 0.0, 0.0
+	for i := range defs {
+		l := layout.Apply(&defs[i], pol, cfg)
+		sec := make(map[int]bool)
+		for _, o := range l.SecurityOffsets() {
+			sec[o] = true
+		}
+		insts[i] = inst{size: l.Size, sec: sec}
+		totalP += float64(len(sec))
+		totalN += float64(l.Size)
+	}
+	survived := 0
+	for tr := 0; tr < trials; tr++ {
+		alive := true
+		for o := 0; o < objects && alive; o++ {
+			in := insts[r.Intn(len(insts))]
+			if in.sec[r.Intn(in.size)] {
+				alive = false
+			}
+		}
+		if alive {
+			survived++
+		}
+	}
+	return float64(survived) / float64(trials), totalP / totalN
+}
+
+// SpeculativeProbe models the §7.2 side-channel defense check: a
+// speculative load of a security byte must observe the value zero —
+// exactly what it would observe for legitimately zero data — so the
+// attacker gains no information from the returned value alone. It
+// returns true if every probed security byte reads zero and every
+// probe raises a (deferred) exception.
+func SpeculativeProbe(h *cache.Hierarchy, addrs []uint64) bool {
+	for _, a := range addrs {
+		data, res := h.Load(a, 1)
+		if data[0] != 0 {
+			return false
+		}
+		if res.Exc == nil || res.Exc.Kind != isa.ExcLoad {
+			return false
+		}
+	}
+	return true
+}
+
+// WhitelistAbuseWindow quantifies the §7.3 whitelisting concern: it
+// runs f inside a whitelisted region and returns how many violations
+// were suppressed — the attack surface a memcpy-style exemption
+// opens.
+func WhitelistAbuseWindow(masks *isa.MaskRegisters, violations []*isa.Exception) (suppressed int) {
+	masks.EnterWhitelisted()
+	defer masks.ExitWhitelisted()
+	for _, e := range violations {
+		if !masks.Filter(e) {
+			suppressed++
+		}
+	}
+	return suppressed
+}

@@ -1,0 +1,100 @@
+package attack
+
+import "math/rand"
+
+// §7.3 discusses BROP-style attacks: the layout randomization is
+// static per binary, so a crash-and-restart service that respawns
+// with the *same* layout lets an attacker learn span sizes one crash
+// at a time. The paper's mitigation is to respawn with a different
+// padding layout (or run multiple binary versions). This file models
+// both regimes.
+
+// BROPResult summarizes one simulated campaign.
+type BROPResult struct {
+	// Success is whether the attacker reached the target within the
+	// crash budget.
+	Success bool
+	// Crashes is the number of times the victim was crashed.
+	Crashes int
+}
+
+// SimulateBROP models an attacker who must jump `spans` consecutive
+// random-sized security spans (each uniform in 1..spanMax bytes) to
+// corrupt a target without touching a security byte. A wrong size
+// guess touches a security byte: the Califorms exception fires and
+// the victim crashes and restarts.
+//
+// If rerandomize is false, the victim restarts with the same layout
+// (classic restart-after-crash), so the attacker retains knowledge of
+// every span already learned and enumerates candidate sizes crash by
+// crash. If rerandomize is true, every restart draws a fresh layout
+// and accumulated knowledge is useless.
+func SimulateBROP(spans, spanMax int, rerandomize bool, crashBudget int, seed int64) BROPResult {
+	r := rand.New(rand.NewSource(seed))
+	newLayout := func() []int {
+		l := make([]int, spans)
+		for i := range l {
+			l[i] = 1 + r.Intn(spanMax)
+		}
+		return l
+	}
+
+	layout := newLayout()
+	// known[i] tracks sizes already ruled out for span i (fixed-layout
+	// regime only).
+	ruledOut := make([]map[int]bool, spans)
+	for i := range ruledOut {
+		ruledOut[i] = map[int]bool{}
+	}
+
+	crashes := 0
+	for crashes <= crashBudget {
+		// One attack attempt: walk the spans, guessing each size.
+		ok := true
+		for i := 0; i < spans; i++ {
+			var guess int
+			if rerandomize {
+				guess = 1 + r.Intn(spanMax)
+			} else {
+				// Enumerate smallest not-yet-ruled-out size.
+				for g := 1; g <= spanMax; g++ {
+					if !ruledOut[i][g] {
+						guess = g
+						break
+					}
+				}
+			}
+			if guess != layout[i] {
+				if !rerandomize {
+					ruledOut[i][guess] = true
+				}
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return BROPResult{Success: true, Crashes: crashes}
+		}
+		crashes++
+		if rerandomize {
+			layout = newLayout()
+			// Knowledge resets with the layout.
+			for i := range ruledOut {
+				ruledOut[i] = map[int]bool{}
+			}
+		}
+	}
+	return BROPResult{Success: false, Crashes: crashes}
+}
+
+// ExpectedBROPCrashes estimates the mean crashes to success over
+// `trials` campaigns. A campaign that exhausts the budget contributes
+// the budget (a lower bound on the true mean).
+func ExpectedBROPCrashes(spans, spanMax int, rerandomize bool, crashBudget, trials int, seed int64) float64 {
+	total := 0.0
+	for tr := 0; tr < trials; tr++ {
+		res := SimulateBROP(spans, spanMax, rerandomize, crashBudget, seed+int64(tr)*7919)
+		total += float64(res.Crashes)
+	}
+	return total / float64(trials)
+}

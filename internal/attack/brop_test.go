@@ -1,0 +1,54 @@
+package attack
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBROPFixedLayoutEventuallySucceeds(t *testing.T) {
+	// With a static layout, the attacker enumerates span sizes crash
+	// by crash: at most spans*(spanMax-1) crashes.
+	res := SimulateBROP(4, 7, false, 4*6+1, 1)
+	if !res.Success {
+		t.Fatalf("fixed-layout BROP must succeed within the enumeration bound, got %+v", res)
+	}
+	if res.Crashes > 4*6 {
+		t.Fatalf("crashes %d exceed the enumeration bound", res.Crashes)
+	}
+}
+
+func TestBROPRerandomizationDefeatsEnumeration(t *testing.T) {
+	// Re-randomizing on respawn makes expected crashes ~7^n; with
+	// n=4 spans that is ~2401, so a 200-crash budget should almost
+	// always fail while the fixed layout always succeeds within 24.
+	const spans, budget, trials = 4, 200, 60
+	fixed := ExpectedBROPCrashes(spans, 7, false, budget, trials, 10)
+	rerand := ExpectedBROPCrashes(spans, 7, true, budget, trials, 20)
+	if fixed >= rerand {
+		t.Fatalf("fixed (%f) must require fewer crashes than re-randomized (%f)", fixed, rerand)
+	}
+	if rerand < float64(budget)*0.8 {
+		t.Fatalf("re-randomized campaigns should mostly exhaust the budget, mean=%f", rerand)
+	}
+	if fixed > 24 {
+		t.Fatalf("fixed-layout mean %f exceeds the worst-case enumeration bound", fixed)
+	}
+}
+
+func TestBROPSingleSpanMatchesClosedForm(t *testing.T) {
+	// One re-randomized span: success per attempt is 1/7, so the mean
+	// crash count over successful geometric trials approaches 6 (the
+	// mean of a geometric distribution minus the success attempt).
+	mean := ExpectedBROPCrashes(1, 7, true, 1000, 4000, 30)
+	if math.Abs(mean-6) > 0.8 {
+		t.Fatalf("single-span mean crashes %f, want ~6 (geometric with p=1/7)", mean)
+	}
+}
+
+func TestBROPZeroBudget(t *testing.T) {
+	// A zero crash budget still allows the single free attempt.
+	res := SimulateBROP(1, 1, false, 0, 5)
+	if !res.Success || res.Crashes != 0 {
+		t.Fatalf("spanMax=1 means the first guess always lands: %+v", res)
+	}
+}

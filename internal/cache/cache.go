@@ -1,0 +1,118 @@
+// Package cache implements the simulated cache hierarchy of the
+// Califorms evaluation (Table 3): set-associative, write-back,
+// write-allocate caches with LRU replacement. The L1 data cache holds
+// lines in califorms-bitvector format; L2, L3 and memory hold them in
+// califorms-sentinel format, with format conversion performed at the
+// L1 boundary on fills and spills (Figure 1, §5).
+package cache
+
+import (
+	"repro/internal/cacheline"
+)
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name    string
+	Size    int // bytes
+	Ways    int
+	Latency int // access latency in cycles
+}
+
+// Sets returns the number of sets implied by size and associativity.
+func (c LevelConfig) Sets() int { return c.Size / (cacheline.Size * c.Ways) }
+
+// LevelStats counts per-level events.
+type LevelStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses / (hits+misses), or 0 with no traffic.
+func (s LevelStats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+type entry[L any] struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+	line  L
+}
+
+// level is a generic set-associative write-back cache over a line
+// representation type (Bitvector for L1, Sentinel for L2/L3).
+type level[L any] struct {
+	cfg   LevelConfig
+	sets  [][]entry[L]
+	clock uint64
+	Stats LevelStats
+}
+
+func newLevel[L any](cfg LevelConfig) *level[L] {
+	n := cfg.Sets()
+	sets := make([][]entry[L], n)
+	for i := range sets {
+		sets[i] = make([]entry[L], cfg.Ways)
+	}
+	return &level[L]{cfg: cfg, sets: sets}
+}
+
+func (l *level[L]) setIndex(lineIdx uint64) int {
+	return int(lineIdx % uint64(len(l.sets)))
+}
+
+// lookup returns a pointer to the entry holding lineIdx, or nil.
+func (l *level[L]) lookup(lineIdx uint64) *entry[L] {
+	set := l.sets[l.setIndex(lineIdx)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineIdx {
+			l.clock++
+			set[i].lru = l.clock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert places a line, evicting the LRU victim if necessary. It
+// returns the victim (valid only if evicted dirty or evictedValid).
+func (l *level[L]) insert(lineIdx uint64, line L, dirty bool) (victim entry[L], evicted bool) {
+	set := l.sets[l.setIndex(lineIdx)]
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			goto place
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	victim = set[vi]
+	evicted = true
+	l.Stats.Evictions++
+place:
+	l.clock++
+	set[vi] = entry[L]{tag: lineIdx, valid: true, dirty: dirty, lru: l.clock, line: line}
+	return victim, evicted
+}
+
+// invalidate drops lineIdx if present, returning the entry.
+func (l *level[L]) invalidate(lineIdx uint64) (entry[L], bool) {
+	set := l.sets[l.setIndex(lineIdx)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineIdx {
+			e := set[i]
+			set[i].valid = false
+			return e, true
+		}
+	}
+	return entry[L]{}, false
+}

@@ -1,0 +1,515 @@
+package cache
+
+import (
+	"repro/internal/cacheline"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Config describes the simulated memory hierarchy.
+type Config struct {
+	L1, L2, L3 LevelConfig
+	// MemLatency is the DRAM access latency in cycles.
+	MemLatency int
+	// ExtraL2L3 adds cycles to every L2 and L3 access; Figure 10
+	// evaluates Califorms pessimistically with ExtraL2L3 = 1.
+	ExtraL2L3 int
+	// SpillFillLatency is the added latency when a *califormed* line
+	// crosses the L1/L2 boundary and is format-converted. The paper's
+	// VLSI results show this can be fully hidden (0); it is kept as a
+	// knob for sensitivity studies.
+	SpillFillLatency int
+}
+
+// Westmere returns the Table 3 configuration: an Intel Westmere-like
+// hierarchy at 2.27GHz.
+func Westmere() Config {
+	return Config{
+		L1:         LevelConfig{Name: "L1D", Size: 32 << 10, Ways: 8, Latency: 4},
+		L2:         LevelConfig{Name: "L2", Size: 256 << 10, Ways: 8, Latency: 7},
+		L3:         LevelConfig{Name: "L3", Size: 2 << 20, Ways: 16, Latency: 27},
+		MemLatency: 200,
+	}
+}
+
+// Level identifiers reported in AccessResult.
+const (
+	LvlL1  = 1
+	LvlL2  = 2
+	LvlL3  = 3
+	LvlMem = 4
+)
+
+// AccessResult reports the outcome of one hierarchy operation.
+type AccessResult struct {
+	// Cycles is the total latency of the access.
+	Cycles int
+	// Level is the deepest level that serviced the access
+	// (LvlL1..LvlMem).
+	Level int
+	// Exc is the Califorms exception raised, if any. Exceptions are
+	// precise: a violating store or CFORM does not commit.
+	Exc *isa.Exception
+}
+
+// HierStats aggregates Califorms-specific hierarchy events.
+type HierStats struct {
+	// Spills and Fills count L1<->L2 format conversions of califormed
+	// lines (natural lines convert trivially and are not counted).
+	Spills uint64
+	Fills  uint64
+	// CForms counts executed CFORM instructions.
+	CForms uint64
+	// Violations counts raised Califorms exceptions.
+	Violations uint64
+}
+
+// Hierarchy is the three-level cache model in front of main memory.
+// It is single-core and not safe for concurrent use, matching the
+// paper's single-threaded SPEC evaluation.
+type Hierarchy struct {
+	cfg Config
+	l1  *level[cacheline.Bitvector]
+	l2  *level[cacheline.Sentinel]
+	l3  *level[cacheline.Sentinel]
+	mem *mem.Memory
+
+	Stats HierStats
+}
+
+// New builds a hierarchy over the given memory.
+func New(cfg Config, m *mem.Memory) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1:  newLevel[cacheline.Bitvector](cfg.L1),
+		l2:  newLevel[cacheline.Sentinel](cfg.L2),
+		l3:  newLevel[cacheline.Sentinel](cfg.L3),
+		mem: m,
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Memory returns the backing memory.
+func (h *Hierarchy) Memory() *mem.Memory { return h.mem }
+
+// L1Stats, L2Stats, L3Stats expose per-level counters.
+func (h *Hierarchy) L1Stats() LevelStats { return h.l1.Stats }
+func (h *Hierarchy) L2Stats() LevelStats { return h.l2.Stats }
+func (h *Hierarchy) L3Stats() LevelStats { return h.l3.Stats }
+
+// writeBackL2 installs a sentinel line into L2, cascading evictions
+// downward. Clean victims are dropped: with write-back propagation a
+// clean copy always matches the level below.
+func (h *Hierarchy) writeBackL2(lineIdx uint64, s cacheline.Sentinel, dirty bool) {
+	if e := h.l2.lookup(lineIdx); e != nil {
+		e.line = s
+		e.dirty = e.dirty || dirty
+		return
+	}
+	victim, evicted := h.l2.insert(lineIdx, s, dirty)
+	if evicted && victim.dirty {
+		h.l2.Stats.Writebacks++
+		h.writeBackL3(victim.tag, victim.line, true)
+	}
+}
+
+func (h *Hierarchy) writeBackL3(lineIdx uint64, s cacheline.Sentinel, dirty bool) {
+	if e := h.l3.lookup(lineIdx); e != nil {
+		e.line = s
+		e.dirty = e.dirty || dirty
+		return
+	}
+	victim, evicted := h.l3.insert(lineIdx, s, dirty)
+	if evicted && victim.dirty {
+		h.l3.Stats.Writebacks++
+		h.mem.WriteLine(victim.tag, victim.line)
+	}
+}
+
+// fetchSentinel finds the sentinel-format line below L1, returning it
+// with the accumulated latency and deepest level touched. The line is
+// installed in L2 (and L3 on a memory fetch) per write-allocate.
+func (h *Hierarchy) fetchSentinel(lineIdx uint64) (cacheline.Sentinel, int, int) {
+	lat := h.cfg.L2.Latency + h.cfg.ExtraL2L3
+	if e := h.l2.lookup(lineIdx); e != nil {
+		h.l2.Stats.Hits++
+		return e.line, lat, LvlL2
+	}
+	h.l2.Stats.Misses++
+	lat += h.cfg.L3.Latency + h.cfg.ExtraL2L3
+	if e := h.l3.lookup(lineIdx); e != nil {
+		h.l3.Stats.Hits++
+		s := e.line
+		h.writeBackL2(lineIdx, s, false)
+		return s, lat, LvlL3
+	}
+	h.l3.Stats.Misses++
+	lat += h.cfg.MemLatency
+	s := h.mem.ReadLine(lineIdx)
+	h.writeBackL3(lineIdx, s, false)
+	h.writeBackL2(lineIdx, s, false)
+	return s, lat, LvlMem
+}
+
+// spillL1Victim evicts an L1 line, converting to sentinel format
+// (Algorithm 1) and installing the result in L2.
+func (h *Hierarchy) spillL1Victim(v entry[cacheline.Bitvector]) {
+	s, err := cacheline.Spill(v.line)
+	if err != nil {
+		// Unreachable by construction (see cacheline.FindSentinel);
+		// fail loudly rather than silently dropping protection.
+		panic("cache: " + err.Error())
+	}
+	if v.line.Mask != 0 {
+		h.Stats.Spills++
+	}
+	if v.dirty {
+		h.l1.Stats.Writebacks++
+	}
+	h.writeBackL2(v.tag, s, v.dirty)
+}
+
+// l1Entry returns the L1 entry for lineIdx, filling on a miss
+// (converting sentinel -> bitvector, Algorithm 2), with latency and
+// deepest level.
+func (h *Hierarchy) l1Entry(lineIdx uint64) (*entry[cacheline.Bitvector], int, int) {
+	if e := h.l1.lookup(lineIdx); e != nil {
+		h.l1.Stats.Hits++
+		return e, h.cfg.L1.Latency, LvlL1
+	}
+	h.l1.Stats.Misses++
+	s, lat, lvl := h.fetchSentinel(lineIdx)
+	lat += h.cfg.L1.Latency
+	bv := cacheline.Fill(s)
+	if s.Califormed {
+		h.Stats.Fills++
+		lat += h.cfg.SpillFillLatency
+	}
+	victim, evicted := h.l1.insert(lineIdx, bv, false)
+	if evicted {
+		h.spillL1Victim(victim)
+	}
+	// insert invalidated our pointer's set ordering; re-lookup.
+	e := h.l1.lookup(lineIdx)
+	return e, lat, lvl
+}
+
+// violationAddr returns the address of the first security byte in
+// [off, off+n) of the line, or -1.
+func violationAddr(m cacheline.SecMask, off, n int) int {
+	for i := off; i < off+n && i < cacheline.Size; i++ {
+		if m.IsSet(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Load reads size bytes at addr through the hierarchy. The returned
+// data substitutes zero for security bytes (speculative-side-channel
+// hardening, §5.1); if any byte touched is a security byte the result
+// carries an ExcLoad exception recorded at commit time.
+func (h *Hierarchy) Load(addr uint64, size int) ([]byte, AccessResult) {
+	out := make([]byte, 0, size)
+	var res AccessResult
+	for size > 0 {
+		lineIdx := addr >> 6
+		off := int(addr & 63)
+		n := cacheline.Size - off
+		if n > size {
+			n = size
+		}
+		e, lat, lvl := h.l1Entry(lineIdx)
+		res.Cycles += lat
+		if lvl > res.Level {
+			res.Level = lvl
+		}
+		chunk, bad := e.line.LoadRange(off, n)
+		out = append(out, chunk...)
+		if bad && res.Exc == nil {
+			h.Stats.Violations++
+			res.Exc = &isa.Exception{
+				Kind: isa.ExcLoad,
+				Addr: lineIdx<<6 + uint64(violationAddr(e.line.Mask, off, n)),
+			}
+		}
+		addr += uint64(n)
+		size -= n
+	}
+	return out, res
+}
+
+// storePrecheck walks the lines of [addr, addr+size) and returns the
+// first security-byte violation, accumulating latency. Stores are
+// precise: a violating store must not commit any byte, including on
+// earlier lines of a line-crossing access, so the check runs before
+// any write.
+func (h *Hierarchy) storePrecheck(addr uint64, size int) (AccessResult, bool) {
+	var res AccessResult
+	a, sz := addr, size
+	for sz > 0 {
+		lineIdx := a >> 6
+		off := int(a & 63)
+		n := cacheline.Size - off
+		if n > sz {
+			n = sz
+		}
+		e, lat, lvl := h.l1Entry(lineIdx)
+		res.Cycles += lat
+		if lvl > res.Level {
+			res.Level = lvl
+		}
+		if bad := violationAddr(e.line.Mask, off, n); bad >= 0 && res.Exc == nil {
+			h.Stats.Violations++
+			res.Exc = &isa.Exception{Kind: isa.ExcStore, Addr: lineIdx<<6 + uint64(bad)}
+		}
+		a += uint64(n)
+		sz -= n
+	}
+	return res, res.Exc != nil
+}
+
+// Store writes data at addr. A store touching any security byte does
+// not commit (precise exception) and reports ExcStore.
+func (h *Hierarchy) Store(addr uint64, data []byte) AccessResult {
+	if int(addr&63)+len(data) > cacheline.Size {
+		// Line-crossing store: validate every line first. Single-line
+		// stores are checked atomically by StoreRange below.
+		if res, bad := h.storePrecheck(addr, len(data)); bad {
+			return res
+		}
+	}
+	return h.storeCommit(addr, data)
+}
+
+func (h *Hierarchy) storeCommit(addr uint64, data []byte) AccessResult {
+	var res AccessResult
+	for len(data) > 0 {
+		lineIdx := addr >> 6
+		off := int(addr & 63)
+		n := cacheline.Size - off
+		if n > len(data) {
+			n = len(data)
+		}
+		e, lat, lvl := h.l1Entry(lineIdx)
+		res.Cycles += lat
+		if lvl > res.Level {
+			res.Level = lvl
+		}
+		if bad := e.line.StoreRange(off, data[:n]); bad {
+			if res.Exc == nil {
+				h.Stats.Violations++
+				res.Exc = &isa.Exception{
+					Kind: isa.ExcStore,
+					Addr: lineIdx<<6 + uint64(violationAddr(e.line.Mask, off, n)),
+				}
+			}
+		} else {
+			e.dirty = true
+		}
+		addr += uint64(n)
+		data = data[n:]
+	}
+	return res
+}
+
+// LoadTouch performs a load for timing purposes without materializing
+// the data. Violation semantics are identical to Load.
+func (h *Hierarchy) LoadTouch(addr uint64, size int) AccessResult {
+	var res AccessResult
+	for size > 0 {
+		lineIdx := addr >> 6
+		off := int(addr & 63)
+		n := cacheline.Size - off
+		if n > size {
+			n = size
+		}
+		e, lat, lvl := h.l1Entry(lineIdx)
+		res.Cycles += lat
+		if lvl > res.Level {
+			res.Level = lvl
+		}
+		if bad := violationAddr(e.line.Mask, off, n); bad >= 0 && res.Exc == nil {
+			h.Stats.Violations++
+			res.Exc = &isa.Exception{Kind: isa.ExcLoad, Addr: lineIdx<<6 + uint64(bad)}
+		}
+		addr += uint64(n)
+		size -= n
+	}
+	return res
+}
+
+// StoreTouch performs a store for timing purposes without writing
+// data: the line is allocated and dirtied, and violations are checked
+// exactly as Store does.
+func (h *Hierarchy) StoreTouch(addr uint64, size int) AccessResult {
+	if int(addr&63)+size > cacheline.Size {
+		if res, bad := h.storePrecheck(addr, size); bad {
+			return res
+		}
+	}
+	var res AccessResult
+	for size > 0 {
+		lineIdx := addr >> 6
+		off := int(addr & 63)
+		n := cacheline.Size - off
+		if n > size {
+			n = size
+		}
+		e, lat, lvl := h.l1Entry(lineIdx)
+		res.Cycles += lat
+		if lvl > res.Level {
+			res.Level = lvl
+		}
+		if bad := violationAddr(e.line.Mask, off, n); bad >= 0 {
+			if res.Exc == nil {
+				h.Stats.Violations++
+				res.Exc = &isa.Exception{Kind: isa.ExcStore, Addr: lineIdx<<6 + uint64(bad)}
+			}
+		} else {
+			e.dirty = true
+		}
+		addr += uint64(n)
+		size -= n
+	}
+	return res
+}
+
+// CForm executes a CFORM instruction (§4.1). The temporal variant
+// behaves as a store: the line is allocated into L1 and modified
+// there. The non-temporal variant modifies the line below L1 without
+// polluting the L1 data cache (§6.1). A K-map conflict (Table 1)
+// raises ExcCaliformConflict and does not commit.
+func (h *Hierarchy) CForm(cf isa.CFORM) AccessResult {
+	h.Stats.CForms++
+	if err := cf.Validate(); err != nil {
+		h.Stats.Violations++
+		return AccessResult{Exc: err.(*isa.Exception)}
+	}
+	lineIdx := cf.Base >> 6
+
+	if cf.NonTemporal {
+		// Invalidate any L1 copy first (like a streaming store, the
+		// NT CFORM must not leave a stale bitvector line above).
+		if v, ok := h.l1.invalidate(lineIdx); ok {
+			h.spillL1Victim(v)
+		}
+		s, lat, lvl := h.fetchSentinel(lineIdx)
+		bv := cacheline.Fill(s)
+		if fault := bv.Caliform(cacheline.SecMask(cf.Attrs), cacheline.SecMask(cf.Mask)); fault >= 0 {
+			h.Stats.Violations++
+			return AccessResult{Cycles: lat, Level: lvl, Exc: &isa.Exception{
+				Kind: isa.ExcCaliformConflict,
+				Addr: cf.Base + uint64(fault),
+			}}
+		}
+		s2, err := cacheline.Spill(bv)
+		if err != nil {
+			panic("cache: " + err.Error())
+		}
+		h.writeBackL2(lineIdx, s2, true)
+		return AccessResult{Cycles: lat, Level: lvl}
+	}
+
+	e, lat, lvl := h.l1Entry(lineIdx)
+	if fault := e.line.Caliform(cacheline.SecMask(cf.Attrs), cacheline.SecMask(cf.Mask)); fault >= 0 {
+		h.Stats.Violations++
+		return AccessResult{Cycles: lat, Level: lvl, Exc: &isa.Exception{
+			Kind: isa.ExcCaliformConflict,
+			Addr: cf.Base + uint64(fault),
+		}}
+	}
+	e.dirty = true
+	return AccessResult{Cycles: lat, Level: lvl}
+}
+
+// SecurityBitmap returns, for the size bytes starting at addr, a
+// bitmap of which are security bytes (bit i = byte addr+i), along
+// with the access timing. It performs the access (fetching lines) but
+// raises no exception: vector-unit policies (Appendix B) decide
+// themselves which lanes fault.
+func (h *Hierarchy) SecurityBitmap(addr uint64, size int) (uint64, AccessResult) {
+	if size > 64 {
+		size = 64
+	}
+	var bitmap uint64
+	var res AccessResult
+	pos := 0
+	for pos < size {
+		lineIdx := (addr + uint64(pos)) >> 6
+		off := int((addr + uint64(pos)) & 63)
+		n := cacheline.Size - off
+		if n > size-pos {
+			n = size - pos
+		}
+		e, lat, lvl := h.l1Entry(lineIdx)
+		res.Cycles += lat
+		if lvl > res.Level {
+			res.Level = lvl
+		}
+		for i := 0; i < n; i++ {
+			if e.line.Mask.IsSet(off + i) {
+				bitmap |= 1 << uint(pos+i)
+			}
+		}
+		pos += n
+	}
+	return bitmap, res
+}
+
+// SecMaskAt returns the security mask of the line containing addr,
+// fetching it if needed. It is a debug/verification path and counts
+// as a normal access.
+func (h *Hierarchy) SecMaskAt(addr uint64) cacheline.SecMask {
+	e, _, _ := h.l1Entry(addr >> 6)
+	return e.line.Mask
+}
+
+// ResetStats zeroes all per-level and hierarchy counters without
+// touching cache contents. Used at steady-state measurement
+// boundaries.
+func (h *Hierarchy) ResetStats() {
+	h.l1.Stats = LevelStats{}
+	h.l2.Stats = LevelStats{}
+	h.l3.Stats = LevelStats{}
+	h.Stats = HierStats{}
+}
+
+// Flush drains every dirty line to memory, converting formats on the
+// way down. Used at simulation barriers and by tests that verify
+// end-to-end data integrity.
+func (h *Hierarchy) Flush() {
+	for si := range h.l1.sets {
+		for wi := range h.l1.sets[si] {
+			e := &h.l1.sets[si][wi]
+			if e.valid {
+				h.spillL1Victim(*e)
+				e.valid = false
+			}
+		}
+	}
+	for si := range h.l2.sets {
+		for wi := range h.l2.sets[si] {
+			e := &h.l2.sets[si][wi]
+			if e.valid {
+				if e.dirty {
+					h.writeBackL3(e.tag, e.line, true)
+				}
+				e.valid = false
+			}
+		}
+	}
+	for si := range h.l3.sets {
+		for wi := range h.l3.sets[si] {
+			e := &h.l3.sets[si][wi]
+			if e.valid {
+				if e.dirty {
+					h.mem.WriteLine(e.tag, e.line)
+				}
+				e.valid = false
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// oracle is a flat reference model of Califorms semantics: a byte
+// array plus a per-byte security flag, with no caches, formats or
+// conversions. Any divergence between the oracle and the real
+// hierarchy indicates a bug in the format encodings, the spill/fill
+// conversions, the write-back paths or the exception logic.
+type oracle struct {
+	data map[uint64]byte
+	sec  map[uint64]bool
+}
+
+func newOracle() *oracle {
+	return &oracle{data: make(map[uint64]byte), sec: make(map[uint64]bool)}
+}
+
+func (o *oracle) load(addr uint64, n int) (out []byte, violation bool) {
+	out = make([]byte, n)
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)
+		if o.sec[a] {
+			violation = true
+			out[i] = 0
+		} else {
+			out[i] = o.data[a]
+		}
+	}
+	return out, violation
+}
+
+func (o *oracle) store(addr uint64, p []byte) (violation bool) {
+	for i := range p {
+		if o.sec[addr+uint64(i)] {
+			return true
+		}
+	}
+	for i := range p {
+		o.data[addr+uint64(i)] = p[i]
+	}
+	return false
+}
+
+func (o *oracle) cform(cf isa.CFORM) (conflict bool) {
+	if cf.Base&63 != 0 {
+		return true
+	}
+	for i := 0; i < 64; i++ {
+		if cf.Mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		a := cf.Base + uint64(i)
+		set := cf.Attrs&(1<<uint(i)) != 0
+		if set && o.sec[a] || !set && !o.sec[a] {
+			return true
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if cf.Mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		a := cf.Base + uint64(i)
+		o.sec[a] = cf.Attrs&(1<<uint(i)) != 0
+		o.data[a] = 0
+	}
+	return false
+}
+
+// TestHierarchyMatchesOracle drives a long random mix of loads,
+// stores, CFORMs (temporal and non-temporal) and flushes through a
+// tiny thrash-prone hierarchy and the flat oracle, comparing every
+// result. This is the end-to-end property test of the whole
+// califorms-bitvector/califorms-sentinel machinery.
+func TestHierarchyMatchesOracle(t *testing.T) {
+	cfg := Config{
+		L1:         LevelConfig{Name: "L1D", Size: 512, Ways: 2, Latency: 4},
+		L2:         LevelConfig{Name: "L2", Size: 2 << 10, Ways: 2, Latency: 7},
+		L3:         LevelConfig{Name: "L3", Size: 8 << 10, Ways: 4, Latency: 27},
+		MemLatency: 100,
+	}
+	h := New(cfg, mem.New())
+	o := newOracle()
+	r := rand.New(rand.NewSource(2024))
+
+	const region = 4096 // 64 lines, far beyond the tiny L1/L2
+	for step := 0; step < 60000; step++ {
+		switch r.Intn(10) {
+		case 0, 1, 2, 3: // load
+			addr := uint64(r.Intn(region - 16))
+			n := 1 + r.Intn(16)
+			want, wantBad := o.load(addr, n)
+			got, res := h.Load(addr, n)
+			if (res.Exc != nil) != wantBad {
+				t.Fatalf("step %d: load %#x+%d exception mismatch: hier=%v oracle=%v",
+					step, addr, n, res.Exc, wantBad)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: load %#x byte %d: hier=%#x oracle=%#x",
+						step, addr, i, got[i], want[i])
+				}
+			}
+		case 4, 5, 6: // store
+			addr := uint64(r.Intn(region - 16))
+			p := make([]byte, 1+r.Intn(16))
+			r.Read(p)
+			wantBad := o.store(addr, p)
+			res := h.Store(addr, p)
+			if (res.Exc != nil) != wantBad {
+				t.Fatalf("step %d: store %#x exception mismatch: hier=%v oracle=%v",
+					step, addr, res.Exc, wantBad)
+			}
+		case 7, 8: // CFORM over random bytes of a random line
+			line := uint64(r.Intn(region / 64))
+			var attrs, mask uint64
+			for b := 0; b < 4; b++ {
+				bit := uint64(1) << uint(r.Intn(64))
+				mask |= bit
+				if r.Intn(2) == 0 {
+					attrs |= bit
+				}
+			}
+			cf := isa.CFORM{Base: line * 64, Attrs: attrs, Mask: mask, NonTemporal: r.Intn(4) == 0}
+			wantBad := o.cform(cf)
+			res := h.CForm(cf)
+			if (res.Exc != nil) != wantBad {
+				t.Fatalf("step %d: cform %+v exception mismatch: hier=%v oracle=%v",
+					step, cf, res.Exc, wantBad)
+			}
+		case 9: // occasional full flush: everything round-trips
+			if r.Intn(50) == 0 {
+				h.Flush()
+			}
+		}
+	}
+
+	// Final sweep: every byte and every security flag must agree
+	// after a flush (full spill of all dirty state to memory).
+	h.Flush()
+	for addr := uint64(0); addr < region; addr++ {
+		want, wantBad := o.load(addr, 1)
+		got, res := h.Load(addr, 1)
+		if (res.Exc != nil) != wantBad || got[0] != want[0] {
+			t.Fatalf("final sweep %#x: hier=(%#x,%v) oracle=(%#x,%v)",
+				addr, got[0], res.Exc != nil, want[0], wantBad)
+		}
+	}
+}

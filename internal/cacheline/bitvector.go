@@ -1,0 +1,101 @@
+package cacheline
+
+// Bitvector is the L1 data-cache line format (califorms-bitvector,
+// §5.1, Figure 5). It keeps the payload in its natural layout and adds
+// an 8-byte metadata bit vector, one bit per byte. L1 hits therefore
+// never perform address arithmetic to locate data; the metadata lookup
+// happens in parallel with the tag access (Figure 6).
+type Bitvector struct {
+	Data Data
+	Mask SecMask
+}
+
+// NewBitvector builds an L1-format line, forcing security bytes to
+// zero as the hardware does when califorming.
+func NewBitvector(d Data, m SecMask) Bitvector {
+	return Bitvector{Data: ZeroSecurity(d, m), Mask: m}
+}
+
+// Load returns the value of byte i together with a violation flag. Per
+// §5.1, a load that touches a security byte records an exception but
+// still returns the predetermined value zero, so that speculative
+// execution cannot use the returned value as a side channel to locate
+// security bytes.
+func (b *Bitvector) Load(i int) (val byte, violation bool) {
+	if b.Mask.IsSet(i) {
+		return 0, true
+	}
+	return b.Data[i], false
+}
+
+// Store writes v to byte i. A store to a security byte reports a
+// violation before it commits and leaves the line unchanged.
+func (b *Bitvector) Store(i int, v byte) (violation bool) {
+	if b.Mask.IsSet(i) {
+		return true
+	}
+	b.Data[i] = v
+	return false
+}
+
+// LoadRange reads n bytes starting at offset off. It reports a
+// violation if any byte in the range is a security byte; the returned
+// slice substitutes zero for security bytes.
+func (b *Bitvector) LoadRange(off, n int) (out []byte, violation bool) {
+	out = make([]byte, n)
+	for i := 0; i < n; i++ {
+		v, bad := b.Load(off + i)
+		out[i] = v
+		violation = violation || bad
+	}
+	return out, violation
+}
+
+// StoreRange writes p starting at offset off. If any byte in the range
+// is a security byte the entire store is suppressed and a violation is
+// reported, matching the precise pre-commit exception of §5.1.
+func (b *Bitvector) StoreRange(off int, p []byte) (violation bool) {
+	for i := range p {
+		if b.Mask.IsSet(off + i) {
+			return true
+		}
+	}
+	copy(b.Data[off:off+len(p)], p)
+	return false
+}
+
+// Caliform applies a CFORM-style update: for every byte whose allow
+// bit is set in mask, the security state is set (attrs bit 1) or unset
+// (attrs bit 0). It returns the byte index of the first semantic
+// violation per the Table 1 K-map — setting an already-set security
+// byte or unsetting a normal byte — or -1 if the update is legal.
+// Newly created security bytes are zeroed; bytes returning to normal
+// state keep the zero the security byte held.
+func (b *Bitvector) Caliform(attrs, mask SecMask) (faultIndex int) {
+	// Validate first: the instruction raises a privileged exception
+	// and must not partially commit.
+	for i := 0; i < Size; i++ {
+		if !mask.IsSet(i) {
+			continue
+		}
+		if attrs.IsSet(i) && b.Mask.IsSet(i) {
+			return i // set over existing security byte
+		}
+		if !attrs.IsSet(i) && !b.Mask.IsSet(i) {
+			return i // unset of a normal byte
+		}
+	}
+	for i := 0; i < Size; i++ {
+		if !mask.IsSet(i) {
+			continue
+		}
+		if attrs.IsSet(i) {
+			b.Mask = b.Mask.Set(i)
+			b.Data[i] = 0
+		} else {
+			b.Mask = b.Mask.Clear(i)
+			b.Data[i] = 0
+		}
+	}
+	return -1
+}

@@ -1,0 +1,179 @@
+package cacheline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitvectorLoadSecurityReturnsZero(t *testing.T) {
+	var d Data
+	for i := range d {
+		d[i] = byte(i + 1)
+	}
+	m := SecMask(0).Set(5).Set(9)
+	bv := NewBitvector(d, m)
+
+	v, bad := bv.Load(5)
+	if !bad || v != 0 {
+		t.Fatalf("load of security byte: v=%d bad=%v, want 0,true", v, bad)
+	}
+	v, bad = bv.Load(6)
+	if bad || v != 7 {
+		t.Fatalf("load of normal byte: v=%d bad=%v, want 7,false", v, bad)
+	}
+}
+
+func TestBitvectorStoreToSecuritySuppressed(t *testing.T) {
+	m := SecMask(0).Set(3)
+	bv := NewBitvector(Data{}, m)
+	if !bv.Store(3, 0xff) {
+		t.Fatal("store to security byte must report a violation")
+	}
+	if bv.Data[3] != 0 {
+		t.Fatal("violating store must not commit")
+	}
+	if bv.Store(4, 0xff) {
+		t.Fatal("store to normal byte must not report a violation")
+	}
+	if bv.Data[4] != 0xff {
+		t.Fatal("legal store must commit")
+	}
+}
+
+func TestBitvectorRangeOps(t *testing.T) {
+	var d Data
+	for i := range d {
+		d[i] = byte(i)
+	}
+	m := SecMask(0).Set(10)
+	bv := NewBitvector(d, m)
+
+	out, bad := bv.LoadRange(8, 4) // covers security byte 10
+	if !bad {
+		t.Fatal("range load over security byte must flag a violation")
+	}
+	if out[2] != 0 {
+		t.Fatal("security byte in range load must read zero")
+	}
+	if out[0] != 8 || out[1] != 9 || out[3] != 11 {
+		t.Fatalf("normal bytes wrong: %v", out)
+	}
+
+	if !bv.StoreRange(9, []byte{1, 2, 3}) {
+		t.Fatal("range store over security byte must flag a violation")
+	}
+	if bv.Data[9] != 9 {
+		t.Fatal("violating range store must not partially commit")
+	}
+	if bv.StoreRange(11, []byte{1, 2}) {
+		t.Fatal("legal range store flagged")
+	}
+	if bv.Data[11] != 1 || bv.Data[12] != 2 {
+		t.Fatal("legal range store did not commit")
+	}
+}
+
+func TestCaliformKMap(t *testing.T) {
+	// Table 1: the four (initial state, request) combinations.
+	cases := []struct {
+		name      string
+		initial   SecMask
+		attrs     SecMask
+		mask      SecMask
+		wantFault int
+		wantMask  SecMask
+	}{
+		{"set normal -> security", 0, SecMask(0).Set(7), SecMask(0).Set(7), -1, SecMask(0).Set(7)},
+		{"unset security -> normal", SecMask(0).Set(7), 0, SecMask(0).Set(7), -1, 0},
+		{"set security -> exception", SecMask(0).Set(7), SecMask(0).Set(7), SecMask(0).Set(7), 7, SecMask(0).Set(7)},
+		{"unset normal -> exception", 0, 0, SecMask(0).Set(7), 7, 0},
+		{"masked-out byte untouched", SecMask(0).Set(7), SecMask(0).Set(7), 0, -1, SecMask(0).Set(7)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bv := NewBitvector(Data{}, tc.initial)
+			got := bv.Caliform(tc.attrs, tc.mask)
+			if got != tc.wantFault {
+				t.Fatalf("fault index = %d, want %d", got, tc.wantFault)
+			}
+			if bv.Mask != tc.wantMask {
+				t.Fatalf("mask = %v, want %v", bv.Mask, tc.wantMask)
+			}
+		})
+	}
+}
+
+func TestCaliformAtomicOnFault(t *testing.T) {
+	// A CFORM touching both a legal byte and an illegal one must not
+	// partially commit (the exception is precise).
+	bv := NewBitvector(Data{}, SecMask(0).Set(5))
+	attrs := SecMask(0).Set(4).Set(5) // byte 4 legal set, byte 5 illegal double-set
+	mask := attrs
+	if bv.Caliform(attrs, mask) != 5 {
+		t.Fatal("expected fault on byte 5")
+	}
+	if bv.Mask.IsSet(4) {
+		t.Fatal("faulting CFORM must not partially commit")
+	}
+}
+
+func TestCaliformZeroesNewSecurityBytes(t *testing.T) {
+	var d Data
+	for i := range d {
+		d[i] = 0xAA
+	}
+	bv := Bitvector{Data: d}
+	if bv.Caliform(SecMask(0).Set(12), SecMask(0).Set(12)) != -1 {
+		t.Fatal("unexpected fault")
+	}
+	if bv.Data[12] != 0 {
+		t.Fatal("newly califormed byte must be zeroed (speculative side-channel hardening)")
+	}
+}
+
+func TestSecMaskQuick(t *testing.T) {
+	prop := func(m uint64) bool {
+		mask := SecMask(m)
+		idx := mask.Indices()
+		if len(idx) != mask.Count() {
+			return false
+		}
+		var rebuilt SecMask
+		for _, i := range idx {
+			if !mask.IsSet(i) {
+				return false
+			}
+			rebuilt = rebuilt.Set(i)
+		}
+		return rebuilt == mask
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var d Data
+	d[3] = 1
+	if err := Validate(SecMask(0).Set(3), d); err == nil {
+		t.Fatal("non-zero security byte must fail validation")
+	}
+	if err := Validate(SecMask(0).Set(3), ZeroSecurity(d, SecMask(0).Set(3))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBitvectorLoad(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var d Data
+	r.Read(d[:])
+	bv := NewBitvector(d, SecMask(0).Set(10).Set(20))
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		v, _ := bv.Load(i & 63)
+		sink += v
+	}
+	_ = sink
+}

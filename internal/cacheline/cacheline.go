@@ -1,0 +1,101 @@
+// Package cacheline implements the Califorms cache-line formats from
+// "Practical Byte-Granular Memory Blacklisting using Califorms"
+// (Sasaki et al., MICRO 2019).
+//
+// A 64-byte cache line may contain "security bytes": byte-granular
+// blacklisted locations whose access is a safety violation. The package
+// provides the four formats the paper describes together with lossless
+// conversions between them:
+//
+//   - Bitvector (califorms-bitvector, §5.1): the L1 data cache format.
+//     One metadata bit per byte (8B per 64B line). Loads and stores need
+//     no address arithmetic to locate data.
+//   - Sentinel (califorms-sentinel, §5.2, Figure 7): the L2-and-beyond
+//     format. One metadata bit per line; security-byte locations are
+//     encoded inside the first (up to) four data bytes, with a sentinel
+//     pattern marking any security bytes past the fourth.
+//   - Chunk4B and Chunk1B (Appendix A): cheaper L1 alternatives that
+//     store per-8B-chunk bit vectors inside security bytes themselves.
+//
+// Conversions correspond to the paper's Algorithm 1 (L1 spill:
+// bitvector -> sentinel) and Algorithm 2 (L1 fill: sentinel ->
+// bitvector). Security bytes always read as zero (§7.2, side-channel
+// hardening), so every format stores zero at security-byte positions
+// after decoding.
+package cacheline
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Size is the cache line size in bytes used throughout the system.
+const Size = 64
+
+// Data is the raw 64-byte payload of a cache line.
+type Data [Size]byte
+
+// SecMask is a per-byte security bitmap for one cache line: bit i set
+// means byte i of the line is a security (blacklisted) byte.
+type SecMask uint64
+
+// Set returns m with byte index i marked as a security byte.
+func (m SecMask) Set(i int) SecMask { return m | 1<<uint(i) }
+
+// Clear returns m with byte index i marked as a normal byte.
+func (m SecMask) Clear(i int) SecMask { return m &^ (1 << uint(i)) }
+
+// IsSet reports whether byte index i is a security byte.
+func (m SecMask) IsSet(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Count returns the number of security bytes in the line.
+func (m SecMask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Indices returns the byte offsets of all security bytes in ascending
+// order. The result is nil when the mask is empty.
+func (m SecMask) Indices() []int {
+	if m == 0 {
+		return nil
+	}
+	idx := make([]int, 0, m.Count())
+	for v := uint64(m); v != 0; {
+		i := bits.TrailingZeros64(v)
+		idx = append(idx, i)
+		v &^= 1 << uint(i)
+	}
+	return idx
+}
+
+// String renders the mask as a 64-character map, '.' for normal bytes
+// and 'S' for security bytes, byte 0 first.
+func (m SecMask) String() string {
+	var b [Size]byte
+	for i := 0; i < Size; i++ {
+		if m.IsSet(i) {
+			b[i] = 'S'
+		} else {
+			b[i] = '.'
+		}
+	}
+	return string(b[:])
+}
+
+// ZeroSecurity returns a copy of d with every security byte forced to
+// zero. Hardware zeroes security bytes on califorming so that loads
+// speculatively reading them cannot leak their previous contents.
+func ZeroSecurity(d Data, m SecMask) Data {
+	for _, i := range m.Indices() {
+		d[i] = 0
+	}
+	return d
+}
+
+// Validate checks structural invariants shared by all formats.
+func Validate(m SecMask, d Data) error {
+	for _, i := range m.Indices() {
+		if d[i] != 0 {
+			return fmt.Errorf("cacheline: security byte %d holds %#x, want 0", i, d[i])
+		}
+	}
+	return nil
+}

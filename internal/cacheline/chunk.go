@@ -1,0 +1,164 @@
+package cacheline
+
+// Appendix A of the paper describes two cheaper alternatives to the
+// L1 califorms-bitvector, both dividing the 64B line into eight 8B
+// chunks and storing each chunk's one-byte bit vector *inside* one of
+// the chunk's security bytes:
+//
+//   - Chunk4B (califorms-4B, Figure 14): 4 bits of out-of-band
+//     metadata per chunk — 1 bit "chunk califormed" plus a 3-bit byte
+//     address of the security byte that holds the chunk's bit vector.
+//     Total 4B per line (6.25%).
+//   - Chunk1B (califorms-1B, Figure 15): 1 bit per chunk. The bit
+//     vector always lives in the chunk's byte 0 (the header byte); if
+//     byte 0 is normal data its original value is parked in the
+//     chunk's last security byte. Total 1B per line (1.56%).
+//
+// Both formats are exact: encoding from a Bitvector line and decoding
+// back reproduces the data (with security bytes zeroed) and the mask.
+
+const (
+	chunkSize  = 8
+	chunkCount = Size / chunkSize
+)
+
+// Chunk4B is the califorms-4B L1 format. Meta holds one nibble per
+// chunk, chunk 0 in the low nibble of Meta[0]: bit 3 = chunk
+// califormed, bits 0..2 = byte address (within the chunk) of the
+// security byte storing the chunk's bit vector.
+type Chunk4B struct {
+	Data Data
+	Meta [4]byte
+}
+
+func (c *Chunk4B) nibble(chunk int) byte {
+	v := c.Meta[chunk/2]
+	if chunk%2 == 1 {
+		v >>= 4
+	}
+	return v & 0x0f
+}
+
+func (c *Chunk4B) setNibble(chunk int, v byte) {
+	i := chunk / 2
+	if chunk%2 == 0 {
+		c.Meta[i] = c.Meta[i]&0xf0 | v&0x0f
+	} else {
+		c.Meta[i] = c.Meta[i]&0x0f | v<<4
+	}
+}
+
+// EncodeChunk4B converts an L1 bitvector line into califorms-4B. For
+// each chunk containing at least one security byte, the chunk's
+// 8-bit mask is written into its first security byte and that byte's
+// address recorded in the nibble.
+func EncodeChunk4B(bv Bitvector) Chunk4B {
+	var c Chunk4B
+	c.Data = bv.Data
+	for ch := 0; ch < chunkCount; ch++ {
+		cm := byte(bv.Mask >> uint(ch*chunkSize))
+		if cm == 0 {
+			continue
+		}
+		holder := trailingOne(cm)
+		c.Data[ch*chunkSize+holder] = cm
+		c.setNibble(ch, 0b1000|byte(holder))
+	}
+	return c
+}
+
+// DecodeChunk4B converts califorms-4B back to the bitvector format,
+// zeroing security bytes.
+func DecodeChunk4B(c Chunk4B) Bitvector {
+	var bv Bitvector
+	bv.Data = c.Data
+	for ch := 0; ch < chunkCount; ch++ {
+		nib := c.nibble(ch)
+		if nib&0b1000 == 0 {
+			continue
+		}
+		holder := int(nib & 0b111)
+		cm := c.Data[ch*chunkSize+holder]
+		bv.Mask |= SecMask(cm) << uint(ch*chunkSize)
+		for b := 0; b < chunkSize; b++ {
+			if cm&(1<<uint(b)) != 0 {
+				bv.Data[ch*chunkSize+b] = 0
+			}
+		}
+	}
+	return bv
+}
+
+// Chunk1B is the califorms-1B L1 format. Bit i of Meta = chunk i
+// califormed. A califormed chunk keeps its bit vector in byte 0; when
+// byte 0 is normal data its original value is parked in the chunk's
+// last security byte.
+type Chunk1B struct {
+	Data Data
+	Meta byte
+}
+
+// EncodeChunk1B converts an L1 bitvector line into califorms-1B.
+func EncodeChunk1B(bv Bitvector) Chunk1B {
+	var c Chunk1B
+	c.Data = bv.Data
+	for ch := 0; ch < chunkCount; ch++ {
+		cm := byte(bv.Mask >> uint(ch*chunkSize))
+		if cm == 0 {
+			continue
+		}
+		base := ch * chunkSize
+		if cm&1 == 0 {
+			// Byte 0 of the chunk is normal: park its value in the
+			// last security byte before the header overwrites it.
+			c.Data[base+leadingOne(cm)] = bv.Data[base]
+		}
+		c.Data[base] = cm
+		c.Meta |= 1 << uint(ch)
+	}
+	return c
+}
+
+// DecodeChunk1B converts califorms-1B back to the bitvector format,
+// zeroing security bytes.
+func DecodeChunk1B(c Chunk1B) Bitvector {
+	var bv Bitvector
+	bv.Data = c.Data
+	for ch := 0; ch < chunkCount; ch++ {
+		if c.Meta&(1<<uint(ch)) == 0 {
+			continue
+		}
+		base := ch * chunkSize
+		cm := c.Data[base]
+		bv.Mask |= SecMask(cm) << uint(ch*chunkSize)
+		if cm&1 == 0 {
+			bv.Data[base] = c.Data[base+leadingOne(cm)]
+		}
+		for b := 0; b < chunkSize; b++ {
+			if cm&(1<<uint(b)) != 0 {
+				bv.Data[base+b] = 0
+			}
+		}
+	}
+	return bv
+}
+
+// trailingOne returns the index of the least significant set bit.
+func trailingOne(b byte) int {
+	for i := 0; i < 8; i++ {
+		if b&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// leadingOne returns the index of the most significant set bit.
+func leadingOne(b byte) int {
+	for i := 7; i >= 0; i-- {
+		if b&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,100 @@
+package cacheline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunk4BRoundTripQuick(t *testing.T) {
+	prop := func(raw [Size]byte, mask uint64) bool {
+		bv := NewBitvector(Data(raw), SecMask(mask))
+		got := DecodeChunk4B(EncodeChunk4B(bv))
+		return got.Mask == bv.Mask && got.Data == bv.Data
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunk1BRoundTripQuick(t *testing.T) {
+	prop := func(raw [Size]byte, mask uint64) bool {
+		bv := NewBitvector(Data(raw), SecMask(mask))
+		got := DecodeChunk1B(EncodeChunk1B(bv))
+		return got.Mask == bv.Mask && got.Data == bv.Data
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkFormatsNaturalLinePassThrough(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var d Data
+	r.Read(d[:])
+	bv := Bitvector{Data: d}
+
+	c4 := EncodeChunk4B(bv)
+	if c4.Data != d || c4.Meta != [4]byte{} {
+		t.Fatal("califorms-4B must not alter a natural line")
+	}
+	c1 := EncodeChunk1B(bv)
+	if c1.Data != d || c1.Meta != 0 {
+		t.Fatal("califorms-1B must not alter a natural line")
+	}
+}
+
+func TestChunk1BHeaderByteCases(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	cases := []SecMask{
+		// byte 0 of chunk 0 is itself a security byte
+		SecMask(0).Set(0),
+		SecMask(0).Set(0).Set(5),
+		// byte 0 normal, single security byte holds the parked value
+		SecMask(0).Set(3),
+		// security byte in the last position of a chunk
+		SecMask(0).Set(7),
+		// multiple chunks with mixed cases
+		SecMask(0).Set(0).Set(11).Set(16).Set(23).Set(63),
+		// full chunk of security bytes
+		SecMask(0xff),
+	}
+	for _, m := range cases {
+		for trial := 0; trial < 50; trial++ {
+			bv := randomLine(r, m)
+			got := DecodeChunk1B(EncodeChunk1B(bv))
+			if got.Mask != bv.Mask || got.Data != bv.Data {
+				t.Fatalf("mask %v: round trip failed\n got  %x\n want %x", m, got.Data, bv.Data)
+			}
+		}
+	}
+}
+
+func TestChunk4BHolderIsFirstSecurityByte(t *testing.T) {
+	m := SecMask(0).Set(2).Set(5) // chunk 0, security bytes at 2 and 5
+	bv := NewBitvector(Data{}, m)
+	c := EncodeChunk4B(bv)
+	nib := c.nibble(0)
+	if nib != 0b1000|2 {
+		t.Fatalf("nibble = %#b, want califormed with holder addr 2", nib)
+	}
+	if c.Data[2] != byte(m) {
+		t.Fatalf("holder byte = %#x, want chunk mask %#x", c.Data[2], byte(m))
+	}
+}
+
+func BenchmarkChunk1BEncode(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	lines := make([]Bitvector, 64)
+	for i := range lines {
+		var m SecMask
+		for m.Count() < 1+i%6 {
+			m = m.Set(r.Intn(Size))
+		}
+		lines[i] = randomLine(r, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeChunk1B(lines[i%len(lines)])
+	}
+}

@@ -1,0 +1,102 @@
+package cacheline
+
+// Critical-word-first support (§5.2): cache lines move between levels
+// as four 16-byte flits, and the requested (critical) word's flit is
+// sent first. Califorms-sentinel is compatible with this because all
+// metadata needed to interpret any flit lives in the first four bytes
+// of the line: whichever flit arrives, once flit 0 has been seen (it
+// is always scheduled with the critical flit's beat when the critical
+// flit isn't flit 0, matching how tags/ECC travel), the receiver can
+// mark that flit's security bytes without waiting for the rest.
+
+// FlitSize is the transfer granule between cache levels.
+const FlitSize = 16
+
+// FlitCount is the number of flits per line.
+const FlitCount = Size / FlitSize
+
+// FlitSchedule returns the order in which flits are delivered for a
+// request whose critical byte offset is off: critical flit first,
+// then the remaining flits in wrap-around order.
+func FlitSchedule(off int) [FlitCount]int {
+	first := off / FlitSize
+	var order [FlitCount]int
+	for i := range order {
+		order[i] = (first + i) % FlitCount
+	}
+	return order
+}
+
+// FlitDelivery simulates critical-word-first reception of a
+// sentinel-format line. It tracks which flits have arrived and can
+// answer, for any arrived flit, which of its bytes are security bytes
+// — demonstrating that no flit ever has to wait for the *whole* line
+// before its metadata is known.
+type FlitDelivery struct {
+	line    Sentinel
+	arrived [FlitCount]bool
+	// header is decoded as soon as flit 0 arrives.
+	headerKnown bool
+	headerLen   int
+	addrs       []int
+	sentinel    byte
+	hasSentinel bool
+}
+
+// NewFlitDelivery starts receiving the given line.
+func NewFlitDelivery(s Sentinel) *FlitDelivery {
+	return &FlitDelivery{line: s}
+}
+
+// Arrive marks flit f received. Receiving flit 0 unlocks the header.
+func (d *FlitDelivery) Arrive(f int) {
+	d.arrived[f] = true
+	if f == 0 && d.line.Califormed && !d.headerKnown {
+		d.headerLen, d.addrs, d.sentinel, d.hasSentinel = d.line.HeaderMeta()
+		d.headerKnown = true
+	}
+}
+
+// SecMaskOf returns the security bits of flit f's 16 bytes (bit i =
+// byte f*16+i is a security byte) and whether the answer is already
+// decidable. A flit is decidable once it and flit 0 have arrived —
+// the sentinel scan needs only the flit's own bytes plus the header.
+func (d *FlitDelivery) SecMaskOf(f int) (mask uint16, ok bool) {
+	if !d.arrived[f] {
+		return 0, false
+	}
+	if !d.line.Califormed {
+		return 0, true
+	}
+	if !d.headerKnown {
+		return 0, false
+	}
+	lo := f * FlitSize
+	for _, a := range d.addrs {
+		if a >= lo && a < lo+FlitSize {
+			mask |= 1 << uint(a-lo)
+		}
+	}
+	if d.hasSentinel {
+		for i := 0; i < FlitSize; i++ {
+			byteIdx := lo + i
+			if byteIdx < 4 {
+				continue // header bytes are never sentinel-marked
+			}
+			if d.line.Data[byteIdx]&0x3f == d.sentinel {
+				mask |= 1 << uint(i)
+			}
+		}
+	}
+	return mask, true
+}
+
+// Complete reports whether every flit has arrived.
+func (d *FlitDelivery) Complete() bool {
+	for _, a := range d.arrived {
+		if !a {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package cacheline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFlitSchedule(t *testing.T) {
+	if got := FlitSchedule(0); got != [4]int{0, 1, 2, 3} {
+		t.Fatalf("offset 0: %v", got)
+	}
+	if got := FlitSchedule(40); got != [4]int{2, 3, 0, 1} {
+		t.Fatalf("offset 40: %v", got)
+	}
+	if got := FlitSchedule(63); got != [4]int{3, 0, 1, 2} {
+		t.Fatalf("offset 63: %v", got)
+	}
+}
+
+func TestFlitDeliveryCriticalWordFirst(t *testing.T) {
+	// Line with security bytes spread over all four flits.
+	r := rand.New(rand.NewSource(1))
+	m := SecMask(0).Set(5).Set(20).Set(37).Set(52).Set(60)
+	bv := randomLine(r, m)
+	s, err := Spill(bv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Critical access at byte 40 -> flit 2 first.
+	d := NewFlitDelivery(s)
+	sched := FlitSchedule(40)
+
+	// Before flit 0 arrives, a califormed flit is not decidable.
+	d.Arrive(sched[0]) // flit 2
+	if _, ok := d.SecMaskOf(2); ok {
+		t.Fatal("flit must not be decidable before the header (flit 0) arrives")
+	}
+
+	// The header beat arrives next; now flit 2 is decidable without
+	// flits 1 and 3.
+	d.Arrive(0)
+	mask, ok := d.SecMaskOf(2)
+	if !ok {
+		t.Fatal("flit 2 must be decidable once header is in")
+	}
+	// Bytes 37 and 44? flit 2 covers bytes 32..47: security bytes 37
+	// and 44 are not both set; expected: 37 -> bit 5.
+	if mask&(1<<5) == 0 {
+		t.Fatalf("security byte 37 not flagged in flit 2 mask %#b", mask)
+	}
+	if d.Complete() {
+		t.Fatal("delivery must not be complete yet")
+	}
+
+	// Remaining flits.
+	for _, f := range sched[1:] {
+		d.Arrive(f)
+	}
+	if !d.Complete() {
+		t.Fatal("all flits arrived")
+	}
+
+	// Cross-check every flit mask against the original bitvector.
+	for f := 0; f < FlitCount; f++ {
+		mask, ok := d.SecMaskOf(f)
+		if !ok {
+			t.Fatalf("flit %d undecidable after full delivery", f)
+		}
+		for i := 0; i < FlitSize; i++ {
+			want := bv.Mask.IsSet(f*FlitSize + i)
+			got := mask&(1<<uint(i)) != 0
+			if want != got {
+				t.Fatalf("flit %d byte %d: got %v want %v", f, i, got, want)
+			}
+		}
+	}
+}
+
+func TestFlitDeliveryNaturalLine(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	bv := randomLine(r, 0)
+	s, _ := Spill(bv)
+	d := NewFlitDelivery(s)
+	d.Arrive(3)
+	mask, ok := d.SecMaskOf(3)
+	if !ok || mask != 0 {
+		t.Fatal("natural lines are decidable immediately with empty masks")
+	}
+}
+
+func TestFlitDeliveryExhaustive(t *testing.T) {
+	// Property over many random lines: per-flit masks always agree
+	// with the full fill result, for every critical offset.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		var m SecMask
+		n := 1 + r.Intn(12)
+		for m.Count() < n {
+			m = m.Set(r.Intn(Size))
+		}
+		bv := randomLine(r, m)
+		s, err := Spill(bv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewFlitDelivery(s)
+		for _, f := range FlitSchedule(r.Intn(Size)) {
+			d.Arrive(f)
+		}
+		for f := 0; f < FlitCount; f++ {
+			mask, ok := d.SecMaskOf(f)
+			if !ok {
+				t.Fatal("undecidable after full arrival")
+			}
+			for i := 0; i < FlitSize; i++ {
+				if (mask&(1<<uint(i)) != 0) != bv.Mask.IsSet(f*FlitSize+i) {
+					t.Fatalf("trial %d flit %d byte %d mismatch", trial, f, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package cacheline
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Sentinel is the L2-and-beyond line format (califorms-sentinel, §5.2,
+// Figure 7). The only out-of-band metadata is a single bit per line;
+// when set, the first (up to) four payload bytes form a header that
+// encodes the security-byte locations:
+//
+//	bits [0:2] of byte 0   count code: 00=1, 01=2, 10=3, 11=4 or more
+//	6-bit address fields   locations of the first min(count,4)
+//	                       security bytes, packed little-endian after
+//	                       the count code
+//	6-bit sentinel         (count code 11 only) a pattern absent from
+//	                       the low six bits of every other byte; any
+//	                       byte at offset >= 4 whose low six bits equal
+//	                       the sentinel is a security byte
+//
+// The header for n security bytes occupies exactly min(n,4) bytes
+// (8, 14, 20 and 32 bits respectively). The original data of the
+// normal bytes the header displaces is relocated into security-byte
+// locations (their storage is dead), so the encoding adds zero space
+// overhead beyond the one line bit.
+//
+// Relocation mapping: Algorithm 1 of the paper says "store data of the
+// first 4 bytes in the first 4 security-byte locations", which is
+// exact when no security byte falls inside the header region. When one
+// does, that wording would relocate a value onto a byte the header is
+// about to overwrite. We therefore use the canonical mapping both
+// encoder and decoder can derive independently: the i-th *normal* byte
+// inside the header region (ascending) is stored at the i-th
+// header-addressed security location *outside* the header region
+// (ascending). Counting shows enough such locations always exist.
+type Sentinel struct {
+	Data       Data
+	Califormed bool
+}
+
+// Header-count codes stored in the low two bits of byte 0.
+const (
+	codeOne      = 0b00
+	codeTwo      = 0b01
+	codeThree    = 0b10
+	codeFourPlus = 0b11
+)
+
+// ErrNoSentinel is returned when no free 6-bit pattern exists. The
+// paper proves this cannot happen for a line with at least one
+// security byte (at most 63 normal-byte values for 64 patterns); it is
+// kept as a defensive check on the invariant.
+var ErrNoSentinel = fmt.Errorf("cacheline: no unused 6-bit sentinel pattern")
+
+// FindSentinel scans the low six bits of every byte and returns the
+// first 6-bit value not in use (the Find-index block of Figure 8).
+// Security bytes hold zero, so including them only over-approximates
+// the used set and never yields a colliding sentinel.
+func FindSentinel(d Data) (byte, error) {
+	var used uint64
+	for _, b := range d {
+		used |= 1 << uint(b&0x3f)
+	}
+	if used == ^uint64(0) {
+		return 0, ErrNoSentinel
+	}
+	return byte(bits.TrailingZeros64(^used)), nil
+}
+
+// relocation computes the canonical displaced-byte mapping for a line
+// whose first min(n,4) security locations are hdrAddrs and whose
+// header occupies h = len(hdrAddrs) bytes. It returns parallel slices:
+// srcs[i] is a normal byte position inside [0,h) whose original value
+// is kept at security location dsts[i] (>= h).
+func relocation(hdrAddrs []int) (srcs, dsts []int) {
+	h := len(hdrAddrs)
+	inHeader := func(p int) bool { return p < h }
+	secSet := make(map[int]bool, h)
+	for _, a := range hdrAddrs {
+		secSet[a] = true
+	}
+	for i := 0; i < h; i++ {
+		if !secSet[i] {
+			srcs = append(srcs, i)
+		}
+	}
+	for _, a := range hdrAddrs {
+		if !inHeader(a) {
+			dsts = append(dsts, a)
+		}
+	}
+	// len(dsts) >= len(srcs): each security location inside the header
+	// removes one source and one destination candidate in tandem.
+	return srcs, dsts[:len(srcs)]
+}
+
+// Spill converts an L1 bitvector line into the sentinel format,
+// implementing Algorithm 1. Lines without security bytes pass through
+// unchanged with the califormed bit clear.
+func Spill(bv Bitvector) (Sentinel, error) {
+	if bv.Mask == 0 {
+		return Sentinel{Data: bv.Data, Califormed: false}, nil
+	}
+	sec := bv.Mask.Indices()
+	n := len(sec)
+	h := n
+	if h > 4 {
+		h = 4
+	}
+	hdrAddrs := sec[:h]
+
+	out := bv.Data
+
+	// Relocate displaced normal header bytes into dead storage
+	// (Algorithm 1 line 9, canonical mapping).
+	srcs, dsts := relocation(hdrAddrs)
+	for i := range srcs {
+		out[dsts[i]] = bv.Data[srcs[i]]
+	}
+
+	// Build the packed header (Algorithm 1 line 10, Figure 7).
+	var code uint32
+	switch n {
+	case 1:
+		code = codeOne
+	case 2:
+		code = codeTwo
+	case 3:
+		code = codeThree
+	default:
+		code = codeFourPlus
+	}
+	hdr := code
+	shift := uint(2)
+	for _, a := range hdrAddrs {
+		hdr |= uint32(a) << shift
+		shift += 6
+	}
+
+	if n >= 4 {
+		sentinel, err := FindSentinel(bv.Data)
+		if err != nil {
+			return Sentinel{}, err
+		}
+		hdr |= uint32(sentinel) << 26
+		// Mark security bytes past the fourth with the sentinel
+		// (Algorithm 1 line 11). They are all at offsets >= 4 because
+		// the first four occupy the lowest positions.
+		for _, p := range sec[4:] {
+			out[p] = sentinel
+		}
+	}
+
+	for i := 0; i < h; i++ {
+		out[i] = byte(hdr >> (8 * uint(i)))
+	}
+	return Sentinel{Data: out, Califormed: true}, nil
+}
+
+// Fill converts a sentinel-format line back into the L1 bitvector
+// format, implementing Algorithm 2. Security bytes come back zeroed.
+func Fill(s Sentinel) Bitvector {
+	if !s.Califormed {
+		return Bitvector{Data: s.Data}
+	}
+	_, hdrAddrs, sentinel, hasSentinel := s.HeaderMeta()
+
+	var mask SecMask
+	for _, a := range hdrAddrs {
+		mask = mask.Set(a)
+	}
+	if hasSentinel {
+		for i := 4; i < Size; i++ {
+			if s.Data[i]&0x3f == sentinel {
+				mask = mask.Set(i)
+			}
+		}
+	}
+
+	out := s.Data
+	// Restore displaced header bytes (Algorithm 2 line 9), then zero
+	// every security byte (line 10). Zeroing runs second so a security
+	// byte inside the header region ends up zero rather than holding
+	// stale header bits.
+	srcs, dsts := relocation(hdrAddrs)
+	for i := range srcs {
+		out[srcs[i]] = s.Data[dsts[i]]
+	}
+	for _, p := range mask.Indices() {
+		out[p] = 0
+	}
+	return Bitvector{Data: out, Mask: mask}
+}
+
+// HeaderMeta decodes only the first four bytes of a califormed line:
+// the header length, the first security-byte addresses, and the
+// sentinel. This is what enables critical-word-first delivery (§5.2) —
+// the security locations in the first flit are known after scanning
+// 4B. For a non-califormed line it returns zero values.
+func (s Sentinel) HeaderMeta() (headerLen int, addrs []int, sentinel byte, hasSentinel bool) {
+	if !s.Califormed {
+		return 0, nil, 0, false
+	}
+	hdr := uint32(s.Data[0]) | uint32(s.Data[1])<<8 | uint32(s.Data[2])<<16 | uint32(s.Data[3])<<24
+	code := hdr & 0b11
+	headerLen = int(code) + 1
+	shift := uint(2)
+	for i := 0; i < headerLen; i++ {
+		addrs = append(addrs, int(hdr>>shift)&0x3f)
+		shift += 6
+	}
+	if code == codeFourPlus {
+		return headerLen, addrs, byte(hdr>>26) & 0x3f, true
+	}
+	return headerLen, addrs, 0, false
+}

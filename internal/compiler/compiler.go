@@ -1,0 +1,196 @@
+// Package compiler models the LLVM-based source-to-source pass of the
+// Califorms system (§6.2): given a struct definition and an insertion
+// policy it produces the califormed type layout, and for each memory
+// allocation or deallocation site it computes the CFORM instructions
+// (line base addresses, attribute and mask bit vectors) the
+// instrumented program issues at runtime.
+package compiler
+
+import (
+	"repro/internal/cacheline"
+	"repro/internal/isa"
+	"repro/internal/layout"
+)
+
+// Instrumented is the compile-time artifact for one compound type:
+// the rewritten layout plus precomputed security-offset masks used to
+// build CFORM operations at runtime sites.
+type Instrumented struct {
+	Def    layout.StructDef
+	Policy layout.Policy
+	Layout layout.Layout
+
+	// secOffsets are the blacklisted byte offsets within the object.
+	secOffsets []int
+}
+
+// Instrument runs the pass over one struct definition.
+func Instrument(def layout.StructDef, p layout.Policy, cfg layout.PolicyConfig) *Instrumented {
+	l := layout.Apply(&def, p, cfg)
+	return &Instrumented{Def: def, Policy: p, Layout: l, secOffsets: l.SecurityOffsets()}
+}
+
+// InstrumentNone returns an un-instrumented baseline artifact: the
+// natural layout with no security bytes.
+func InstrumentNone(def layout.StructDef) *Instrumented {
+	l := layout.Natural(&def)
+	return &Instrumented{Def: def, Policy: layout.Policy(-1), Layout: l}
+}
+
+// Size returns the object size under the instrumented layout.
+func (in *Instrumented) Size() int { return in.Layout.Size }
+
+// SecurityOffsets returns the blacklisted offsets of the object.
+func (in *Instrumented) SecurityOffsets() []int { return in.secOffsets }
+
+// lineSpan describes the overlap of an object placed at base with one
+// cache line: the line base address and the range of object offsets
+// that fall in it.
+type lineSpan struct {
+	lineBase uint64
+	lo, hi   int // object-relative offsets, hi exclusive
+}
+
+func lineSpans(base uint64, size int) []lineSpan {
+	var out []lineSpan
+	off := 0
+	for off < size {
+		addr := base + uint64(off)
+		lineBase := addr &^ uint64(cacheline.Size-1)
+		n := cacheline.Size - int(addr&uint64(cacheline.Size-1))
+		if n > size-off {
+			n = size - off
+		}
+		out = append(out, lineSpan{lineBase: lineBase, lo: off, hi: off + n})
+		off += n
+	}
+	return out
+}
+
+// maskFor builds the per-line bit vectors for the object placed at
+// base: dataMask covers the object's non-security bytes in the line,
+// secMask its security bytes.
+func (in *Instrumented) maskFor(sp lineSpan, base uint64) (dataMask, secMask uint64) {
+	var objMask uint64
+	for o := sp.lo; o < sp.hi; o++ {
+		bit := (base + uint64(o)) - sp.lineBase
+		objMask |= 1 << bit
+	}
+	for _, o := range in.secOffsets {
+		if o >= sp.lo && o < sp.hi {
+			bit := (base + uint64(o)) - sp.lineBase
+			secMask |= 1 << bit
+		}
+	}
+	return objMask &^ secMask, secMask
+}
+
+// AllocOps returns the CFORM instructions a clean-before-use heap
+// issues when the object is allocated at base (§6.1): free memory is
+// fully califormed, so allocation *unsets* the security state of the
+// object's legitimate data bytes, leaving intra-object security bytes
+// (and everything outside the object) blacklisted.
+func (in *Instrumented) AllocOps(base uint64) []isa.CFORM {
+	spans := lineSpans(base, in.Layout.Size)
+	ops := make([]isa.CFORM, 0, len(spans))
+	for _, sp := range spans {
+		dataMask, _ := in.maskFor(sp, base)
+		if dataMask == 0 {
+			continue
+		}
+		ops = append(ops, isa.CFORM{Base: sp.lineBase, Attrs: 0, Mask: dataMask})
+	}
+	return ops
+}
+
+// FreeOps returns the CFORM instructions issued on deallocation under
+// clean-before-use: every data byte of the object returns to the
+// security state (and is zeroed by the hardware, §7.2), providing
+// temporal safety for the freed region. Set nonTemporal to use the
+// streaming CFORM variant that bypasses the L1 (§6.1 footnote).
+func (in *Instrumented) FreeOps(base uint64, nonTemporal bool) []isa.CFORM {
+	spans := lineSpans(base, in.Layout.Size)
+	ops := make([]isa.CFORM, 0, len(spans))
+	for _, sp := range spans {
+		dataMask, _ := in.maskFor(sp, base)
+		if dataMask == 0 {
+			continue
+		}
+		ops = append(ops, isa.CFORM{Base: sp.lineBase, Attrs: dataMask, Mask: dataMask, NonTemporal: nonTemporal})
+	}
+	return ops
+}
+
+// FrameEnterOps returns the CFORM instructions for a dirty-before-use
+// stack frame (§6.1): stack memory is normally un-califormed, so on
+// function entry only the intra-object security bytes are set.
+func (in *Instrumented) FrameEnterOps(base uint64) []isa.CFORM {
+	spans := lineSpans(base, in.Layout.Size)
+	var ops []isa.CFORM
+	for _, sp := range spans {
+		_, secMask := in.maskFor(sp, base)
+		if secMask == 0 {
+			continue
+		}
+		ops = append(ops, isa.CFORM{Base: sp.lineBase, Attrs: secMask, Mask: secMask})
+	}
+	return ops
+}
+
+// FrameExitOps undoes FrameEnterOps on function return.
+func (in *Instrumented) FrameExitOps(base uint64) []isa.CFORM {
+	ops := in.FrameEnterOps(base)
+	for i := range ops {
+		ops[i].Attrs = 0
+	}
+	return ops
+}
+
+// HookOps returns the allocation-site CFORMs under the paper's
+// measured accounting (§8.2): the opportunistic policy califorms
+// every compound-type allocation — one CFORM (emulated by one dummy
+// store) per cache line the object spans, even when a line carries no
+// security byte, because the hook cannot know without doing the work.
+// The full and intelligent policies instrument only types that carry
+// security bytes, so lines without any are skipped and scalar-only
+// types cost nothing.
+func (in *Instrumented) HookOps(base uint64) []isa.CFORM {
+	if in.Policy == layout.Opportunistic {
+		spans := lineSpans(base, in.Layout.Size)
+		ops := make([]isa.CFORM, 0, len(spans))
+		for _, sp := range spans {
+			_, secMask := in.maskFor(sp, base)
+			ops = append(ops, isa.CFORM{Base: sp.lineBase, Attrs: secMask, Mask: secMask})
+		}
+		return ops
+	}
+	return in.FrameEnterOps(base)
+}
+
+// HookExitOps mirrors HookOps for deallocation sites.
+func (in *Instrumented) HookExitOps(base uint64) []isa.CFORM {
+	ops := in.HookOps(base)
+	for i := range ops {
+		ops[i].Attrs = 0
+	}
+	return ops
+}
+
+// CaliformRegionOps blacklists an entire raw region (used by the heap
+// when fresh pages enter the clean-before-use pool, and by REST-style
+// inter-object redzones). The region must be line-aligned in base and
+// a multiple of the line size.
+func CaliformRegionOps(base uint64, size int) []isa.CFORM {
+	var ops []isa.CFORM
+	for off := 0; off < size; off += cacheline.Size {
+		ops = append(ops, isa.CFORM{Base: base + uint64(off), Attrs: ^uint64(0), Mask: ^uint64(0)})
+	}
+	return ops
+}
+
+// LinesTouched returns how many cache lines an object at base spans;
+// the software overhead of califorming is one CFORM (emulated in the
+// paper by one dummy store) per touched line.
+func (in *Instrumented) LinesTouched(base uint64) int {
+	return len(lineSpans(base, in.Layout.Size))
+}

@@ -1,0 +1,234 @@
+// Package core is the public face of the Califorms library: a
+// simulated machine with byte-granular memory blacklisting, combining
+// the hardware substrate (CFORM instruction, califormed cache
+// hierarchy, timing core) with the software stack (compiler insertion
+// policies, clean-before-use heap, dirty-before-use stack, and the OS
+// whitelisting interface).
+//
+// Typical use:
+//
+//	m := core.NewMachine(core.Options{Policy: core.PolicyIntelligent})
+//	m.Define(myStructDef)
+//	obj, _ := m.New("myStruct")
+//	err := obj.WriteField(2, data)        // fine
+//	err = obj.WriteAt(pastFieldEnd, data) // Califorms exception
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/cpu"
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+// Policy re-exports the insertion policies for callers.
+type Policy int
+
+const (
+	// PolicyNone disables protection (baseline machine).
+	PolicyNone Policy = iota
+	// PolicyOpportunistic harvests existing padding only.
+	PolicyOpportunistic
+	// PolicyFull surrounds every field with random security bytes.
+	PolicyFull
+	// PolicyIntelligent protects arrays and pointers.
+	PolicyIntelligent
+)
+
+// Options configures a Machine.
+type Options struct {
+	Policy Policy
+	// MinPad/MaxPad bound random security spans (default 1..7).
+	MinPad, MaxPad int
+	// Seed drives layout randomization (the compiler's probabilistic
+	// defense, §2); machines with different seeds get different
+	// layouts, like the paper's three binaries per configuration.
+	Seed int64
+	// CleanBeforeUse selects the strongest heap protocol (default
+	// true): freed and unallocated memory stays blacklisted, giving
+	// temporal safety and inter-object redzones.
+	DirtyHeap bool
+	// HaltOnException stops the simulated core at the first delivered
+	// Califorms exception (default false: exceptions are recorded).
+	HaltOnException bool
+}
+
+// Machine is a califorms-protected simulated machine.
+type Machine struct {
+	opts  Options
+	core  *cpu.Core
+	heap  *alloc.Heap
+	stack *alloc.Stack
+	types map[string]*compiler.Instrumented
+	rng   *rand.Rand
+}
+
+// NewMachine builds a fresh machine with a Table 3 (Westmere-like)
+// memory hierarchy.
+func NewMachine(opts Options) *Machine {
+	if opts.MinPad == 0 {
+		opts.MinPad = 1
+	}
+	if opts.MaxPad == 0 {
+		opts.MaxPad = 7
+	}
+	coreCfg := cpu.DefaultConfig()
+	coreCfg.HaltOnException = opts.HaltOnException
+	c := cpu.New(coreCfg, cache.New(cache.Westmere(), mem.New()))
+	heapCfg := alloc.DefaultConfig()
+	heapCfg.UseCForm = opts.Policy != PolicyNone
+	if opts.DirtyHeap {
+		heapCfg.Protocol = alloc.ProtocolDirty
+	}
+	return &Machine{
+		opts:  opts,
+		core:  c,
+		heap:  alloc.New(heapCfg, c),
+		stack: alloc.NewStack(heapCfg, c, 0x7fff_0000),
+		types: make(map[string]*compiler.Instrumented),
+		rng:   rand.New(rand.NewSource(opts.Seed ^ 0xCA11F0)),
+	}
+}
+
+// Core exposes the timing core (cycles, statistics, exceptions).
+func (m *Machine) Core() *cpu.Core { return m.core }
+
+// Heap exposes the allocator statistics.
+func (m *Machine) Heap() *alloc.Heap { return m.heap }
+
+// Define registers a struct type, running the compiler pass under the
+// machine's policy. It returns the resulting layout for inspection.
+func (m *Machine) Define(def layout.StructDef) (*layout.Layout, error) {
+	if _, dup := m.types[def.Name]; dup {
+		return nil, fmt.Errorf("core: type %q already defined", def.Name)
+	}
+	var in *compiler.Instrumented
+	switch m.opts.Policy {
+	case PolicyNone:
+		in = compiler.InstrumentNone(def)
+	case PolicyOpportunistic:
+		in = compiler.Instrument(def, layout.Opportunistic, layout.PolicyConfig{})
+	case PolicyFull:
+		in = compiler.Instrument(def, layout.Full, layout.PolicyConfig{MinPad: m.opts.MinPad, MaxPad: m.opts.MaxPad, Rand: m.rng})
+	case PolicyIntelligent:
+		in = compiler.Instrument(def, layout.Intelligent, layout.PolicyConfig{MinPad: m.opts.MinPad, MaxPad: m.opts.MaxPad, Rand: m.rng})
+	default:
+		return nil, fmt.Errorf("core: unknown policy %d", m.opts.Policy)
+	}
+	m.types[def.Name] = in
+	return &in.Layout, nil
+}
+
+// Object is a live heap allocation of a defined type.
+type Object struct {
+	Addr uint64
+	Type *compiler.Instrumented
+	m    *Machine
+}
+
+// New heap-allocates one instance of the named type; its security
+// bytes are armed by the allocator.
+func (m *Machine) New(typeName string) (Object, error) {
+	in, ok := m.types[typeName]
+	if !ok {
+		return Object{}, fmt.Errorf("core: type %q not defined", typeName)
+	}
+	return Object{Addr: m.heap.Alloc(in), Type: in, m: m}, nil
+}
+
+// Free releases the object; under clean-before-use its memory stays
+// blacklisted (and quarantined) so use-after-free faults.
+func (m *Machine) Free(o Object) { m.heap.Free(o.Addr, o.Type) }
+
+// takeException returns and clears the most recent delivered
+// exception after an operation.
+func (m *Machine) takeException(before uint64) error {
+	if m.core.Stats.Delivered > before {
+		return m.core.Stats.LastException
+	}
+	return nil
+}
+
+// FieldOffset returns the byte offset and size of field index i under
+// the (possibly califormed) layout.
+func (o Object) FieldOffset(i int) (off, size int) {
+	for _, sp := range o.Type.Layout.Spans {
+		if sp.Kind == layout.SpanField && sp.Field == i {
+			return sp.Offset, sp.Size
+		}
+	}
+	panic(fmt.Sprintf("core: field %d not in type %s", i, o.Type.Def.Name))
+}
+
+// WriteField stores data at the start of field i. Writes that stay
+// within the field always succeed; overflowing into a security byte
+// raises a Califorms exception, returned as an error.
+func (o Object) WriteField(i int, data []byte) error {
+	off, _ := o.FieldOffset(i)
+	return o.WriteAt(off, data)
+}
+
+// ReadField loads field i.
+func (o Object) ReadField(i int) ([]byte, error) {
+	off, size := o.FieldOffset(i)
+	return o.ReadAt(off, size)
+}
+
+// WriteAt stores data at an arbitrary object offset — the raw,
+// attacker-usable interface. Touching any blacklisted byte raises a
+// precise exception and the store does not commit.
+func (o Object) WriteAt(off int, data []byte) error {
+	before := o.m.core.Stats.Delivered
+	o.m.core.StoreData(o.Addr+uint64(off), data)
+	return o.m.takeException(before)
+}
+
+// ReadAt loads size bytes at an arbitrary object offset. Security
+// bytes read as zero and raise an exception.
+func (o Object) ReadAt(off, size int) ([]byte, error) {
+	before := o.m.core.Stats.Delivered
+	data := o.m.core.LoadData(o.Addr+uint64(off), size)
+	return data, o.m.takeException(before)
+}
+
+// Memcpy performs a whitelisted bulk copy (the memcpy/struct-assign
+// accommodation of §6.3): Califorms exceptions inside the region are
+// suppressed via the exception mask registers, and security bytes are
+// copied as zeroes.
+func (m *Machine) Memcpy(dst, src uint64, n int) {
+	m.core.WhitelistEnter()
+	const chunk = 64
+	for off := 0; off < n; off += chunk {
+		sz := chunk
+		if n-off < sz {
+			sz = n - off
+		}
+		data := m.core.LoadData(src+uint64(off), sz)
+		m.core.StoreData(dst+uint64(off), data)
+	}
+	m.core.WhitelistExit()
+}
+
+// PushFrame stack-allocates an instance (dirty-before-use: security
+// bytes armed on entry).
+func (m *Machine) PushFrame(typeName string) (alloc.Frame, error) {
+	in, ok := m.types[typeName]
+	if !ok {
+		return alloc.Frame{}, fmt.Errorf("core: type %q not defined", typeName)
+	}
+	return m.stack.PushFrame(in), nil
+}
+
+// PopFrame releases the most recent frame.
+func (m *Machine) PopFrame(f alloc.Frame) { m.stack.PopFrame(f) }
+
+// Exceptions returns the count of delivered Califorms exceptions.
+func (m *Machine) Exceptions() uint64 { return m.core.Stats.Delivered }
+
+// Cycles returns the simulated cycle count so far.
+func (m *Machine) Cycles() float64 { return m.core.Cycles() }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func defA() layout.StructDef {
+	return layout.StructDef{Name: "A", Fields: []layout.Field{
+		{Name: "c", Kind: layout.Char},
+		{Name: "i", Kind: layout.Int},
+		{Name: "buf", Kind: layout.Char, ArrayLen: 64},
+		{Name: "fp", Kind: layout.FuncPtr},
+		{Name: "d", Kind: layout.Double},
+	}}
+}
+
+func TestMachineBasicFlow(t *testing.T) {
+	m := NewMachine(Options{Policy: PolicyIntelligent, Seed: 1})
+	if _, err := m.Define(defA()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Define(defA()); err == nil {
+		t.Fatal("duplicate define must fail")
+	}
+	obj, err := m.New("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.New("B"); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+
+	if err := obj.WriteField(2, []byte("hello")); err != nil {
+		t.Fatalf("in-bounds write: %v", err)
+	}
+	got, err := obj.ReadField(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:5]) != "hello" {
+		t.Fatalf("read back %q", got[:5])
+	}
+}
+
+func TestMachineIntraObjectOverflowCaught(t *testing.T) {
+	m := NewMachine(Options{Policy: PolicyIntelligent, Seed: 2})
+	m.Define(defA())
+	obj, _ := m.New("A")
+
+	// Overflow buf by writing past its 64 bytes: the security span
+	// before fp must trip.
+	off, size := obj.FieldOffset(2)
+	err := obj.WriteAt(off, make([]byte, size+3))
+	if err == nil {
+		t.Fatal("intra-object overflow not caught")
+	}
+	if m.Exceptions() != 1 {
+		t.Fatalf("exceptions = %d", m.Exceptions())
+	}
+	// fp must be intact (the violating store never commits).
+	fp, err2 := obj.ReadField(3)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	for _, b := range fp {
+		if b != 0 {
+			t.Fatal("fp corrupted despite detection")
+		}
+	}
+}
+
+func TestMachineUseAfterFree(t *testing.T) {
+	m := NewMachine(Options{Policy: PolicyOpportunistic}) // clean-before-use heap
+	m.Define(defA())
+	obj, _ := m.New("A")
+	obj.WriteField(1, []byte{1, 2, 3, 4})
+	m.Free(obj)
+	if _, err := obj.ReadField(1); err == nil {
+		t.Fatal("use-after-free not caught by clean-before-use heap")
+	}
+}
+
+func TestMachineBaselineUnprotected(t *testing.T) {
+	m := NewMachine(Options{Policy: PolicyNone})
+	m.Define(defA())
+	obj, _ := m.New("A")
+	off, size := obj.FieldOffset(2)
+	if err := obj.WriteAt(off, make([]byte, size+8)); err != nil {
+		t.Fatalf("baseline must not detect: %v", err)
+	}
+}
+
+func TestMachineMemcpyWhitelisted(t *testing.T) {
+	m := NewMachine(Options{Policy: PolicyFull, Seed: 3})
+	m.Define(defA())
+	src, _ := m.New("A")
+	dst, _ := m.New("A")
+	src.WriteField(1, []byte{9, 9, 9, 9})
+
+	// A whole-object copy crosses security bytes; without
+	// whitelisting it would fault. Memcpy suppresses the exceptions
+	// (§6.3) and copies zeroes over the security bytes.
+	m.Memcpy(dst.Addr, src.Addr, src.Type.Size())
+	if m.Exceptions() != 0 {
+		t.Fatalf("whitelisted copy delivered %d exceptions", m.Exceptions())
+	}
+	got, err := dst.ReadField(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatalf("copy lost data: %v", got)
+	}
+}
+
+func TestMachineStackFrames(t *testing.T) {
+	m := NewMachine(Options{Policy: PolicyFull, Seed: 4})
+	m.Define(defA())
+	f, err := m.PushFrame("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PushFrame("B"); err == nil {
+		t.Fatal("unknown frame type must fail")
+	}
+	m.PopFrame(f)
+	if m.Cycles() == 0 {
+		t.Fatal("no time passed")
+	}
+}
+
+func TestMachineSeedChangesLayouts(t *testing.T) {
+	// Different machines (different "binaries") get different random
+	// layouts — the BROP mitigation of §7.3.
+	sizes := map[int]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		m := NewMachine(Options{Policy: PolicyFull, Seed: seed})
+		l, _ := m.Define(defA())
+		sizes[l.Size] = true
+	}
+	if len(sizes) < 2 {
+		t.Fatal("layout randomization produced identical layouts for all seeds")
+	}
+}

@@ -1,0 +1,356 @@
+package cpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// Config sets the core timing parameters. The model approximates an
+// out-of-order Westmere-class core (Table 3): a fixed issue width for
+// throughput, an MSHR limit and ROB window bounding memory-level
+// parallelism, and dependence-aware load handling so pointer chases
+// serialize while streaming misses overlap.
+type Config struct {
+	// IssueWidth is the sustained non-memory IPC bound.
+	IssueWidth int
+	// MSHRs bounds concurrently outstanding L1 misses.
+	MSHRs int
+	// ROBWindow is the number of cycles of independent work the core
+	// can slide past an outstanding miss before stalling.
+	ROBWindow float64
+	// LSQDepth is the load/store queue capacity.
+	LSQDepth int
+	// StoreMissCost charges bandwidth/occupancy cycles for store
+	// misses that reach the given level (indexed by cache.Lvl*).
+	StoreMissCost [5]float64
+	// ExceptionCost is the privileged-exception delivery cost in
+	// cycles (context switch to the kernel, §4.2). Exceptions are
+	// expected to be rare.
+	ExceptionCost float64
+	// HaltOnException stops the run at the first delivered exception.
+	HaltOnException bool
+}
+
+// DefaultConfig returns the Westmere-like core parameters used across
+// the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:    4,
+		MSHRs:         10,
+		ROBWindow:     48,
+		LSQDepth:      36,
+		StoreMissCost: [5]float64{0, 0, 0.5, 1.5, 4},
+		ExceptionCost: 700,
+	}
+}
+
+// Stats aggregates core-level results.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	CForms       uint64
+	// Delivered counts Califorms exceptions delivered to the OS;
+	// Suppressed counts those filtered by the whitelist mask
+	// registers.
+	Delivered  uint64
+	Suppressed uint64
+	// LastException is the most recent delivered exception.
+	LastException *isa.Exception
+}
+
+type missEntry struct {
+	issue float64
+	done  float64
+}
+
+// Core is the trace-driven timing model. It implements trace.Sink.
+type Core struct {
+	cfg   Config
+	hier  *cache.Hierarchy
+	masks isa.MaskRegisters
+	lsq   *LSQ
+
+	cycle        float64
+	lastLoadDone float64
+	outstanding  []missEntry
+	halted       bool
+
+	Stats Stats
+}
+
+// New creates a core bound to a memory hierarchy.
+func New(cfg Config, h *cache.Hierarchy) *Core {
+	if cfg.IssueWidth <= 0 {
+		cfg.IssueWidth = 4
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 10
+	}
+	return &Core{cfg: cfg, hier: h, lsq: NewLSQ(cfg.LSQDepth)}
+}
+
+// Hierarchy returns the attached memory hierarchy.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Masks exposes the exception mask registers (the OS interface).
+func (c *Core) Masks() *isa.MaskRegisters { return &c.masks }
+
+// Halted reports whether a delivered exception stopped the core.
+func (c *Core) Halted() bool { return c.halted }
+
+// Cycles returns the elapsed cycle count, including the completion of
+// any still-outstanding miss.
+func (c *Core) Cycles() float64 {
+	v := c.cycle
+	if c.lastLoadDone > v {
+		v = c.lastLoadDone
+	}
+	for _, m := range c.outstanding {
+		if m.done > v {
+			v = m.done
+		}
+	}
+	return v
+}
+
+// advance moves time forward by dt issue cycles and enforces the ROB
+// window: the core cannot run more than ROBWindow cycles past the
+// oldest incomplete miss.
+func (c *Core) advance(dt float64) {
+	c.cycle += dt
+	for len(c.outstanding) > 0 {
+		head := c.outstanding[0]
+		if head.done <= c.cycle {
+			c.outstanding = c.outstanding[1:]
+			continue
+		}
+		if c.cycle > head.issue+c.cfg.ROBWindow {
+			// ROB full: stall until the oldest miss returns.
+			c.cycle = head.done
+			c.outstanding = c.outstanding[1:]
+			continue
+		}
+		break
+	}
+}
+
+// NonMem retires n non-memory instructions.
+func (c *Core) NonMem(n uint32) {
+	if c.halted {
+		return
+	}
+	c.Stats.Instructions += uint64(n)
+	c.advance(float64(n) / float64(c.cfg.IssueWidth))
+}
+
+// deliver routes an exception through the mask registers.
+func (c *Core) deliver(e *isa.Exception) {
+	if e == nil {
+		return
+	}
+	if c.masks.Filter(e) {
+		c.Stats.Delivered++
+		c.Stats.LastException = e
+		c.advance(c.cfg.ExceptionCost)
+		if c.cfg.HaltOnException {
+			c.halted = true
+		}
+	} else {
+		c.Stats.Suppressed++
+	}
+}
+
+// Load executes a load of size bytes. Dependent marks address
+// dependence on the previous load (pointer chasing): such loads cannot
+// overlap with it and serialize their latency.
+func (c *Core) Load(addr uint64, size int, dependent bool) {
+	if c.halted {
+		return
+	}
+	c.Stats.Instructions++
+	c.Stats.Loads++
+	c.lsq.Age()
+
+	if c.lsq.HasCForms() {
+		if fwd := c.lsq.LookupLoad(addr, size); fwd.Exc != nil {
+			c.deliver(fwd.Exc)
+			c.advance(1 / float64(c.cfg.IssueWidth))
+			return
+		}
+	}
+
+	res := c.hier.LoadTouch(addr, size)
+	c.deliver(res.Exc)
+	if c.halted {
+		return
+	}
+	lat := float64(res.Cycles)
+
+	if res.Level == cache.LvlL1 {
+		if dependent {
+			// A dependent chain pays the L1 latency per hop.
+			start := c.cycle
+			if c.lastLoadDone > start {
+				start = c.lastLoadDone
+			}
+			c.lastLoadDone = start + lat
+		} else {
+			c.lastLoadDone = c.cycle + lat
+		}
+		c.advance(1 / float64(c.cfg.IssueWidth))
+		return
+	}
+
+	// L1 miss.
+	issue := c.cycle
+	if dependent && c.lastLoadDone > issue {
+		issue = c.lastLoadDone
+	}
+	if len(c.outstanding) >= c.cfg.MSHRs {
+		// MSHRs exhausted: wait for the oldest to return.
+		head := c.outstanding[0]
+		c.outstanding = c.outstanding[1:]
+		if head.done > issue {
+			issue = head.done
+		}
+		if issue > c.cycle {
+			c.cycle = issue
+		}
+	}
+	done := issue + lat
+	c.outstanding = append(c.outstanding, missEntry{issue: issue, done: done})
+	c.lastLoadDone = done
+	c.advance(1 / float64(c.cfg.IssueWidth))
+}
+
+// Store executes a store of size bytes. Stores retire through the
+// store buffer and do not stall the core; misses charge a small
+// bandwidth cost by destination level.
+func (c *Core) Store(addr uint64, size int) {
+	if c.halted {
+		return
+	}
+	c.Stats.Instructions++
+	c.Stats.Stores++
+	c.lsq.Age()
+
+	if c.lsq.HasCForms() {
+		if exc := c.lsq.CheckStore(addr, size); exc != nil {
+			c.deliver(exc)
+			c.advance(1 / float64(c.cfg.IssueWidth))
+			return
+		}
+	}
+	res := c.hier.StoreTouch(addr, size)
+	c.deliver(res.Exc)
+	if c.halted {
+		return
+	}
+	cost := 1/float64(c.cfg.IssueWidth) + c.cfg.StoreMissCost[res.Level]
+	c.advance(cost)
+}
+
+// StoreData is Store with explicit data, used by functional callers
+// (allocator, examples) that care about memory contents.
+func (c *Core) StoreData(addr uint64, data []byte) {
+	if c.halted {
+		return
+	}
+	c.Stats.Instructions++
+	c.Stats.Stores++
+	c.lsq.Age()
+	if c.lsq.HasCForms() {
+		if exc := c.lsq.CheckStore(addr, len(data)); exc != nil {
+			c.deliver(exc)
+			c.advance(1 / float64(c.cfg.IssueWidth))
+			return
+		}
+	}
+	res := c.hier.Store(addr, data)
+	c.deliver(res.Exc)
+	if c.halted {
+		return
+	}
+	if c.lsq.HasCForms() {
+		c.lsq.PushStore(addr, data)
+	}
+	c.advance(1/float64(c.cfg.IssueWidth) + c.cfg.StoreMissCost[res.Level])
+}
+
+// LoadData is Load returning the data read (zero for security bytes).
+func (c *Core) LoadData(addr uint64, size int) []byte {
+	if c.halted {
+		return make([]byte, size)
+	}
+	c.Stats.Instructions++
+	c.Stats.Loads++
+	c.lsq.Age()
+	if c.lsq.HasCForms() {
+		if fwd := c.lsq.LookupLoad(addr, size); fwd.Exc != nil {
+			c.deliver(fwd.Exc)
+			c.advance(1 / float64(c.cfg.IssueWidth))
+			return fwd.Value
+		} else if fwd.Hit {
+			c.advance(1 / float64(c.cfg.IssueWidth))
+			return fwd.Value
+		}
+	}
+	data, res := c.hier.Load(addr, size)
+	c.deliver(res.Exc)
+	c.lastLoadDone = c.cycle + float64(res.Cycles)
+	c.advance(1 / float64(c.cfg.IssueWidth))
+	return data
+}
+
+// CForm executes a CFORM instruction. It is handled as a store in the
+// pipeline (§4.1): allocated into the LSQ, charged store-like costs.
+func (c *Core) CForm(cf isa.CFORM) {
+	if c.halted {
+		return
+	}
+	c.Stats.Instructions++
+	c.Stats.CForms++
+	c.lsq.Age()
+	res := c.hier.CForm(cf)
+	c.deliver(res.Exc)
+	if c.halted {
+		return
+	}
+	c.lsq.PushCForm(cf)
+	c.advance(1/float64(c.cfg.IssueWidth) + c.cfg.StoreMissCost[res.Level])
+}
+
+// WhitelistEnter and WhitelistExit bracket whitelisted regions
+// (privileged mask-register writes, charged as slow stores).
+func (c *Core) WhitelistEnter() {
+	if c.halted {
+		return
+	}
+	c.Stats.Instructions++
+	c.masks.EnterWhitelisted()
+	c.advance(3) // privileged register write
+}
+
+func (c *Core) WhitelistExit() {
+	if c.halted {
+		return
+	}
+	c.Stats.Instructions++
+	c.masks.ExitWhitelisted()
+	c.advance(3)
+}
+
+// DrainLSQ models a memory serialization barrier.
+func (c *Core) DrainLSQ() { c.lsq.Drain() }
+
+// ResetTiming zeroes the cycle accounting and statistics while
+// leaving the memory hierarchy contents (and so cache warmth) intact.
+// Experiments use it to measure steady-state regions, as the paper's
+// SimPoint-selected intervals do, excluding initialization.
+func (c *Core) ResetTiming() {
+	c.cycle = 0
+	c.lastLoadDone = 0
+	c.outstanding = c.outstanding[:0]
+	c.Stats = Stats{}
+}

@@ -1,0 +1,185 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func newCore() *Core {
+	return New(DefaultConfig(), cache.New(cache.Westmere(), mem.New()))
+}
+
+func TestNonMemThroughput(t *testing.T) {
+	c := newCore()
+	c.NonMem(4000)
+	if got := c.Cycles(); got != 1000 {
+		t.Fatalf("cycles = %v, want 1000 at issue width 4", got)
+	}
+	if c.Stats.Instructions != 4000 {
+		t.Fatalf("instructions = %d", c.Stats.Instructions)
+	}
+}
+
+func TestDependentChainSlowerThanStreaming(t *testing.T) {
+	// Pointer chasing over a large region must cost far more cycles
+	// than streaming over the same region: dependent misses serialize
+	// while independent ones overlap in the MSHRs.
+	region := uint64(8 << 20) // 8MB, larger than L3
+
+	chase := newCore()
+	stride := uint64(4096 + 64) // defeat prefetch-free caches' reuse
+	addr := uint64(0)
+	for i := 0; i < 20000; i++ {
+		chase.Load(addr, 8, true)
+		addr = (addr + stride) % region
+	}
+
+	stream := newCore()
+	addr = 0
+	for i := 0; i < 20000; i++ {
+		stream.Load(addr, 8, false)
+		addr = (addr + stride) % region
+	}
+
+	ratio := chase.Cycles() / stream.Cycles()
+	if ratio < 2 {
+		t.Fatalf("chase/stream cycle ratio = %.2f, want >= 2 (MLP must matter)", ratio)
+	}
+}
+
+func TestL1HitsAreCheap(t *testing.T) {
+	c := newCore()
+	// Warm one line, then hammer it.
+	c.Load(0x40, 8, false)
+	warm := c.Cycles()
+	for i := 0; i < 4000; i++ {
+		c.Load(0x40, 8, false)
+	}
+	perAccess := (c.Cycles() - warm) / 4000
+	if perAccess > 1 {
+		t.Fatalf("L1 hit cost %.3f cycles/access, want <= 1 (pipelined)", perAccess)
+	}
+}
+
+func TestExceptionDeliveryAndHalt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HaltOnException = true
+	c := New(cfg, cache.New(cache.Westmere(), mem.New()))
+
+	attrs := uint64(1) << 3
+	c.CForm(isa.CFORM{Base: 0x1000, Attrs: attrs, Mask: attrs})
+	c.Load(0x1003, 1, false)
+	if c.Stats.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", c.Stats.Delivered)
+	}
+	if !c.Halted() {
+		t.Fatal("core must halt on delivered exception")
+	}
+	// Subsequent work is ignored.
+	before := c.Stats.Instructions
+	c.Load(0x2000, 1, false)
+	c.Store(0x2000, 1)
+	c.NonMem(100)
+	if c.Stats.Instructions != before {
+		t.Fatal("halted core must not retire instructions")
+	}
+}
+
+func TestWhitelistSuppression(t *testing.T) {
+	c := newCore()
+	attrs := uint64(1) << 3
+	c.CForm(isa.CFORM{Base: 0x1000, Attrs: attrs, Mask: attrs})
+	c.DrainLSQ() // commit the CFORM so only the cache check fires
+
+	c.WhitelistEnter()
+	c.Load(0x1003, 1, false) // memcpy-like whitelisted access
+	c.WhitelistExit()
+	if c.Stats.Delivered != 0 || c.Stats.Suppressed != 1 {
+		t.Fatalf("delivered=%d suppressed=%d, want 0/1", c.Stats.Delivered, c.Stats.Suppressed)
+	}
+
+	c.Load(0x1003, 1, false) // outside the whitelist: delivered
+	if c.Stats.Delivered != 1 {
+		t.Fatalf("delivered=%d, want 1", c.Stats.Delivered)
+	}
+}
+
+func TestLSQOrderViolationThroughCore(t *testing.T) {
+	c := newCore()
+	attrs := uint64(1) << 5
+	c.CForm(isa.CFORM{Base: 0x3000, Attrs: attrs, Mask: attrs})
+	// Immediately following load to the byte being califormed: caught
+	// in the LSQ (ExcLSQOrder), not by the cache.
+	c.Load(0x3005, 1, false)
+	if c.Stats.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", c.Stats.Delivered)
+	}
+	if c.Stats.LastException.Kind != isa.ExcLSQOrder {
+		t.Fatalf("kind = %v, want lsq-order", c.Stats.LastException.Kind)
+	}
+}
+
+func TestStoreDataLoadDataFunctional(t *testing.T) {
+	c := newCore()
+	c.StoreData(0x500, []byte{9, 8, 7})
+	got := c.LoadData(0x500, 3)
+	if got[0] != 9 || got[1] != 8 || got[2] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExceptionCostCharged(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg, cache.New(cache.Westmere(), mem.New()))
+	attrs := uint64(1) << 3
+	c.CForm(isa.CFORM{Base: 0x1000, Attrs: attrs, Mask: attrs})
+	c.DrainLSQ()
+	before := c.Cycles()
+	c.Load(0x1003, 1, false)
+	if c.Cycles()-before < cfg.ExceptionCost {
+		t.Fatalf("exception cost not charged: delta=%v", c.Cycles()-before)
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	c := newCore()
+	ops := []trace.Op{
+		{Kind: trace.NonMem, Count: 100},
+		{Kind: trace.Store, Addr: 0x40, Size: 8},
+		{Kind: trace.Load, Addr: 0x40, Size: 8},
+		{Kind: trace.CForm, Addr: 0x80, Attrs: 1, Mask: 1},
+		{Kind: trace.WhitelistEnter},
+		{Kind: trace.Load, Addr: 0x80, Size: 1},
+		{Kind: trace.WhitelistExit},
+	}
+	trace.Replay(ops, c)
+	if c.Stats.Instructions != 106 {
+		t.Fatalf("instructions = %d, want 106", c.Stats.Instructions)
+	}
+	if c.Stats.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 (whitelisted region)", c.Stats.Suppressed)
+	}
+}
+
+func TestMSHRLimitCausesBackpressure(t *testing.T) {
+	cfgFew := DefaultConfig()
+	cfgFew.MSHRs = 1
+	few := New(cfgFew, cache.New(cache.Westmere(), mem.New()))
+
+	cfgMany := DefaultConfig()
+	cfgMany.MSHRs = 16
+	many := New(cfgMany, cache.New(cache.Westmere(), mem.New()))
+
+	for i := 0; i < 5000; i++ {
+		addr := uint64(i) * 4096 // all misses
+		few.Load(addr, 8, false)
+		many.Load(addr, 8, false)
+	}
+	if few.Cycles() <= many.Cycles() {
+		t.Fatalf("1 MSHR (%.0f cy) must be slower than 16 (%.0f cy)", few.Cycles(), many.Cycles())
+	}
+}

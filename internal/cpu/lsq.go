@@ -1,0 +1,206 @@
+// Package cpu models the processor core of the Califorms evaluation:
+// a Westmere-like out-of-order core approximation (Table 3) plus the
+// load/store queue semantics of §5.3, where CFORM instructions are
+// handled as stores but never forward their value.
+package cpu
+
+import "repro/internal/isa"
+
+// LSQEntry is one in-flight memory instruction in program order.
+type LSQEntry struct {
+	Seq     uint64
+	IsStore bool
+	IsCForm bool
+	Addr    uint64
+	Size    int
+	Value   []byte // store data
+	Attrs   uint64 // CFORM attribute bit vector
+	Mask    uint64 // CFORM allow mask
+}
+
+// lineOf returns the cache-line index of an address.
+func lineOf(addr uint64) uint64 { return addr >> 6 }
+
+// overlaps reports whether [aAddr, aAddr+aSize) and [bAddr, bAddr+bSize)
+// intersect.
+func overlaps(aAddr uint64, aSize int, bAddr uint64, bSize int) bool {
+	return aAddr < bAddr+uint64(bSize) && bAddr < aAddr+uint64(aSize)
+}
+
+// cformTouches reports whether any byte of [addr, addr+size) is in
+// the given byte-selector bit vector of the CFORM entry. Per §5.3 the
+// line address is matched first, then the mask value stored in the
+// LSQ confirms the byte match.
+func cformTouches(e *LSQEntry, bits uint64, addr uint64, size int) bool {
+	if lineOf(addr) != lineOf(e.Addr) && lineOf(addr+uint64(size)-1) != lineOf(e.Addr) {
+		return false
+	}
+	base := e.Addr
+	for i := 0; i < 64; i++ {
+		if bits&(1<<uint(i)) == 0 {
+			continue
+		}
+		b := base + uint64(i)
+		if b >= addr && b < addr+uint64(size) {
+			return true
+		}
+	}
+	return false
+}
+
+// settingBits returns the bytes the CFORM turns *into* security bytes;
+// accesses to those must fault. Bytes being unset (returned to normal,
+// e.g. by a clean-before-use allocator right before first use) do not
+// fault: the CFORM zeroes them, and zero is exactly what forwarding
+// returns.
+func settingBits(e *LSQEntry) uint64 { return e.Attrs & e.Mask }
+
+// clearingBits returns the bytes the CFORM returns to normal state.
+func clearingBits(e *LSQEntry) uint64 { return e.Mask &^ e.Attrs }
+
+// LSQ models the load/store queue with the Califorms modifications.
+// Entries are kept in program order, oldest first.
+type LSQ struct {
+	entries []LSQEntry
+	seq     uint64
+	cforms  int
+	// Capacity bounds in-flight entries; pushing past it retires the
+	// oldest entry (models commit).
+	Capacity int
+}
+
+// NewLSQ creates a queue with the given capacity (36 entries matches
+// a Westmere-class LSQ when 0 is passed).
+func NewLSQ(capacity int) *LSQ {
+	if capacity <= 0 {
+		capacity = 36
+	}
+	return &LSQ{Capacity: capacity}
+}
+
+// Len returns the number of in-flight entries.
+func (q *LSQ) Len() int { return len(q.entries) }
+
+// PushStore inserts an in-flight store.
+func (q *LSQ) PushStore(addr uint64, value []byte) {
+	q.push(LSQEntry{IsStore: true, Addr: addr, Size: len(value), Value: append([]byte(nil), value...)})
+}
+
+// PushCForm inserts an in-flight CFORM. It occupies an LSQ slot like
+// a store, with the CFORM bit set so matches can be detected (§5.3).
+func (q *LSQ) PushCForm(cf isa.CFORM) {
+	q.push(LSQEntry{IsStore: true, IsCForm: true, Addr: cf.Base, Size: 64, Attrs: cf.Attrs, Mask: cf.Mask})
+}
+
+// PushLoad inserts an in-flight load (so that younger CFORM ordering
+// checks can see it; loads carry no value).
+func (q *LSQ) PushLoad(addr uint64, size int) {
+	q.push(LSQEntry{Addr: addr, Size: size})
+}
+
+func (q *LSQ) push(e LSQEntry) {
+	q.seq++
+	e.Seq = q.seq
+	if e.IsCForm {
+		q.cforms++
+	}
+	q.entries = append(q.entries, e)
+	if len(q.entries) > q.Capacity {
+		if q.entries[0].IsCForm {
+			q.cforms--
+		}
+		q.entries = q.entries[1:]
+	}
+}
+
+// HasCForms reports whether any CFORM instruction is in flight. Cores
+// use it to skip queue scans on the common path: a legitimate
+// load/store is never forwarded from a CFORM, so the scan only
+// matters while one is outstanding (§5.3).
+func (q *LSQ) HasCForms() bool { return q.cforms > 0 }
+
+// Age advances program order by one instruction and retires entries
+// that have been in flight longer than the queue depth (they have
+// committed). Cores call it once per memory instruction.
+func (q *LSQ) Age() {
+	q.seq++
+	for len(q.entries) > 0 && q.seq-q.entries[0].Seq >= uint64(q.Capacity) {
+		if q.entries[0].IsCForm {
+			q.cforms--
+		}
+		q.entries = q.entries[1:]
+	}
+}
+
+// Drain retires all entries (memory serialization barrier, the
+// alternative implementation the paper offers to avoid LSQ changes).
+func (q *LSQ) Drain() {
+	q.entries = q.entries[:0]
+	q.cforms = 0
+}
+
+// ForwardResult describes what a load finds in the queue.
+type ForwardResult struct {
+	// Hit is true when an older in-flight store fully covers the load.
+	Hit bool
+	// Value is the forwarded data when Hit.
+	Value []byte
+	// Exc is the Califorms exception for loads matching an in-flight
+	// CFORM: the load receives zero (never the CFORM's value) and is
+	// marked to fault at commit (§5.3).
+	Exc *isa.Exception
+}
+
+// LookupLoad searches older entries, youngest first, for data to
+// forward to a load at addr/size. A matching CFORM yields zeroes plus
+// a deferred exception; it never forwards a value, closing the
+// speculative side channel that would otherwise reveal security-byte
+// locations.
+func (q *LSQ) LookupLoad(addr uint64, size int) ForwardResult {
+	for i := len(q.entries) - 1; i >= 0; i-- {
+		e := &q.entries[i]
+		if !e.IsStore {
+			continue
+		}
+		if e.IsCForm {
+			if cformTouches(e, settingBits(e), addr, size) {
+				return ForwardResult{
+					Hit:   true,
+					Value: make([]byte, size), // predetermined zero
+					Exc:   &isa.Exception{Kind: isa.ExcLSQOrder, Addr: addr},
+				}
+			}
+			if cformTouches(e, clearingBits(e), addr, size) {
+				// Being returned to normal: forward the predetermined
+				// zero the CFORM writes, with no exception.
+				return ForwardResult{Hit: true, Value: make([]byte, size)}
+			}
+			continue
+		}
+		// Regular store: forward only on a full containment match
+		// (partial overlaps would replay from cache in hardware).
+		if e.Addr <= addr && addr+uint64(size) <= e.Addr+uint64(e.Size) {
+			off := addr - e.Addr
+			return ForwardResult{Hit: true, Value: append([]byte(nil), e.Value[off:off+uint64(size)]...)}
+		}
+		if overlaps(e.Addr, e.Size, addr, size) {
+			// Partial overlap: no forwarding; caller replays from the
+			// cache after the store drains.
+			return ForwardResult{}
+		}
+	}
+	return ForwardResult{}
+}
+
+// CheckStore reports the exception for a store whose bytes overlap an
+// in-flight CFORM (younger stores to bytes being califormed fault at
+// commit, §5.3).
+func (q *LSQ) CheckStore(addr uint64, size int) *isa.Exception {
+	for i := len(q.entries) - 1; i >= 0; i-- {
+		e := &q.entries[i]
+		if e.IsCForm && cformTouches(e, settingBits(e), addr, size) {
+			return &isa.Exception{Kind: isa.ExcLSQOrder, Addr: addr}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLSQStoreForwarding(t *testing.T) {
+	q := NewLSQ(0)
+	q.PushStore(0x100, []byte{1, 2, 3, 4})
+
+	fwd := q.LookupLoad(0x101, 2)
+	if !fwd.Hit || fwd.Exc != nil {
+		t.Fatalf("expected clean forward, got %+v", fwd)
+	}
+	if fwd.Value[0] != 2 || fwd.Value[1] != 3 {
+		t.Fatalf("forwarded %v", fwd.Value)
+	}
+}
+
+func TestLSQPartialOverlapNoForward(t *testing.T) {
+	q := NewLSQ(0)
+	q.PushStore(0x100, []byte{1, 2})
+	fwd := q.LookupLoad(0x101, 4) // extends past the store
+	if fwd.Hit {
+		t.Fatal("partial overlap must not forward")
+	}
+}
+
+func TestLSQCFormNeverForwardsValue(t *testing.T) {
+	// §5.3: a load matching an in-flight CFORM receives zero, not the
+	// CFORM's value, and is marked for a Califorms exception.
+	q := NewLSQ(0)
+	attrs := uint64(0b11) << 8
+	q.PushCForm(isa.CFORM{Base: 0x1000, Attrs: attrs, Mask: attrs})
+
+	fwd := q.LookupLoad(0x1008, 2)
+	if !fwd.Hit {
+		t.Fatal("load overlapping in-flight CFORM must match")
+	}
+	if fwd.Exc == nil || fwd.Exc.Kind != isa.ExcLSQOrder {
+		t.Fatalf("expected LSQ-order exception, got %v", fwd.Exc)
+	}
+	for _, b := range fwd.Value {
+		if b != 0 {
+			t.Fatal("CFORM must forward the predetermined value zero")
+		}
+	}
+}
+
+func TestLSQCFormMaskConfirmsMatch(t *testing.T) {
+	// The line address matches but the mask does not touch the loaded
+	// bytes: no exception (the mask value stored in the LSQ confirms
+	// the final match, §5.3).
+	q := NewLSQ(0)
+	attrs := uint64(0b11) << 8
+	q.PushCForm(isa.CFORM{Base: 0x1000, Attrs: attrs, Mask: attrs})
+
+	fwd := q.LookupLoad(0x1020, 4)
+	if fwd.Hit || fwd.Exc != nil {
+		t.Fatalf("mask-disjoint load must pass, got %+v", fwd)
+	}
+	if exc := q.CheckStore(0x1020, 4); exc != nil {
+		t.Fatalf("mask-disjoint store must pass, got %v", exc)
+	}
+}
+
+func TestLSQUnsetCFormDoesNotFault(t *testing.T) {
+	// A clean-before-use allocator unsets security bytes right before
+	// the program's first access. The access must not fault; a load
+	// forwards the zero the CFORM wrote.
+	q := NewLSQ(0)
+	mask := uint64(0xff) << 16
+	q.PushCForm(isa.CFORM{Base: 0x2000, Attrs: 0, Mask: mask})
+
+	fwd := q.LookupLoad(0x2010, 4)
+	if fwd.Exc != nil {
+		t.Fatalf("load of bytes being unset must not fault: %v", fwd.Exc)
+	}
+	if !fwd.Hit {
+		t.Fatal("load of bytes being unset forwards zero")
+	}
+	for _, b := range fwd.Value {
+		if b != 0 {
+			t.Fatal("forwarded value must be the zero the CFORM writes")
+		}
+	}
+	if exc := q.CheckStore(0x2010, 4); exc != nil {
+		t.Fatalf("store to bytes being unset must not fault: %v", exc)
+	}
+}
+
+func TestLSQYoungerStoreToCFormBytes(t *testing.T) {
+	q := NewLSQ(0)
+	attrs := uint64(1) << 5
+	q.PushCForm(isa.CFORM{Base: 0, Attrs: attrs, Mask: attrs})
+	if exc := q.CheckStore(5, 1); exc == nil || exc.Kind != isa.ExcLSQOrder {
+		t.Fatalf("store to byte being califormed must fault, got %v", exc)
+	}
+}
+
+func TestLSQYoungestStoreWins(t *testing.T) {
+	q := NewLSQ(0)
+	q.PushStore(0x40, []byte{1})
+	q.PushStore(0x40, []byte{2})
+	fwd := q.LookupLoad(0x40, 1)
+	if !fwd.Hit || fwd.Value[0] != 2 {
+		t.Fatalf("youngest store must forward, got %+v", fwd)
+	}
+}
+
+func TestLSQCapacityRetires(t *testing.T) {
+	q := NewLSQ(4)
+	attrs := uint64(1)
+	q.PushCForm(isa.CFORM{Base: 0, Attrs: attrs, Mask: attrs})
+	if !q.HasCForms() {
+		t.Fatal("CFORM must be in flight")
+	}
+	for i := 0; i < 4; i++ {
+		q.PushStore(uint64(0x1000+i*64), []byte{1})
+	}
+	if q.HasCForms() {
+		t.Fatal("CFORM must retire when pushed past capacity")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("len = %d, want 4", q.Len())
+	}
+}
+
+func TestLSQAgeRetires(t *testing.T) {
+	q := NewLSQ(8)
+	attrs := uint64(1)
+	q.PushCForm(isa.CFORM{Base: 0, Attrs: attrs, Mask: attrs})
+	for i := 0; i < 7; i++ {
+		q.Age()
+		if !q.HasCForms() {
+			t.Fatalf("CFORM retired too early at age %d", i+1)
+		}
+	}
+	q.Age()
+	if q.HasCForms() {
+		t.Fatal("CFORM must retire after queue-depth instructions")
+	}
+}
+
+func TestLSQDrain(t *testing.T) {
+	q := NewLSQ(0)
+	q.PushCForm(isa.CFORM{Base: 0, Attrs: 1, Mask: 1})
+	q.PushStore(0x40, []byte{1})
+	q.Drain()
+	if q.Len() != 0 || q.HasCForms() {
+		t.Fatal("drain must empty the queue")
+	}
+}
+
+func TestCFormTouchesCrossLine(t *testing.T) {
+	e := &LSQEntry{IsCForm: true, Addr: 0x1000, Attrs: 1 << 63, Mask: 1 << 63}
+	// Access starting in the previous line, spilling into this one.
+	if !cformTouches(e, settingBits(e), 0xFFF+62, 4) {
+		t.Fatal("cross-line access must match byte 63")
+	}
+	if cformTouches(e, settingBits(e), 0x1000, 4) {
+		t.Fatal("bytes 0..3 are not being califormed")
+	}
+}

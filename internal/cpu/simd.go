@@ -1,0 +1,162 @@
+package cpu
+
+import "repro/internal/isa"
+
+// Appendix B of the paper sketches three ways a SIMD/vector unit can
+// interact with security bytes; all three are implemented here as
+// vector-load policies.
+type VectorPolicy int
+
+const (
+	// VectorPreciseGather issues per-lane precise accesses (like a
+	// masked gather): only enabled lanes are checked, disabled lanes
+	// never fault, and the cost scales with the enabled lane count.
+	// Semantically exact, slowest.
+	VectorPreciseGather VectorPolicy = iota
+	// VectorWideTrap issues one wide load and traps if *any* byte in
+	// the loaded width is a security byte — even under a disabled
+	// lane. One access, but false positives are possible; the paper
+	// deems them unlikely because SIMD data rarely contains security
+	// bytes.
+	VectorWideTrap
+	// VectorTagged extends the vector register with one security bit
+	// per byte: the wide load never faults, the bits ride along, and
+	// an exception fires only when an operation consumes a tagged
+	// lane.
+	VectorTagged
+)
+
+func (p VectorPolicy) String() string {
+	switch p {
+	case VectorPreciseGather:
+		return "precise-gather"
+	case VectorWideTrap:
+		return "wide-trap"
+	case VectorTagged:
+		return "tagged-register"
+	default:
+		return "VectorPolicy(?)"
+	}
+}
+
+// VectorReg models a vector register with per-byte Califorms tags
+// (the VectorTagged hardware extension).
+type VectorReg struct {
+	Data []byte
+	// SecTags has bit i set when byte i came from a security byte.
+	SecTags uint64
+	// Addr is the load address, kept for precise exception reporting.
+	Addr uint64
+}
+
+// LaneBytes is the fixed lane width used by lane masks (one mask bit
+// per 8-byte lane, as in AVX-512 masked operations on qwords).
+const LaneBytes = 8
+
+// laneByteMask expands a lane mask into a byte bitmap.
+func laneByteMask(laneMask uint64, width int) uint64 {
+	var bytes uint64
+	for lane := 0; lane*LaneBytes < width; lane++ {
+		if laneMask&(1<<uint(lane)) != 0 {
+			bytes |= ((uint64(1) << LaneBytes) - 1) << uint(lane*LaneBytes)
+		}
+	}
+	if width < 64 {
+		bytes &= (uint64(1) << uint(width)) - 1
+	}
+	return bytes
+}
+
+// VectorLoad performs a vector load of width bytes at addr under the
+// given policy. laneMask enables 8-byte lanes (bit 0 = bytes 0..7).
+// The returned register carries the data (zero for security bytes)
+// and, under VectorTagged, the per-byte security tags. Exceptions are
+// delivered through the core's normal path (whitelisting applies).
+func (c *Core) VectorLoad(addr uint64, width int, laneMask uint64, pol VectorPolicy) VectorReg {
+	if width <= 0 || width > 64 {
+		panic("cpu: vector width must be 1..64 bytes")
+	}
+	reg := VectorReg{Data: make([]byte, width), Addr: addr}
+	if c.halted {
+		return reg
+	}
+	c.Stats.Instructions++
+	c.Stats.Loads++
+	c.lsq.Age()
+
+	enabled := laneByteMask(laneMask, width)
+
+	switch pol {
+	case VectorPreciseGather:
+		// One precise access per enabled lane; each checked
+		// individually, like scalar loads (Appendix B option 1).
+		for lane := 0; lane*LaneBytes < width; lane++ {
+			if laneMask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			lo := lane * LaneBytes
+			n := LaneBytes
+			if lo+n > width {
+				n = width - lo
+			}
+			data, res := c.hier.Load(addr+uint64(lo), n)
+			copy(reg.Data[lo:], data)
+			c.deliver(res.Exc)
+			if c.halted {
+				return reg
+			}
+			// Gather lanes serialize through the load ports.
+			c.advance(1 / float64(c.cfg.IssueWidth))
+		}
+		return reg
+
+	case VectorWideTrap:
+		bitmap, res := c.hier.SecurityBitmap(addr, width)
+		data, _ := c.hier.Load(addr, width) // same lines, now hot
+		copy(reg.Data, data)
+		if bitmap != 0 {
+			// Trap on any security byte in the width, enabled or not
+			// (Appendix B option 2: possible false positives).
+			c.deliver(&isa.Exception{Kind: isa.ExcLoad, Addr: addr + uint64(firstBit(bitmap))})
+		}
+		c.advance(1 / float64(c.cfg.IssueWidth))
+		_ = res
+		return reg
+
+	case VectorTagged:
+		bitmap, _ := c.hier.SecurityBitmap(addr, width)
+		data, _ := c.hier.Load(addr, width)
+		copy(reg.Data, data)
+		reg.SecTags = bitmap & enabled
+		c.advance(1 / float64(c.cfg.IssueWidth))
+		return reg
+
+	default:
+		panic("cpu: unknown vector policy")
+	}
+}
+
+// VectorConsume models an arithmetic/store operation consuming the
+// enabled lanes of a tagged vector register (Appendix B option 3):
+// if any consumed byte carries a security tag, the Califorms
+// exception fires now, at use.
+func (c *Core) VectorConsume(reg VectorReg, laneMask uint64) {
+	if c.halted {
+		return
+	}
+	c.Stats.Instructions++
+	enabled := laneByteMask(laneMask, len(reg.Data))
+	if tagged := reg.SecTags & enabled; tagged != 0 {
+		c.deliver(&isa.Exception{Kind: isa.ExcLoad, Addr: reg.Addr + uint64(firstBit(tagged))})
+	}
+	c.advance(1 / float64(c.cfg.IssueWidth))
+}
+
+func firstBit(v uint64) int {
+	for i := 0; i < 64; i++ {
+		if v&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,147 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// vectorMachine returns a core with security bytes at offsets 9 and
+// 40 of the line at base.
+func vectorMachine(t *testing.T) (*Core, uint64) {
+	t.Helper()
+	c := newCore()
+	base := uint64(0x8000)
+	attrs := uint64(1)<<9 | uint64(1)<<40
+	if cAttrs := c.Hierarchy().CForm(isa.CFORM{Base: base, Attrs: attrs, Mask: attrs}); cAttrs.Exc != nil {
+		t.Fatal(cAttrs.Exc)
+	}
+	c.DrainLSQ()
+	// Put recognizable data around the security bytes.
+	c.Hierarchy().Store(base, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	c.ResetTiming()
+	return c, base
+}
+
+func TestVectorPreciseGatherChecksOnlyEnabledLanes(t *testing.T) {
+	c, base := vectorMachine(t)
+	// Lane 1 (bytes 8..15) holds the security byte at offset 9.
+	// With lane 1 disabled, no fault.
+	reg := c.VectorLoad(base, 16, 0b01, VectorPreciseGather)
+	if c.Stats.Delivered != 0 {
+		t.Fatal("disabled lane must not fault under precise gather")
+	}
+	if reg.Data[0] != 1 || reg.Data[7] != 8 {
+		t.Fatalf("lane 0 data wrong: %v", reg.Data[:8])
+	}
+	// Enabling lane 1 faults precisely.
+	c.VectorLoad(base, 16, 0b11, VectorPreciseGather)
+	if c.Stats.Delivered != 1 {
+		t.Fatalf("enabled lane over security byte must fault, delivered=%d", c.Stats.Delivered)
+	}
+	if c.Stats.LastException.Addr != base+9 {
+		t.Fatalf("fault addr %#x, want %#x", c.Stats.LastException.Addr, base+9)
+	}
+}
+
+func TestVectorWideTrapFalsePositive(t *testing.T) {
+	c, base := vectorMachine(t)
+	// Wide trap faults even though lane 1 (the one covering offset 9)
+	// is disabled: the paper's acknowledged false-positive mode.
+	c.VectorLoad(base, 16, 0b01, VectorWideTrap)
+	if c.Stats.Delivered != 1 {
+		t.Fatal("wide trap must fault on any security byte in the width")
+	}
+}
+
+func TestVectorTaggedDefersToConsume(t *testing.T) {
+	c, base := vectorMachine(t)
+	reg := c.VectorLoad(base, 16, 0b11, VectorTagged)
+	if c.Stats.Delivered != 0 {
+		t.Fatal("tagged load must not fault at load time")
+	}
+	if reg.SecTags == 0 {
+		t.Fatal("security tags must propagate into the register")
+	}
+	if reg.Data[9] != 0 {
+		t.Fatal("security byte must read zero into the vector register")
+	}
+	// Consuming only lane 0 (clean) is fine.
+	c.VectorConsume(reg, 0b01)
+	if c.Stats.Delivered != 0 {
+		t.Fatal("consuming clean lanes must not fault")
+	}
+	// Consuming lane 1 fires the deferred exception.
+	c.VectorConsume(reg, 0b10)
+	if c.Stats.Delivered != 1 {
+		t.Fatal("consuming a tagged lane must fault")
+	}
+	if c.Stats.LastException.Addr != base+9 {
+		t.Fatalf("fault addr %#x, want %#x", c.Stats.LastException.Addr, base+9)
+	}
+}
+
+func TestVectorCleanRegionAllPoliciesAgree(t *testing.T) {
+	for _, pol := range []VectorPolicy{VectorPreciseGather, VectorWideTrap, VectorTagged} {
+		c := newCore()
+		c.Hierarchy().Store(0x100, []byte{9, 8, 7, 6, 5, 4, 3, 2})
+		c.ResetTiming()
+		reg := c.VectorLoad(0x100, 32, ^uint64(0), pol)
+		if c.Stats.Delivered != 0 {
+			t.Fatalf("%v: clean region must not fault", pol)
+		}
+		if reg.Data[0] != 9 || reg.Data[7] != 2 {
+			t.Fatalf("%v: data %v", pol, reg.Data[:8])
+		}
+		c.VectorConsume(reg, ^uint64(0))
+		if c.Stats.Delivered != 0 {
+			t.Fatalf("%v: consuming clean data must not fault", pol)
+		}
+	}
+}
+
+func TestVectorWidthValidation(t *testing.T) {
+	c := newCore()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width > 64 must panic")
+		}
+	}()
+	c.VectorLoad(0, 128, 1, VectorPreciseGather)
+}
+
+func TestVectorPolicyStrings(t *testing.T) {
+	for _, p := range []VectorPolicy{VectorPreciseGather, VectorWideTrap, VectorTagged, VectorPolicy(9)} {
+		if p.String() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}
+
+func TestLaneByteMask(t *testing.T) {
+	if got := laneByteMask(0b01, 16); got != 0x00ff {
+		t.Fatalf("lane 0 of 16B: %#x", got)
+	}
+	if got := laneByteMask(0b10, 16); got != 0xff00 {
+		t.Fatalf("lane 1 of 16B: %#x", got)
+	}
+	if got := laneByteMask(^uint64(0), 12); got != 0x0fff {
+		t.Fatalf("width clamp: %#x", got)
+	}
+}
+
+func TestSecurityBitmapAcrossLines(t *testing.T) {
+	h := cache.New(cache.Westmere(), mem.New())
+	// Security byte at the last byte of line 0 and first of line 1.
+	a1 := uint64(1) << 63
+	h.CForm(isa.CFORM{Base: 0, Attrs: a1, Mask: a1})
+	a2 := uint64(1)
+	h.CForm(isa.CFORM{Base: 64, Attrs: a2, Mask: a2})
+
+	bm, _ := h.SecurityBitmap(60, 8) // bytes 60..67
+	if bm != 0b11000 {
+		t.Fatalf("bitmap %#b, want bits 3 and 4 (bytes 63 and 64)", bm)
+	}
+}

@@ -1,0 +1,145 @@
+// Package isa defines the architectural interface of Califorms
+// (§4 of the paper): the CFORM instruction, the privileged Califorms
+// exception, and the exception mask registers used to whitelist
+// memcpy-like library routines.
+package isa
+
+import "fmt"
+
+// ExceptionKind identifies what raised a Califorms exception.
+type ExceptionKind int
+
+const (
+	// ExcLoad is a load that touched a security byte (§5.1).
+	ExcLoad ExceptionKind = iota
+	// ExcStore is a store that touched a security byte (§5.1).
+	ExcStore
+	// ExcCaliformConflict is a CFORM instruction violating the Table 1
+	// K-map: setting an already-set security byte or unsetting a
+	// normal byte.
+	ExcCaliformConflict
+	// ExcLSQOrder is a load or store younger than an in-flight CFORM
+	// to the same line (§5.3).
+	ExcLSQOrder
+	// ExcMisaligned is a CFORM whose base address is not cache-line
+	// aligned.
+	ExcMisaligned
+)
+
+func (k ExceptionKind) String() string {
+	switch k {
+	case ExcLoad:
+		return "load-violation"
+	case ExcStore:
+		return "store-violation"
+	case ExcCaliformConflict:
+		return "cform-conflict"
+	case ExcLSQOrder:
+		return "lsq-order"
+	case ExcMisaligned:
+		return "cform-misaligned"
+	default:
+		return fmt.Sprintf("ExceptionKind(%d)", int(k))
+	}
+}
+
+// Exception is the privileged, precise Califorms exception (§4.2). It
+// is delivered to the next privilege level once the faulting
+// instruction becomes non-speculative; the faulting address is passed
+// in an existing register for reporting.
+type Exception struct {
+	Kind ExceptionKind
+	// Addr is the faulting virtual address (byte granular).
+	Addr uint64
+	// PC identifies the faulting instruction (trace index in this
+	// simulator).
+	PC uint64
+	// Suppressed records that the OS exception handler consulted the
+	// exception mask registers and whitelisted the access.
+	Suppressed bool
+}
+
+func (e *Exception) Error() string {
+	return fmt.Sprintf("califorms exception %s at addr %#x (pc %d)", e.Kind, e.Addr, e.PC)
+}
+
+// CFORM is the architectural califorming instruction
+// "CFORM R1, R2, R3" (§4.1): R1 holds the cache-line-aligned base
+// address, R2 the attribute bit vector (1 = make the byte a security
+// byte, 0 = return it to a normal byte), and R3 the allow mask
+// (only bytes whose mask bit is 1 change state).
+type CFORM struct {
+	Base  uint64
+	Attrs uint64
+	Mask  uint64
+	// NonTemporal marks the streaming variant (§6.1 footnote): the
+	// modified line bypasses the L1 data cache, like MOVNTI, so that
+	// califorming freed memory does not pollute the cache.
+	NonTemporal bool
+}
+
+// LineAlignMask is the alignment requirement of CFORM base addresses.
+const LineAlignMask = 63
+
+// Validate checks the structural constraints of the instruction.
+func (c CFORM) Validate() error {
+	if c.Base&LineAlignMask != 0 {
+		return &Exception{Kind: ExcMisaligned, Addr: c.Base}
+	}
+	return nil
+}
+
+// MaskRegisters model the exception mask registers of §4.2/§6.3: the
+// OS manipulates them around whitelisted routines (memcpy, struct
+// assignment) via privileged stores, and the exception handler
+// consults them to decide whether to suppress a Califorms exception.
+//
+// The model is a per-hart suppression depth so that nested whitelisted
+// regions compose; real hardware would hold a small fixed register
+// set.
+type MaskRegisters struct {
+	depth int
+	// Entered counts whitelist region entries, for audit (§7.3 warns
+	// whitelisting is an attack vector to keep minimal).
+	Entered uint64
+}
+
+// EnterWhitelisted marks the start of a whitelisted region
+// (privileged store setting the mask register).
+func (m *MaskRegisters) EnterWhitelisted() {
+	m.depth++
+	m.Entered++
+}
+
+// ExitWhitelisted marks the end of a whitelisted region. Exiting a
+// region that was never entered panics: it indicates a broken OS
+// shim, not a recoverable runtime condition.
+func (m *MaskRegisters) ExitWhitelisted() {
+	if m.depth == 0 {
+		panic("isa: ExitWhitelisted without matching EnterWhitelisted")
+	}
+	m.depth--
+}
+
+// Active reports whether exceptions are currently suppressed.
+func (m *MaskRegisters) Active() bool { return m.depth > 0 }
+
+// Filter applies the mask registers to a raised exception, following
+// the OS handler logic: whitelisted regions suppress load/store
+// violations but never CFORM conflicts (those indicate allocator
+// bugs) or misalignment.
+func (m *MaskRegisters) Filter(e *Exception) (deliver bool) {
+	if e == nil {
+		return false
+	}
+	if !m.Active() {
+		return true
+	}
+	switch e.Kind {
+	case ExcLoad, ExcStore, ExcLSQOrder:
+		e.Suppressed = true
+		return false
+	default:
+		return true
+	}
+}

@@ -1,0 +1,81 @@
+package isa
+
+import "testing"
+
+func TestCFORMValidate(t *testing.T) {
+	if err := (CFORM{Base: 0x1000}).Validate(); err != nil {
+		t.Fatalf("aligned CFORM rejected: %v", err)
+	}
+	err := (CFORM{Base: 0x1001}).Validate()
+	exc, ok := err.(*Exception)
+	if !ok || exc.Kind != ExcMisaligned {
+		t.Fatalf("misaligned CFORM: got %v", err)
+	}
+}
+
+func TestMaskRegistersNesting(t *testing.T) {
+	var m MaskRegisters
+	if m.Active() {
+		t.Fatal("fresh registers must not be active")
+	}
+	m.EnterWhitelisted()
+	m.EnterWhitelisted()
+	m.ExitWhitelisted()
+	if !m.Active() {
+		t.Fatal("nested region must remain active after one exit")
+	}
+	m.ExitWhitelisted()
+	if m.Active() {
+		t.Fatal("balanced exits must deactivate")
+	}
+	if m.Entered != 2 {
+		t.Fatalf("entered count = %d, want 2", m.Entered)
+	}
+}
+
+func TestMaskRegistersUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced ExitWhitelisted must panic")
+		}
+	}()
+	var m MaskRegisters
+	m.ExitWhitelisted()
+}
+
+func TestFilterSuppressesOnlyAccessViolations(t *testing.T) {
+	var m MaskRegisters
+	e := &Exception{Kind: ExcLoad, Addr: 0x40}
+	if !m.Filter(e) {
+		t.Fatal("exception outside whitelist must be delivered")
+	}
+
+	m.EnterWhitelisted()
+	e = &Exception{Kind: ExcLoad, Addr: 0x40}
+	if m.Filter(e) {
+		t.Fatal("whitelisted load violation must be suppressed")
+	}
+	if !e.Suppressed {
+		t.Fatal("suppressed flag must be recorded")
+	}
+	conflict := &Exception{Kind: ExcCaliformConflict, Addr: 0x40}
+	if !m.Filter(conflict) {
+		t.Fatal("CFORM conflicts must always be delivered")
+	}
+	if m.Filter(nil) {
+		t.Fatal("nil exception must not be delivered")
+	}
+}
+
+func TestExceptionError(t *testing.T) {
+	e := &Exception{Kind: ExcStore, Addr: 0x1234, PC: 7}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+	kinds := []ExceptionKind{ExcLoad, ExcStore, ExcCaliformConflict, ExcLSQOrder, ExcMisaligned, ExceptionKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty string", int(k))
+		}
+	}
+}

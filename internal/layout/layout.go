@@ -1,0 +1,249 @@
+// Package layout implements the type-layout half of the Califorms
+// compiler support (§2, §6.2): C natural-alignment struct layout,
+// padding discovery, struct-density metrics (Figure 3), and the three
+// security-byte insertion policies — opportunistic, full and
+// intelligent (Listing 1).
+package layout
+
+import "fmt"
+
+// Kind is a scalar C type kind on an LP64 target.
+type Kind int
+
+const (
+	Char Kind = iota
+	Short
+	Int
+	Long
+	Float
+	Double
+	Ptr
+	FuncPtr
+)
+
+var kindInfo = [...]struct {
+	name string
+	size int
+}{
+	Char:    {"char", 1},
+	Short:   {"short", 2},
+	Int:     {"int", 4},
+	Long:    {"long", 8},
+	Float:   {"float", 4},
+	Double:  {"double", 8},
+	Ptr:     {"ptr", 8},
+	FuncPtr: {"fnptr", 8},
+}
+
+// Size returns the scalar size in bytes.
+func (k Kind) Size() int { return kindInfo[k].size }
+
+// Align returns the natural alignment (equal to size for scalars).
+func (k Kind) Align() int { return kindInfo[k].size }
+
+func (k Kind) String() string { return kindInfo[k].name }
+
+// Field is one struct member: a scalar or an array of scalars.
+type Field struct {
+	Name string
+	Kind Kind
+	// ArrayLen is the element count for array fields, 0 for scalars.
+	ArrayLen int
+}
+
+// Size returns the field's total size.
+func (f Field) Size() int {
+	if f.ArrayLen > 0 {
+		return f.ArrayLen * f.Kind.Size()
+	}
+	return f.Kind.Size()
+}
+
+// Align returns the field's alignment requirement.
+func (f Field) Align() int { return f.Kind.Align() }
+
+// IsArray reports whether the field is an array.
+func (f Field) IsArray() bool { return f.ArrayLen > 0 }
+
+// IsPointer reports whether the field is a data or function pointer.
+// Together with arrays these are the targets of the intelligent
+// insertion policy: the types most prone to overflow abuse (§2).
+func (f Field) IsPointer() bool { return f.Kind == Ptr || f.Kind == FuncPtr }
+
+// StructDef is a compound data type definition.
+type StructDef struct {
+	Name   string
+	Fields []Field
+}
+
+// SpanKind classifies a byte range of a layout.
+type SpanKind int
+
+const (
+	// SpanField holds program data.
+	SpanField SpanKind = iota
+	// SpanPad is compiler-inserted alignment padding not used for
+	// blacklisting.
+	SpanPad
+	// SpanSecurity is a blacklisted (security byte) range: either
+	// harvested padding or inserted security bytes.
+	SpanSecurity
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case SpanField:
+		return "field"
+	case SpanPad:
+		return "pad"
+	case SpanSecurity:
+		return "security"
+	default:
+		return fmt.Sprintf("SpanKind(%d)", int(k))
+	}
+}
+
+// Span is a contiguous byte range of a layout.
+type Span struct {
+	Kind   SpanKind
+	Offset int
+	Size   int
+	// Field is the index into the struct's Fields for SpanField spans,
+	// -1 otherwise.
+	Field int
+}
+
+// Layout is a concrete byte layout of a struct, possibly with
+// security bytes inserted.
+type Layout struct {
+	Name  string
+	Size  int
+	Align int
+	Spans []Span
+}
+
+// FieldOffset returns the byte offset of field index i.
+func (l *Layout) FieldOffset(i int) int {
+	for _, s := range l.Spans {
+		if s.Kind == SpanField && s.Field == i {
+			return s.Offset
+		}
+	}
+	panic(fmt.Sprintf("layout: field %d not present in %s", i, l.Name))
+}
+
+// FieldBytes returns the total data bytes.
+func (l *Layout) FieldBytes() int {
+	n := 0
+	for _, s := range l.Spans {
+		if s.Kind == SpanField {
+			n += s.Size
+		}
+	}
+	return n
+}
+
+// PaddingBytes returns the bytes of non-data space (padding plus
+// security bytes).
+func (l *Layout) PaddingBytes() int { return l.Size - l.FieldBytes() }
+
+// SecurityBytes returns the number of blacklisted bytes.
+func (l *Layout) SecurityBytes() int {
+	n := 0
+	for _, s := range l.Spans {
+		if s.Kind == SpanSecurity {
+			n += s.Size
+		}
+	}
+	return n
+}
+
+// SecurityOffsets returns every blacklisted byte offset, ascending.
+func (l *Layout) SecurityOffsets() []int {
+	var out []int
+	for _, s := range l.Spans {
+		if s.Kind == SpanSecurity {
+			for i := 0; i < s.Size; i++ {
+				out = append(out, s.Offset+i)
+			}
+		}
+	}
+	return out
+}
+
+// Density is the struct-density metric of Figure 3: the sum of field
+// sizes divided by the total struct size (smaller means more
+// padding). Security bytes count as non-data space.
+func (l *Layout) Density() float64 {
+	if l.Size == 0 {
+		return 1
+	}
+	return float64(l.FieldBytes()) / float64(l.Size)
+}
+
+// Validate checks structural invariants: spans are contiguous,
+// non-overlapping, cover [0, Size), and fields are aligned.
+func (l *Layout) Validate(def *StructDef) error {
+	pos := 0
+	seen := make([]bool, len(def.Fields))
+	for _, s := range l.Spans {
+		if s.Offset != pos {
+			return fmt.Errorf("layout %s: span at %d, expected %d", l.Name, s.Offset, pos)
+		}
+		if s.Size <= 0 {
+			return fmt.Errorf("layout %s: empty span at %d", l.Name, pos)
+		}
+		if s.Kind == SpanField {
+			f := def.Fields[s.Field]
+			if s.Size != f.Size() {
+				return fmt.Errorf("layout %s: field %s size %d, want %d", l.Name, f.Name, s.Size, f.Size())
+			}
+			if s.Offset%f.Align() != 0 {
+				return fmt.Errorf("layout %s: field %s at %d violates alignment %d", l.Name, f.Name, s.Offset, f.Align())
+			}
+			seen[s.Field] = true
+		}
+		pos += s.Size
+	}
+	if pos != l.Size {
+		return fmt.Errorf("layout %s: spans cover %d bytes, size %d", l.Name, pos, l.Size)
+	}
+	if l.Size%l.Align != 0 {
+		return fmt.Errorf("layout %s: size %d not multiple of align %d", l.Name, l.Size, l.Align)
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("layout %s: field %s missing", l.Name, def.Fields[i].Name)
+		}
+	}
+	return nil
+}
+
+// Natural computes the C natural-alignment layout of a struct with no
+// security bytes: alignment holes become SpanPad.
+func Natural(def *StructDef) Layout {
+	l := Layout{Name: def.Name, Align: 1}
+	pos := 0
+	for i, f := range def.Fields {
+		if a := f.Align(); a > l.Align {
+			l.Align = a
+		}
+		if rem := pos % f.Align(); rem != 0 {
+			pad := f.Align() - rem
+			l.Spans = append(l.Spans, Span{Kind: SpanPad, Offset: pos, Size: pad, Field: -1})
+			pos += pad
+		}
+		l.Spans = append(l.Spans, Span{Kind: SpanField, Offset: pos, Size: f.Size(), Field: i})
+		pos += f.Size()
+	}
+	if l.Align == 0 {
+		l.Align = 1
+	}
+	if rem := pos % l.Align; rem != 0 {
+		pad := l.Align - rem
+		l.Spans = append(l.Spans, Span{Kind: SpanPad, Offset: pos, Size: pad, Field: -1})
+		pos += pad
+	}
+	l.Size = pos
+	return l
+}

@@ -1,0 +1,263 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// listing1 is struct A from Listing 1 of the paper:
+//
+//	struct A { char c; int i; char buf[64]; void (*fp)(); double d; }
+func listing1() StructDef {
+	return StructDef{Name: "A", Fields: []Field{
+		{Name: "c", Kind: Char},
+		{Name: "i", Kind: Int},
+		{Name: "buf", Kind: Char, ArrayLen: 64},
+		{Name: "fp", Kind: FuncPtr},
+		{Name: "d", Kind: Double},
+	}}
+}
+
+func TestNaturalLayoutListing1(t *testing.T) {
+	def := listing1()
+	l := Natural(&def)
+	if err := l.Validate(&def); err != nil {
+		t.Fatal(err)
+	}
+	// char c @0, 3 bytes padding, int i @4, buf @8..71, fp @72, d @80.
+	if l.FieldOffset(0) != 0 || l.FieldOffset(1) != 4 || l.FieldOffset(2) != 8 ||
+		l.FieldOffset(3) != 72 || l.FieldOffset(4) != 80 {
+		t.Fatalf("offsets: %d %d %d %d %d", l.FieldOffset(0), l.FieldOffset(1),
+			l.FieldOffset(2), l.FieldOffset(3), l.FieldOffset(4))
+	}
+	if l.Size != 88 || l.Align != 8 {
+		t.Fatalf("size=%d align=%d, want 88/8", l.Size, l.Align)
+	}
+	if l.PaddingBytes() != 3 {
+		t.Fatalf("padding=%d, want 3 (compiler-inserted, Listing 1b)", l.PaddingBytes())
+	}
+}
+
+func TestOpportunisticHarvestsPaddingOnly(t *testing.T) {
+	def := listing1()
+	nat := Natural(&def)
+	opp := Apply(&def, Opportunistic, PolicyConfig{})
+	if err := opp.Validate(&def); err != nil {
+		t.Fatal(err)
+	}
+	if opp.Size != nat.Size {
+		t.Fatal("opportunistic must not change the layout size (interoperability)")
+	}
+	if opp.SecurityBytes() != nat.PaddingBytes() {
+		t.Fatalf("security=%d, want all %d padding bytes", opp.SecurityBytes(), nat.PaddingBytes())
+	}
+	// Same field offsets as natural.
+	for i := range def.Fields {
+		if opp.FieldOffset(i) != nat.FieldOffset(i) {
+			t.Fatalf("field %d moved", i)
+		}
+	}
+}
+
+func TestFullPolicyProtectsEveryBoundary(t *testing.T) {
+	def := listing1()
+	r := rand.New(rand.NewSource(1))
+	l := Apply(&def, Full, PolicyConfig{MinPad: 1, MaxPad: 7, Rand: r})
+	if err := l.Validate(&def); err != nil {
+		t.Fatal(err)
+	}
+	// Every field must have a security span immediately before and
+	// after it (Listing 1c).
+	for _, s := range l.Spans {
+		if s.Kind != SpanField {
+			continue
+		}
+		if !securityAt(l, s.Offset-1) {
+			t.Fatalf("field %d not protected on the left", s.Field)
+		}
+		if s.Offset+s.Size < l.Size && !securityAt(l, s.Offset+s.Size) {
+			t.Fatalf("field %d not protected on the right", s.Field)
+		}
+	}
+	if l.Size <= Natural(&def).Size {
+		t.Fatal("full insertion must grow the struct")
+	}
+	// No plain padding survives under full.
+	for _, s := range l.Spans {
+		if s.Kind == SpanPad {
+			t.Fatal("full policy must harvest all padding")
+		}
+	}
+}
+
+func TestIntelligentPolicyTargetsArraysAndPointers(t *testing.T) {
+	def := listing1()
+	r := rand.New(rand.NewSource(2))
+	l := Apply(&def, Intelligent, PolicyConfig{MinPad: 1, MaxPad: 7, Rand: r})
+	if err := l.Validate(&def); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range l.Spans {
+		if s.Kind != SpanField {
+			continue
+		}
+		f := def.Fields[s.Field]
+		if f.IsArray() || f.IsPointer() {
+			if !securityAt(l, s.Offset-1) {
+				t.Fatalf("%s not protected on the left", f.Name)
+			}
+			if s.Offset+s.Size < l.Size && !securityAt(l, s.Offset+s.Size) {
+				t.Fatalf("%s not protected on the right", f.Name)
+			}
+		}
+	}
+	// char c and int i are not surrounded by *inserted* spans; with
+	// HarvestPadding off their hole remains plain padding.
+	full := Apply(&def, Full, PolicyConfig{MinPad: 1, MaxPad: 7, Rand: rand.New(rand.NewSource(2))})
+	if l.SecurityBytes() >= full.SecurityBytes() {
+		t.Fatal("intelligent must insert fewer security bytes than full")
+	}
+}
+
+func securityAt(l Layout, off int) bool {
+	for _, s := range l.Spans {
+		if s.Kind == SpanSecurity && off >= s.Offset && off < s.Offset+s.Size {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFixedPadSweep(t *testing.T) {
+	// Figure 4 inserts fixed 1..7-byte paddings between all fields.
+	def := listing1()
+	prev := 0
+	first, last := 0, 0
+	for k := 1; k <= 7; k++ {
+		l := Apply(&def, Full, PolicyConfig{FixedPad: k})
+		if err := l.Validate(&def); err != nil {
+			t.Fatalf("pad %d: %v", k, err)
+		}
+		// Alignment holes absorb part of each step, so growth is
+		// monotone but not strict.
+		if l.Size < prev {
+			t.Fatalf("pad %d: size %d shrank (prev %d)", k, l.Size, prev)
+		}
+		prev = l.Size
+		if k == 1 {
+			first = l.Size
+		}
+		last = l.Size
+	}
+	if last <= first {
+		t.Fatalf("7B padding (%d) must exceed 1B padding (%d)", last, first)
+	}
+}
+
+func TestApplyRandomizedLayoutsAlwaysValid(t *testing.T) {
+	// Property: any generated struct under any policy yields a valid
+	// layout where all fields stay naturally aligned.
+	r := rand.New(rand.NewSource(3))
+	defs := SPECProfile().Generate(300, 99)
+	for i := range defs {
+		for _, pol := range []Policy{Opportunistic, Full, Intelligent} {
+			cfg := PolicyConfig{MinPad: 1, MaxPad: 7, Rand: r}
+			l := Apply(&defs[i], pol, cfg)
+			if err := l.Validate(&defs[i]); err != nil {
+				t.Fatalf("%s under %v: %v", defs[i].Name, pol, err)
+			}
+		}
+	}
+}
+
+func TestRandomSpanBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := PolicyConfig{MinPad: 1, MaxPad: 7, Rand: r}
+		for i := 0; i < 100; i++ {
+			n := cfg.span()
+			if n < 1 || n > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDensityMetric(t *testing.T) {
+	// A struct with no padding has density 1.0.
+	dense := StructDef{Name: "dense", Fields: []Field{
+		{Name: "a", Kind: Long}, {Name: "b", Kind: Long},
+	}}
+	l := Natural(&dense)
+	if l.Density() != 1.0 {
+		t.Fatalf("density = %v, want 1.0", l.Density())
+	}
+	// Listing 1: 85 data bytes in 88 total.
+	def := listing1()
+	l = Natural(&def)
+	want := 85.0 / 88.0
+	if l.Density() != want {
+		t.Fatalf("density = %v, want %v", l.Density(), want)
+	}
+}
+
+func TestCorpusCalibration(t *testing.T) {
+	// Figure 3 headline numbers: 45.7% of SPEC structs and 41.0% of V8
+	// structs have at least one padding byte. The synthetic corpora
+	// must land close (±5 percentage points).
+	spec := Densities(SPECProfile().Generate(20000, 1))
+	if spec.PaddedFraction < 0.407 || spec.PaddedFraction > 0.507 {
+		t.Fatalf("SPEC padded fraction = %.3f, want 0.457±0.05", spec.PaddedFraction)
+	}
+	v8 := Densities(V8Profile().Generate(20000, 2))
+	if v8.PaddedFraction < 0.36 || v8.PaddedFraction > 0.46 {
+		t.Fatalf("V8 padded fraction = %.3f, want 0.410±0.05", v8.PaddedFraction)
+	}
+	// The fully-dense spike dominates, as in both histograms.
+	if spec.Bins[9] < 0.4 || v8.Bins[9] < 0.4 {
+		t.Fatalf("density spike too small: spec %.2f v8 %.2f", spec.Bins[9], v8.Bins[9])
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	a := SPECProfile().Generate(50, 7)
+	b := SPECProfile().Generate(50, 7)
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Fields) != len(b[i].Fields) {
+			t.Fatal("generation must be deterministic per seed")
+		}
+		for j := range a[i].Fields {
+			if a[i].Fields[j] != b[i].Fields[j] {
+				t.Fatal("field mismatch across identical seeds")
+			}
+		}
+	}
+}
+
+func TestSecurityOffsetsMatchSpans(t *testing.T) {
+	def := listing1()
+	r := rand.New(rand.NewSource(4))
+	l := Apply(&def, Full, PolicyConfig{MinPad: 2, MaxPad: 2, Rand: r})
+	offs := l.SecurityOffsets()
+	if len(offs) != l.SecurityBytes() {
+		t.Fatalf("offsets %d != bytes %d", len(offs), l.SecurityBytes())
+	}
+	for _, o := range offs {
+		if !securityAt(l, o) {
+			t.Fatalf("offset %d not in a security span", o)
+		}
+	}
+}
+
+func TestEmptyStruct(t *testing.T) {
+	def := StructDef{Name: "empty"}
+	l := Apply(&def, Full, PolicyConfig{FixedPad: 1})
+	if l.Size < 1 {
+		t.Fatal("empty struct must occupy at least one byte")
+	}
+}

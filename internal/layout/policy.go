@@ -1,0 +1,190 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy selects a security-byte insertion strategy (§2, Listing 1).
+type Policy int
+
+const (
+	// Opportunistic harvests existing alignment padding as security
+	// bytes without changing the type layout (Listing 1b). Zero memory
+	// overhead; retains binary interoperability.
+	Opportunistic Policy = iota
+	// Full surrounds every field with randomly sized security bytes
+	// (Listing 1c). Widest coverage, highest overhead.
+	Full
+	// Intelligent surrounds only arrays and pointers — the types most
+	// prone to overflow abuse — with security bytes (Listing 1d).
+	Intelligent
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Opportunistic:
+		return "opportunistic"
+	case Full:
+		return "full"
+	case Intelligent:
+		return "intelligent"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// PolicyConfig parameterizes the insertion pass.
+type PolicyConfig struct {
+	// MinPad and MaxPad bound the random security-span size, inclusive
+	// (the paper evaluates 1–3, 1–5 and 1–7 bytes). Random sizes give
+	// a probabilistic defense: fixed spans could be jumped over once
+	// the attacker learns the layout (§2).
+	MinPad, MaxPad int
+	// FixedPad, when positive, overrides the random size with a fixed
+	// one (the Figure 4 sweep uses 1..7).
+	FixedPad int
+	// HarvestPadding additionally converts residual alignment padding
+	// into security bytes. Full does this implicitly; for Intelligent
+	// it is optional and costs nothing in memory but adds CFORM work
+	// (§2), hence the default off.
+	HarvestPadding bool
+	// Rand supplies layout randomness. Required for Full/Intelligent
+	// unless FixedPad is set.
+	Rand *rand.Rand
+}
+
+// span returns the next security-span size.
+func (c *PolicyConfig) span() int {
+	if c.FixedPad > 0 {
+		return c.FixedPad
+	}
+	min, max := c.MinPad, c.MaxPad
+	if min <= 0 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if c.Rand == nil {
+		panic("layout: PolicyConfig.Rand is required for random security spans")
+	}
+	return min + c.Rand.Intn(max-min+1)
+}
+
+// Apply produces a califormed layout of def under the given policy.
+// The returned layout keeps natural field alignment; alignment holes
+// created by inserted security bytes are themselves harvested as
+// security bytes (they are dead space under the program's control).
+func Apply(def *StructDef, p Policy, cfg PolicyConfig) Layout {
+	switch p {
+	case Opportunistic:
+		return applyOpportunistic(def)
+	case Full:
+		cfg.HarvestPadding = true // full protects every non-data byte
+		return applyInsertion(def, cfg, func(Field) bool { return true })
+	case Intelligent:
+		return applyInsertion(def, cfg, func(f Field) bool { return f.IsArray() || f.IsPointer() })
+	default:
+		panic(fmt.Sprintf("layout: unknown policy %d", int(p)))
+	}
+}
+
+// applyOpportunistic relabels natural padding as security bytes.
+func applyOpportunistic(def *StructDef) Layout {
+	l := Natural(def)
+	for i := range l.Spans {
+		if l.Spans[i].Kind == SpanPad {
+			l.Spans[i].Kind = SpanSecurity
+		}
+	}
+	return l
+}
+
+// applyInsertion inserts a security span before each selected field,
+// after the last selected field, and harvests any alignment holes.
+// The Full policy selects every field, reproducing Listing 1(c);
+// Intelligent selects arrays and pointers, reproducing Listing 1(d).
+func applyInsertion(def *StructDef, cfg PolicyConfig, want func(Field) bool) Layout {
+	l := Layout{Name: def.Name, Align: 1}
+	pos := 0
+
+	emitSecurity := func(n int) {
+		if n <= 0 {
+			return
+		}
+		// Merge with a preceding security span for canonical output.
+		if len(l.Spans) > 0 {
+			last := &l.Spans[len(l.Spans)-1]
+			if last.Kind == SpanSecurity && last.Offset+last.Size == pos {
+				last.Size += n
+				pos += n
+				return
+			}
+		}
+		l.Spans = append(l.Spans, Span{Kind: SpanSecurity, Offset: pos, Size: n, Field: -1})
+		pos += n
+	}
+
+	harvestKind := SpanPad
+	if cfg.HarvestPadding {
+		harvestKind = SpanSecurity
+	}
+	alignTo := func(a int, kind SpanKind) {
+		if rem := pos % a; rem != 0 {
+			n := a - rem
+			if kind == SpanSecurity {
+				emitSecurity(n)
+			} else {
+				l.Spans = append(l.Spans, Span{Kind: kind, Offset: pos, Size: n, Field: -1})
+				pos += n
+			}
+		}
+	}
+
+	for i, f := range def.Fields {
+		if a := f.Align(); a > l.Align {
+			l.Align = a
+		}
+		if want(f) {
+			emitSecurity(cfg.span())
+			// The inserted bytes disturb alignment; the hole needed to
+			// realign the field is dead space and joins the security
+			// span.
+			alignTo(f.Align(), SpanSecurity)
+		} else {
+			alignTo(f.Align(), harvestKind)
+		}
+		l.Spans = append(l.Spans, Span{Kind: SpanField, Offset: pos, Size: f.Size(), Field: i})
+		pos += f.Size()
+		// A selected field is also protected on its tail side if it is
+		// the last field or the next field is unselected (otherwise
+		// the next field's leading span covers it).
+		if want(f) {
+			next := i + 1
+			if next >= len(def.Fields) || !want(def.Fields[next]) {
+				emitSecurity(cfg.span())
+			}
+		}
+	}
+	if l.Align == 0 {
+		l.Align = 1
+	}
+	alignTo(l.Align, harvestKind)
+	l.Size = pos
+	if l.Size == 0 {
+		l.Size = 1 // empty structs occupy one byte, as in C++
+	}
+	return l
+}
+
+// FieldMap reports, for each field index, its offset in the layout.
+func FieldMap(l *Layout) map[int]int {
+	m := make(map[int]int)
+	for _, s := range l.Spans {
+		if s.Kind == SpanField {
+			m[s.Field] = s.Offset
+		}
+	}
+	return m
+}

@@ -1,0 +1,123 @@
+// Package mem models main memory and the operating-system metadata
+// paths of the Califorms design (§3, §6.3): DRAM keeps califormed
+// lines as-is and stores the one metadata bit per cache line in spare
+// ECC bits (as Oracle ADI does); when a page is swapped out, the page
+// fault handler spills the per-line bits into a reserved OS-managed
+// address space (8B for a 4KB page) and reclaims them on swap-in.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/cacheline"
+)
+
+// PageSize is the virtual memory page size.
+const PageSize = 4096
+
+// LinesPerPage is the number of cache lines per page; the swap
+// metadata for a page is exactly one bit per line, i.e. 8 bytes.
+const LinesPerPage = PageSize / cacheline.Size
+
+// Stats counts memory-level events.
+type Stats struct {
+	LineReads  uint64
+	LineWrites uint64
+	SwapOuts   uint64
+	SwapIns    uint64
+}
+
+// Memory is the DRAM model. Lines are addressed by line index
+// (byte address >> 6) and stored in sentinel format; the Califormed
+// flag stands in for the ECC spare bit.
+type Memory struct {
+	lines map[uint64]cacheline.Sentinel
+	// reserved models the OS-reserved address space holding swap
+	// metadata: 8 bytes (64 bits) per swapped-out page.
+	reserved map[uint64]uint64
+	// swapSpace holds the data content of swapped-out pages, standing
+	// in for the swap device. Califormed-format bytes are stored
+	// verbatim: the design keeps lines califormed end to end.
+	swapSpace map[uint64][PageSize]byte
+	Stats     Stats
+}
+
+// New creates an empty memory.
+func New() *Memory {
+	return &Memory{
+		lines:     make(map[uint64]cacheline.Sentinel),
+		reserved:  make(map[uint64]uint64),
+		swapSpace: make(map[uint64][PageSize]byte),
+	}
+}
+
+// ReadLine fetches the sentinel-format line at the given line index.
+// Untouched memory reads as zeroed, non-califormed lines.
+func (m *Memory) ReadLine(lineIdx uint64) cacheline.Sentinel {
+	m.Stats.LineReads++
+	return m.lines[lineIdx]
+}
+
+// WriteLine stores a sentinel-format line, ECC metadata bit included.
+func (m *Memory) WriteLine(lineIdx uint64, s cacheline.Sentinel) {
+	m.Stats.LineWrites++
+	if !s.Califormed && s.Data == (cacheline.Data{}) {
+		// Keep the map sparse for untouched/zero lines.
+		delete(m.lines, lineIdx)
+		return
+	}
+	m.lines[lineIdx] = s
+}
+
+// Footprint returns the number of distinct lines currently resident.
+func (m *Memory) Footprint() int { return len(m.lines) }
+
+// SwapOut evicts the page containing pageIdx*PageSize to the swap
+// device. The ECC metadata bits do not exist on disk, so the handler
+// packs the 64 per-line califormed bits into one 8-byte word in the
+// reserved region (§6.3).
+func (m *Memory) SwapOut(pageIdx uint64) error {
+	if _, ok := m.swapSpace[pageIdx]; ok {
+		return fmt.Errorf("mem: page %d already swapped out", pageIdx)
+	}
+	var data [PageSize]byte
+	var meta uint64
+	base := pageIdx * LinesPerPage
+	for i := uint64(0); i < LinesPerPage; i++ {
+		s := m.lines[base+i]
+		copy(data[i*cacheline.Size:], s.Data[:])
+		if s.Califormed {
+			meta |= 1 << i
+		}
+		delete(m.lines, base+i)
+	}
+	m.swapSpace[pageIdx] = data
+	m.reserved[pageIdx] = meta
+	m.Stats.SwapOuts++
+	return nil
+}
+
+// SwapIn restores a page, reuniting the stored data with the metadata
+// bits saved in the reserved region.
+func (m *Memory) SwapIn(pageIdx uint64) error {
+	data, ok := m.swapSpace[pageIdx]
+	if !ok {
+		return fmt.Errorf("mem: page %d is not swapped out", pageIdx)
+	}
+	meta := m.reserved[pageIdx]
+	base := pageIdx * LinesPerPage
+	for i := uint64(0); i < LinesPerPage; i++ {
+		var s cacheline.Sentinel
+		copy(s.Data[:], data[i*cacheline.Size:(i+1)*cacheline.Size])
+		s.Califormed = meta&(1<<i) != 0
+		m.WriteLine(base+i, s)
+	}
+	delete(m.swapSpace, pageIdx)
+	delete(m.reserved, pageIdx)
+	m.Stats.SwapIns++
+	return nil
+}
+
+// SwappedMetadataBytes returns the size of the OS-reserved metadata
+// region currently in use: 8 bytes per swapped-out page.
+func (m *Memory) SwappedMetadataBytes() int { return len(m.reserved) * 8 }

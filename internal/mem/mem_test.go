@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cacheline"
+)
+
+func TestReadUntouchedIsZero(t *testing.T) {
+	m := New()
+	s := m.ReadLine(12345)
+	if s.Califormed || s.Data != (cacheline.Data{}) {
+		t.Fatal("untouched memory must read as zero, natural format")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := New()
+	var d cacheline.Data
+	for i := range d {
+		d[i] = byte(i)
+	}
+	m.WriteLine(7, cacheline.Sentinel{Data: d, Califormed: true})
+	got := m.ReadLine(7)
+	if !got.Califormed || got.Data != d {
+		t.Fatal("line round trip failed")
+	}
+}
+
+func TestZeroLineKeptSparse(t *testing.T) {
+	m := New()
+	m.WriteLine(3, cacheline.Sentinel{})
+	if m.Footprint() != 0 {
+		t.Fatal("all-zero natural line should not consume footprint")
+	}
+	m.WriteLine(3, cacheline.Sentinel{Califormed: true})
+	if m.Footprint() != 1 {
+		t.Fatal("califormed line must be retained even if data is zero")
+	}
+}
+
+func TestSwapPreservesCaliformMetadata(t *testing.T) {
+	m := New()
+	r := rand.New(rand.NewSource(1))
+	const page = uint64(5)
+	base := page * LinesPerPage
+
+	want := make(map[uint64]cacheline.Sentinel)
+	for i := uint64(0); i < LinesPerPage; i++ {
+		var d cacheline.Data
+		r.Read(d[:])
+		s := cacheline.Sentinel{Data: d, Califormed: i%3 == 0}
+		m.WriteLine(base+i, s)
+		want[base+i] = s
+	}
+
+	if err := m.SwapOut(page); err != nil {
+		t.Fatal(err)
+	}
+	if m.SwappedMetadataBytes() != 8 {
+		t.Fatalf("swap metadata = %dB, want 8B per 4KB page (§6.3)", m.SwappedMetadataBytes())
+	}
+	for i := uint64(0); i < LinesPerPage; i++ {
+		if got := m.ReadLine(base + i); got.Califormed || got.Data != (cacheline.Data{}) {
+			t.Fatal("swapped-out page must read as absent")
+		}
+	}
+
+	if err := m.SwapIn(page); err != nil {
+		t.Fatal(err)
+	}
+	for idx, s := range want {
+		got := m.ReadLine(idx)
+		if got.Califormed != s.Califormed || got.Data != s.Data {
+			t.Fatalf("line %d corrupted across swap", idx)
+		}
+	}
+	if m.SwappedMetadataBytes() != 0 {
+		t.Fatal("metadata must be reclaimed on swap-in")
+	}
+}
+
+func TestSwapErrors(t *testing.T) {
+	m := New()
+	if err := m.SwapIn(9); err == nil {
+		t.Fatal("swap-in of resident page must fail")
+	}
+	if err := m.SwapOut(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SwapOut(9); err == nil {
+		t.Fatal("double swap-out must fail")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := New()
+	m.ReadLine(1)
+	m.WriteLine(1, cacheline.Sentinel{Califormed: true})
+	if m.Stats.LineReads != 1 || m.Stats.LineWrites != 1 {
+		t.Fatalf("stats = %+v", m.Stats)
+	}
+}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// BenchSlowdown is one benchmark's slowdown under a configuration.
+type BenchSlowdown struct {
+	Name     string
+	Slowdown float64
+}
+
+// parallelMap runs f over 0..n-1 on all cores.
+func parallelMap(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Fig4Result is the padding-size sweep of Figure 4: the average
+// slowdown when a fixed k-byte padding is inserted between every
+// field (full policy, no CFORM instructions: the ideal lower bound).
+type Fig4Result struct {
+	PadBytes []int
+	// AvgSlowdown[i] corresponds to PadBytes[i].
+	AvgSlowdown []float64
+	// PerBench[name][i] is each benchmark's slowdown at PadBytes[i].
+	PerBench map[string][]float64
+}
+
+// Fig4 runs the sweep over the Figure 10 benchmark set.
+func Fig4(visits int) Fig4Result {
+	specs := workload.Fig10Set()
+	pads := []int{1, 2, 3, 4, 5, 6, 7}
+	res := Fig4Result{PadBytes: pads, PerBench: make(map[string][]float64)}
+
+	type cell struct {
+		bench int
+		pad   int // 0 = baseline
+	}
+	var cells []cell
+	for b := range specs {
+		for p := 0; p <= len(pads); p++ {
+			cells = append(cells, cell{bench: b, pad: p})
+		}
+	}
+	cycles := make(map[cell]float64)
+	var mu sync.Mutex
+	parallelMap(len(cells), func(i int) {
+		c := cells[i]
+		rc := RunConfig{Policy: PolicyNone, Visits: visits}
+		if c.pad > 0 {
+			rc = RunConfig{Policy: PolicyFull, FixedPad: pads[c.pad-1], UseCForm: false, Visits: visits}
+		}
+		r := Run(specs[c.bench], rc)
+		mu.Lock()
+		cycles[c] = r.Cycles
+		mu.Unlock()
+	})
+
+	for pi := range pads {
+		var all []float64
+		for b, s := range specs {
+			base := cycles[cell{bench: b, pad: 0}]
+			v := cycles[cell{bench: b, pad: pi + 1}]
+			sd := stats.Slowdown(base, v)
+			res.PerBench[s.Name] = append(res.PerBench[s.Name], sd)
+			all = append(all, sd)
+		}
+		res.AvgSlowdown = append(res.AvgSlowdown, stats.Mean(all))
+	}
+	return res
+}
+
+// Fig10 measures the slowdown of adding one cycle to every L2 and L3
+// access, on uninstrumented binaries — the paper's pessimistic bound
+// on Califorms' hardware latency impact (average 0.83%).
+func Fig10(visits int) []BenchSlowdown {
+	specs := workload.Fig10Set()
+	out := make([]BenchSlowdown, len(specs))
+	parallelMap(len(specs), func(i int) {
+		base := Run(specs[i], RunConfig{Policy: PolicyNone, Visits: visits})
+		slow := cache.Westmere()
+		slow.ExtraL2L3 = 1
+		v := Run(specs[i], RunConfig{Policy: PolicyNone, Visits: visits, Hier: &slow})
+		out[i] = BenchSlowdown{Name: specs[i].Name, Slowdown: stats.Slowdown(base.Cycles, v.Cycles)}
+	})
+	return out
+}
+
+// Fig11Config names the seven bar groups of Figure 11.
+type Fig11Config struct {
+	Label    string
+	Policy   PolicyChoice
+	MaxPad   int
+	UseCForm bool
+}
+
+// Fig11Configs returns the paper's seven configurations: full policy
+// with random 1-3/1-5/1-7B spans without CFORM, opportunistic with
+// CFORM, and full 1-3/1-5/1-7B with CFORM.
+func Fig11Configs() []Fig11Config {
+	return []Fig11Config{
+		{Label: "1-3B", Policy: PolicyFull, MaxPad: 3, UseCForm: false},
+		{Label: "1-5B", Policy: PolicyFull, MaxPad: 5, UseCForm: false},
+		{Label: "1-7B", Policy: PolicyFull, MaxPad: 7, UseCForm: false},
+		{Label: "Opportunistic CFORM", Policy: PolicyOpportunistic, UseCForm: true},
+		{Label: "1-3B CFORM", Policy: PolicyFull, MaxPad: 3, UseCForm: true},
+		{Label: "1-5B CFORM", Policy: PolicyFull, MaxPad: 5, UseCForm: true},
+		{Label: "1-7B CFORM", Policy: PolicyFull, MaxPad: 7, UseCForm: true},
+	}
+}
+
+// Fig12Configs returns the six configurations of Figure 12: the
+// intelligent policy with and without CFORM instructions.
+func Fig12Configs() []Fig11Config {
+	return []Fig11Config{
+		{Label: "1-3B", Policy: PolicyIntelligent, MaxPad: 3, UseCForm: false},
+		{Label: "1-5B", Policy: PolicyIntelligent, MaxPad: 5, UseCForm: false},
+		{Label: "1-7B", Policy: PolicyIntelligent, MaxPad: 7, UseCForm: false},
+		{Label: "1-3B CFORM", Policy: PolicyIntelligent, MaxPad: 3, UseCForm: true},
+		{Label: "1-5B CFORM", Policy: PolicyIntelligent, MaxPad: 5, UseCForm: true},
+		{Label: "1-7B CFORM", Policy: PolicyIntelligent, MaxPad: 7, UseCForm: true},
+	}
+}
+
+// PolicyMatrixResult holds per-benchmark slowdowns for each
+// configuration column (Figures 11 and 12).
+type PolicyMatrixResult struct {
+	Configs []Fig11Config
+	Benches []string
+	// Slowdown[bench][config]
+	Slowdown [][]float64
+}
+
+// AvgPerConfig returns the arithmetic-mean slowdown of each column.
+func (r PolicyMatrixResult) AvgPerConfig() []float64 {
+	out := make([]float64, len(r.Configs))
+	for ci := range r.Configs {
+		var col []float64
+		for bi := range r.Benches {
+			col = append(col, r.Slowdown[bi][ci])
+		}
+		out[ci] = stats.Mean(col)
+	}
+	return out
+}
+
+// PolicyMatrix runs the given configurations over the Figure 11
+// benchmark set with `seeds` layout randomizations each (the paper
+// builds three binaries per configuration), averaging the slowdowns.
+func PolicyMatrix(cfgs []Fig11Config, visits, seeds int) PolicyMatrixResult {
+	specs := workload.Fig11Set()
+	res := PolicyMatrixResult{Configs: cfgs}
+	for _, s := range specs {
+		res.Benches = append(res.Benches, s.Name)
+	}
+	res.Slowdown = make([][]float64, len(specs))
+	for i := range res.Slowdown {
+		res.Slowdown[i] = make([]float64, len(cfgs))
+	}
+	if seeds <= 0 {
+		seeds = 1
+	}
+
+	type job struct{ bench, cfg, seed int }
+	var jobs []job
+	for b := range specs {
+		for c := range cfgs {
+			for sd := 0; sd < seeds; sd++ {
+				jobs = append(jobs, job{b, c, sd})
+			}
+		}
+	}
+	baseCycles := make([]float64, len(specs))
+	parallelMap(len(specs), func(i int) {
+		baseCycles[i] = Run(specs[i], RunConfig{Policy: PolicyNone, Visits: visits}).Cycles
+	})
+
+	var mu sync.Mutex
+	parallelMap(len(jobs), func(i int) {
+		j := jobs[i]
+		cfg := cfgs[j.cfg]
+		rc := RunConfig{
+			Policy:     cfg.Policy,
+			MinPad:     1,
+			MaxPad:     cfg.MaxPad,
+			UseCForm:   cfg.UseCForm,
+			LayoutSeed: int64(j.seed) * 7919,
+			Visits:     visits,
+		}
+		r := Run(specs[j.bench], rc)
+		sd := stats.Slowdown(baseCycles[j.bench], r.Cycles)
+		mu.Lock()
+		res.Slowdown[j.bench][j.cfg] += sd / float64(seeds)
+		mu.Unlock()
+	})
+	return res
+}

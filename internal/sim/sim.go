@@ -1,0 +1,166 @@
+// Package sim binds the Califorms substrates — timing core, cache
+// hierarchy, allocator, compiler pass and workloads — into runnable
+// full-system simulations, and implements the drivers that regenerate
+// every experiment of the paper's evaluation (§8).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/cpu"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// PolicyChoice selects the protection configuration of a run.
+type PolicyChoice int
+
+const (
+	// PolicyNone is the uninstrumented baseline.
+	PolicyNone PolicyChoice = iota
+	PolicyOpportunistic
+	PolicyFull
+	PolicyIntelligent
+)
+
+func (p PolicyChoice) String() string {
+	switch p {
+	case PolicyNone:
+		return "baseline"
+	case PolicyOpportunistic:
+		return "opportunistic"
+	case PolicyFull:
+		return "full"
+	case PolicyIntelligent:
+		return "intelligent"
+	default:
+		return fmt.Sprintf("PolicyChoice(%d)", int(p))
+	}
+}
+
+func (p PolicyChoice) layoutPolicy() layout.Policy {
+	switch p {
+	case PolicyOpportunistic:
+		return layout.Opportunistic
+	case PolicyFull:
+		return layout.Full
+	case PolicyIntelligent:
+		return layout.Intelligent
+	default:
+		panic("sim: baseline has no layout policy")
+	}
+}
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Policy PolicyChoice
+	// MinPad/MaxPad bound random security spans; FixedPad overrides
+	// them (Figure 4 sweep).
+	MinPad, MaxPad, FixedPad int
+	// UseCForm issues CFORM instructions at allocation sites. Off, a
+	// policy still changes layouts ("without CFORM" bars of Figures
+	// 11/12).
+	UseCForm bool
+	// LayoutSeed varies the compiler's randomization (the paper
+	// builds three binaries per configuration).
+	LayoutSeed int64
+	// Hier and Core override the default Table 3 machine when set.
+	Hier *cache.Config
+	Core *cpu.Config
+	// Heap overrides the allocator configuration entirely (ablation
+	// studies); UseCForm/Protocol defaults below do not apply then.
+	Heap *alloc.Config
+	// Visits is the number of object visits the kernel performs.
+	Visits int
+}
+
+// Result captures a finished run.
+type Result struct {
+	Benchmark    string
+	Cycles       float64
+	Instructions uint64
+	CForms       uint64
+	HeapBytes    uint64
+	L1MissRate   float64
+	L2MissRate   float64
+	L3MissRate   float64
+	Exceptions   uint64
+	Suppressed   uint64
+	Spills       uint64
+	Fills        uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / r.Cycles
+}
+
+// Run executes one workload under one configuration on a fresh
+// machine and returns its metrics. Runs are deterministic.
+func Run(spec workload.Spec, rc RunConfig) Result {
+	hierCfg := cache.Westmere()
+	if rc.Hier != nil {
+		hierCfg = *rc.Hier
+	}
+	coreCfg := cpu.DefaultConfig()
+	if rc.Core != nil {
+		coreCfg = *rc.Core
+	}
+	hier := cache.New(hierCfg, mem.New())
+	core := cpu.New(coreCfg, hier)
+
+	heapCfg := alloc.DefaultConfig()
+	heapCfg.UseCForm = rc.UseCForm && rc.Policy != PolicyNone
+	// Performance experiments use the dirty-before-use protocol: it
+	// charges CFORM work only for objects that actually carry
+	// security bytes, which is what the paper's dummy-store emulation
+	// measures (§8.2). The clean-before-use protocol (the design's
+	// strongest mode) is exercised by the security tests and examples.
+	heapCfg.Protocol = alloc.ProtocolDirty
+	if rc.Heap != nil {
+		heapCfg = *rc.Heap
+	}
+	heap := alloc.New(heapCfg, core)
+
+	defs := spec.Types()
+	ins := make([]*compiler.Instrumented, len(defs))
+	lr := rand.New(rand.NewSource(rc.LayoutSeed ^ spec.Seed))
+	for i := range defs {
+		if rc.Policy == PolicyNone {
+			ins[i] = compiler.InstrumentNone(defs[i])
+			continue
+		}
+		cfg := layout.PolicyConfig{MinPad: rc.MinPad, MaxPad: rc.MaxPad, FixedPad: rc.FixedPad, Rand: lr}
+		ins[i] = compiler.Instrument(defs[i], rc.Policy.layoutPolicy(), cfg)
+	}
+
+	env := &workload.Env{Core: core, Heap: heap, Ins: ins}
+	visits := rc.Visits
+	if visits <= 0 {
+		visits = 100_000
+	}
+	spec.Run(env, visits)
+
+	return Result{
+		Benchmark:    spec.Name,
+		Cycles:       core.Cycles(),
+		Instructions: core.Stats.Instructions,
+		CForms:       core.Stats.CForms,
+		HeapBytes:    heap.Footprint(),
+		L1MissRate:   hier.L1Stats().MissRate(),
+		L2MissRate:   hier.L2Stats().MissRate(),
+		L3MissRate:   hier.L3Stats().MissRate(),
+		Exceptions:   core.Stats.Delivered,
+		Suppressed:   core.Stats.Suppressed,
+		Spills:       hier.Stats.Spills,
+		Fills:        hier.Stats.Fills,
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	spec, ok := workload.ByName("hmmer")
+	if !ok {
+		t.Fatal("hmmer spec missing")
+	}
+	rc := RunConfig{Policy: PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: 5000}
+	a := Run(spec, rc)
+	b := Run(spec, rc)
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Fatalf("runs not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestBenignWorkloadsRaiseNoExceptions(t *testing.T) {
+	// Every policy on every benchmark must run exception-free: the
+	// kernels model benign programs and the allocator maintains the
+	// security-state invariants.
+	for _, spec := range workload.Fig11Set() {
+		for _, rc := range []RunConfig{
+			{Policy: PolicyNone, Visits: 2000},
+			{Policy: PolicyOpportunistic, UseCForm: true, Visits: 2000},
+			{Policy: PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: 2000},
+			{Policy: PolicyIntelligent, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: 2000},
+		} {
+			r := Run(spec, rc)
+			if r.Exceptions != 0 {
+				t.Fatalf("%s under %v: %d exceptions", spec.Name, rc.Policy, r.Exceptions)
+			}
+		}
+	}
+}
+
+func TestPolicyCostOrdering(t *testing.T) {
+	// On a malloc-heavy benchmark the paper's cost ordering must
+	// hold: baseline < intelligent+CFORM < full+CFORM.
+	spec, _ := workload.ByName("perlbench")
+	v := 15000
+	base := Run(spec, RunConfig{Policy: PolicyNone, Visits: v})
+	intel := Run(spec, RunConfig{Policy: PolicyIntelligent, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: v})
+	full := Run(spec, RunConfig{Policy: PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: v})
+	if !(base.Cycles < intel.Cycles && intel.Cycles < full.Cycles) {
+		t.Fatalf("ordering broken: base=%.0f intel=%.0f full=%.0f",
+			base.Cycles, intel.Cycles, full.Cycles)
+	}
+}
+
+func TestCaliformedRunsConvertFormats(t *testing.T) {
+	// Protected runs with working sets beyond the L1 must exercise
+	// the sentinel spill/fill machinery.
+	spec, _ := workload.ByName("xalancbmk")
+	r := Run(spec, RunConfig{Policy: PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: 5000})
+	if r.Spills == 0 || r.Fills == 0 {
+		t.Fatalf("expected califormed spills/fills, got %d/%d", r.Spills, r.Fills)
+	}
+	if r.CForms == 0 {
+		t.Fatal("expected CFORM traffic")
+	}
+}
+
+func TestExtraLatencyAlwaysSlower(t *testing.T) {
+	slow := cache.Westmere()
+	slow.ExtraL2L3 = 1
+	for _, name := range []string{"mcf", "hmmer", "xalancbmk"} {
+		spec, _ := workload.ByName(name)
+		base := Run(spec, RunConfig{Policy: PolicyNone, Visits: 8000})
+		v := Run(spec, RunConfig{Policy: PolicyNone, Visits: 8000, Hier: &slow})
+		sd := stats.Slowdown(base.Cycles, v.Cycles)
+		if sd < 0 {
+			t.Fatalf("%s: negative slowdown %.4f from extra latency", name, sd)
+		}
+		if sd > 0.03 {
+			t.Fatalf("%s: +1 cycle L2/L3 cost %.2f%%, expected ~1%% (Fig 10)", name, sd*100)
+		}
+	}
+}
+
+func TestFig4Monotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	r := Fig4(8000)
+	if len(r.AvgSlowdown) != 7 {
+		t.Fatalf("want 7 pad sizes, got %d", len(r.AvgSlowdown))
+	}
+	// Shape: positive, and 7B costs more than 1B (the paper's 3.0% ->
+	// 7.6% trend). Individual adjacent steps may tie due to alignment
+	// absorption.
+	if r.AvgSlowdown[0] < 0.005 {
+		t.Fatalf("1B padding slowdown %.4f, expected noticeable (paper: 3%%)", r.AvgSlowdown[0])
+	}
+	if r.AvgSlowdown[6] <= r.AvgSlowdown[0] {
+		t.Fatalf("7B (%f) must exceed 1B (%f)", r.AvgSlowdown[6], r.AvgSlowdown[0])
+	}
+	if r.AvgSlowdown[6] > 0.2 {
+		t.Fatalf("7B slowdown %.2f%% implausibly high (paper: 7.6%%)", r.AvgSlowdown[6]*100)
+	}
+}
+
+func TestFig10Band(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	rs := Fig10(8000)
+	var all []float64
+	for _, r := range rs {
+		if r.Slowdown < -0.002 || r.Slowdown > 0.03 {
+			t.Fatalf("%s: slowdown %.3f%% outside plausible band", r.Name, r.Slowdown*100)
+		}
+		all = append(all, r.Slowdown)
+	}
+	avg := stats.Mean(all)
+	if avg < 0.002 || avg > 0.02 {
+		t.Fatalf("average %.3f%%, paper reports 0.83%%", avg*100)
+	}
+}
+
+func TestPolicyMatrixShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix in -short mode")
+	}
+	m := PolicyMatrix(Fig12Configs(), 6000, 1)
+	avg := m.AvgPerConfig()
+	// Intelligent with CFORM must stay cheap on average (paper: 1.5%)
+	// and be costlier than without CFORM.
+	if avg[5] <= avg[2] {
+		t.Fatalf("CFORM must add cost: %.3f vs %.3f", avg[5], avg[2])
+	}
+	if avg[5] > 0.08 {
+		t.Fatalf("intelligent 1-7B CFORM avg %.2f%%, paper ~1.5%%", avg[5]*100)
+	}
+}

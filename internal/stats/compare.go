@@ -1,0 +1,90 @@
+package stats
+
+// This file holds the qualitative comparison matrices of the paper's
+// related-work section as structured data: Table 4 (security), Table
+// 5 (performance) and Table 6 (implementation complexity). They are
+// static facts from the literature survey, rendered by the benchmark
+// harness; the Califorms rows are additionally cross-checked by the
+// attack and sim test suites.
+
+// SchemeSecurity is one row of Table 4.
+type SchemeSecurity struct {
+	Name        string
+	Granularity string
+	IntraObject string // yes / with bounds narrowing / no
+	BinaryComp  string // binary composability
+	Temporal    string
+}
+
+// Table4 returns the security comparison of hardware memory-safety
+// schemes (Table 4).
+func Table4() []SchemeSecurity {
+	return []SchemeSecurity{
+		{"Hardbound", "Byte", "narrowing*", "no", "no"},
+		{"Watchdog", "Byte", "narrowing*", "no", "yes"},
+		{"WatchdogLite", "Byte", "narrowing*", "no", "yes"},
+		{"Intel MPX", "Byte", "narrowing*", "partial‡", "no"},
+		{"BOGO", "Byte", "narrowing*", "partial‡", "yes"},
+		{"PUMP", "Word", "no", "yes", "yes"},
+		{"CHERI", "Byte", "no†", "no", "no"},
+		{"CHERI concentrate", "Byte", "no†", "no", "no"},
+		{"SPARC ADI", "Cache line", "no", "yes", "yes§"},
+		{"SafeMem", "Cache line", "no", "yes", "no"},
+		{"REST", "8–64B", "no", "yes", "yes¶"},
+		{"Califorms", "Byte", "yes", "yes", "yes¶"},
+	}
+}
+
+// SchemePerformance is one row of Table 5.
+type SchemePerformance struct {
+	Name             string
+	MetadataOverhead string
+	MemoryOverhead   string
+	PerfOverhead     string
+	MainOperations   string
+}
+
+// Table5 returns the performance comparison (Table 5).
+func Table5() []SchemePerformance {
+	return []SchemePerformance{
+		{"Hardbound", "0–2 words/ptr + 4b/word", "∝ #ptrs & footprint", "∝ #ptr derefs", "1–2 mem refs for bounds, check µops"},
+		{"Watchdog", "4 words/ptr", "∝ #ptrs & allocations", "∝ #ptr derefs", "1–3 mem refs for bounds, check µops"},
+		{"WatchdogLite", "4 words/ptr", "∝ #ptrs & allocations", "∝ #ptr ops", "1–3 mem refs, check & propagate insns"},
+		{"Intel MPX", "2 words/ptr", "∝ #ptrs", "∝ #ptr derefs", "2+ mem refs for bounds, check & propagate insns"},
+		{"BOGO", "2 words/ptr", "∝ #ptrs", "∝ #ptr derefs", "MPX ops + page-permission mods"},
+		{"PUMP", "64b/cache line", "∝ footprint", "∝ #ptr ops", "1 mem ref for tags, rule fetch & propagate"},
+		{"CHERI", "256b/ptr", "∝ #ptrs & phys mem", "∝ #ptr ops", "1+ mem refs for capability, mgmt insns"},
+		{"CHERI concentrate", "2x ptr size", "∝ #ptrs", "∝ #ptr ops", "wide ptr load, capability mgmt insns"},
+		{"SPARC ADI", "4b/cache line", "∝ footprint", "∝ #tag (un)set ops", "(un)set tag"},
+		{"SafeMem", "2x blacklisted mem", "∝ blacklisted mem", "∝ #ECC (un)set ops", "syscall to scramble ECC, copy data"},
+		{"REST", "8–64B token", "∝ blacklisted mem", "∝ #arm/disarm insns", "execute arm/disarm"},
+		{"Califorms", "byte-granular security byte", "∝ blacklisted mem", "∝ #CFORM insns", "execute CFORM insns"},
+	}
+}
+
+// SchemeComplexity is one row of Table 6.
+type SchemeComplexity struct {
+	Name     string
+	CoreMods string
+	CacheTLB string
+	Memory   string
+	Software string
+}
+
+// Table6 returns the implementation-complexity comparison (Table 6).
+func Table6() []SchemeComplexity {
+	return []SchemeComplexity{
+		{"Hardbound", "µop injection, ptr-meta datapath", "tag cache + TLB", "—", "compiler & allocator annotate ptr meta"},
+		{"Watchdog", "µop injection, ptr-meta datapath", "ptr-lock cache", "—", "compiler & allocator annotate ptr meta"},
+		{"WatchdogLite", "—", "—", "—", "compiler inserts meta propagate/check insns"},
+		{"Intel MPX", "(closed platform, likely Hardbound-like)", "", "", "compiler inserts propagate/check insns"},
+		{"BOGO", "(closed platform)", "", "", "MPX mods + kernel bounds-page mgmt"},
+		{"PUMP", "tag-width datapath, tag-check stages", "rule cache", "—", "compiler & allocator (un)set memory, tag ptrs"},
+		{"CHERI", "capability reg file + coprocessor", "capability caches", "—", "compiler & allocator annotate ptrs"},
+		{"CHERI concentrate", "ptr-check pipeline integration", "—", "—", "compiler & allocator annotate ptrs"},
+		{"SPARC ADI", "(closed platform)", "", "", "compiler & allocator (un)set memory, tag ptrs"},
+		{"SafeMem", "—", "—", "repurposes ECC", "—"},
+		{"REST", "—", "1–8b/L1D line + 1 comparator", "—", "compiler & allocator (un)set tags, randomize"},
+		{"Califorms", "—", "8b/L1D line, 1b/L2-L3 line", "unused ECC bits", "compiler & allocator (un)set tags, intra-object spacing"},
+	}
+}

@@ -1,0 +1,150 @@
+// Package stats provides the small numeric and rendering helpers the
+// experiment harness uses: means (the paper's §8.2 uses the arithmetic
+// mean of per-benchmark speedups), histograms, and plain-text tables
+// for regenerating the paper's figures as terminal output.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min and Max return the extrema (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Slowdown converts a cycle pair into a slowdown fraction
+// (variant/base - 1). A negative result means the variant was faster.
+func Slowdown(baseCycles, variantCycles float64) float64 {
+	if baseCycles == 0 {
+		return 0
+	}
+	return variantCycles/baseCycles - 1
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Table renders an aligned plain-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Histogram renders an ASCII bar chart of labeled fractions, the
+// terminal stand-in for the paper's figures.
+func Histogram(title string, labels []string, values []float64, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	max := Max(values)
+	if max == 0 {
+		max = 1
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	for i, v := range values {
+		bar := int(v / max * float64(width))
+		fmt.Fprintf(&b, "%-*s %6.2f%% %s\n", lw, labels[i], v*100, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Sorted returns a sorted copy.
+func Sorted(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank on
+// a sorted copy of xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := Sorted(xs)
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}

@@ -1,0 +1,75 @@
+// Package trace defines the instruction-level record format consumed
+// by the timing core. The Califorms evaluation is trace-driven (the
+// paper uses Pin/PinPoints regions fed to ZSim); here workloads emit
+// Op streams, either materialized or generated on the fly.
+package trace
+
+import "repro/internal/isa"
+
+// Kind discriminates trace operations.
+type Kind uint8
+
+const (
+	// NonMem stands for Count non-memory instructions (ALU, branch).
+	NonMem Kind = iota
+	// Load is a data load of Size bytes at Addr. Dependent marks a
+	// load whose address depends on the previous load's value
+	// (pointer chasing), which serializes misses in the core model.
+	Load
+	// Store is a data store of Size bytes at Addr.
+	Store
+	// CForm executes a CFORM instruction (Attrs/Mask over the line at
+	// Addr, which must be 64B aligned).
+	CForm
+	// WhitelistEnter and WhitelistExit bracket a whitelisted region
+	// (privileged writes to the exception mask registers, §6.3).
+	WhitelistEnter
+	WhitelistExit
+)
+
+// Op is one trace record.
+type Op struct {
+	Kind      Kind
+	Addr      uint64
+	Size      uint16
+	Count     uint32 // NonMem only
+	Dependent bool   // Load only
+	Attrs     uint64 // CForm only
+	Mask      uint64 // CForm only
+	NT        bool   // CForm only: non-temporal variant
+}
+
+// CFORM converts a CForm op into its architectural form.
+func (o Op) CFORM() isa.CFORM {
+	return isa.CFORM{Base: o.Addr, Attrs: o.Attrs, Mask: o.Mask, NonTemporal: o.NT}
+}
+
+// Sink receives trace operations; the timing core implements it.
+type Sink interface {
+	NonMem(n uint32)
+	Load(addr uint64, size int, dependent bool)
+	Store(addr uint64, size int)
+	CForm(cf isa.CFORM)
+	WhitelistEnter()
+	WhitelistExit()
+}
+
+// Replay feeds ops to a sink in order.
+func Replay(ops []Op, s Sink) {
+	for _, o := range ops {
+		switch o.Kind {
+		case NonMem:
+			s.NonMem(o.Count)
+		case Load:
+			s.Load(o.Addr, int(o.Size), o.Dependent)
+		case Store:
+			s.Store(o.Addr, int(o.Size))
+		case CForm:
+			s.CForm(o.CFORM())
+		case WhitelistEnter:
+			s.WhitelistEnter()
+		case WhitelistExit:
+			s.WhitelistExit()
+		}
+	}
+}

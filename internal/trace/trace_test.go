@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// recorder captures sink calls for verification.
+type recorder struct {
+	nonMem   uint64
+	loads    []uint64
+	stores   []uint64
+	cforms   []isa.CFORM
+	wlEnter  int
+	wlExit   int
+	lastDep  bool
+	lastSize int
+}
+
+func (r *recorder) NonMem(n uint32) { r.nonMem += uint64(n) }
+func (r *recorder) Load(a uint64, s int, d bool) {
+	r.loads = append(r.loads, a)
+	r.lastDep = d
+	r.lastSize = s
+}
+func (r *recorder) Store(a uint64, s int) { r.stores = append(r.stores, a); r.lastSize = s }
+func (r *recorder) CForm(cf isa.CFORM)    { r.cforms = append(r.cforms, cf) }
+func (r *recorder) WhitelistEnter()       { r.wlEnter++ }
+func (r *recorder) WhitelistExit()        { r.wlExit++ }
+
+func TestReplayDispatch(t *testing.T) {
+	ops := []Op{
+		{Kind: NonMem, Count: 10},
+		{Kind: Load, Addr: 0x40, Size: 8, Dependent: true},
+		{Kind: Store, Addr: 0x80, Size: 4},
+		{Kind: CForm, Addr: 0xC0, Attrs: 3, Mask: 3, NT: true},
+		{Kind: WhitelistEnter},
+		{Kind: WhitelistExit},
+		{Kind: NonMem, Count: 5},
+	}
+	var r recorder
+	Replay(ops, &r)
+
+	if r.nonMem != 15 {
+		t.Fatalf("nonmem = %d", r.nonMem)
+	}
+	if len(r.loads) != 1 || r.loads[0] != 0x40 || !r.lastDep {
+		t.Fatalf("loads = %v dep=%v", r.loads, r.lastDep)
+	}
+	if len(r.stores) != 1 || r.stores[0] != 0x80 {
+		t.Fatalf("stores = %v", r.stores)
+	}
+	if len(r.cforms) != 1 {
+		t.Fatalf("cforms = %v", r.cforms)
+	}
+	cf := r.cforms[0]
+	if cf.Base != 0xC0 || cf.Attrs != 3 || cf.Mask != 3 || !cf.NonTemporal {
+		t.Fatalf("cform = %+v", cf)
+	}
+	if r.wlEnter != 1 || r.wlExit != 1 {
+		t.Fatalf("whitelist %d/%d", r.wlEnter, r.wlExit)
+	}
+}
+
+func TestOpCFORMConversion(t *testing.T) {
+	op := Op{Kind: CForm, Addr: 0x1000, Attrs: 0xff, Mask: 0xf0, NT: false}
+	cf := op.CFORM()
+	if cf.Base != 0x1000 || cf.Attrs != 0xff || cf.Mask != 0xf0 || cf.NonTemporal {
+		t.Fatalf("converted %+v", cf)
+	}
+	if err := cf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package vlsi
+
+import (
+	"math"
+	"testing"
+)
+
+// within checks |got-want|/want <= tol.
+func within(got, want, tol float64) bool {
+	return math.Abs(got-want)/want <= tol
+}
+
+func TestBaselineCalibration(t *testing.T) {
+	base := BaselineL1(TSMC65())
+	paper := PaperTable7()[0]
+	if !within(base.AreaGE, paper.AreaGE, 0.05) {
+		t.Fatalf("baseline area %f vs paper %f", base.AreaGE, paper.AreaGE)
+	}
+	if !within(base.DelayNs, paper.DelayNs, 0.05) {
+		t.Fatalf("baseline delay %f vs paper %f", base.DelayNs, paper.DelayNs)
+	}
+	if !within(base.PowerMW, paper.PowerMW, 0.05) {
+		t.Fatalf("baseline power %f vs paper %f", base.PowerMW, paper.PowerMW)
+	}
+}
+
+func TestTable7WithinTolerance(t *testing.T) {
+	rows := Table7(TSMC65())
+	paper := PaperTable7()
+	if len(rows) != len(paper) {
+		t.Fatalf("rows %d, want %d", len(rows), len(paper))
+	}
+	for i, row := range rows {
+		p := paper[i]
+		if !within(row.Design.AreaGE, p.AreaGE, 0.12) {
+			t.Errorf("%s: area %f vs paper %f", p.Name, row.Design.AreaGE, p.AreaGE)
+		}
+		if !within(row.Design.DelayNs, p.DelayNs, 0.12) {
+			t.Errorf("%s: delay %f vs paper %f", p.Name, row.Design.DelayNs, p.DelayNs)
+		}
+		if !within(row.Design.PowerMW, p.PowerMW, 0.15) {
+			t.Errorf("%s: power %f vs paper %f", p.Name, row.Design.PowerMW, p.PowerMW)
+		}
+	}
+}
+
+func TestVariantOrderings(t *testing.T) {
+	// The paper's headline tradeoff: 8B has the most area but least
+	// delay; 1B the least area; 4B the worst delay.
+	tech := TSMC65()
+	v8 := CaliformsBitvector8B(tech)
+	v4 := CaliformsBitvector4B(tech)
+	v1 := CaliformsBitvector1B(tech)
+	if !(v8.AreaGE > v4.AreaGE && v4.AreaGE > v1.AreaGE) {
+		t.Fatalf("area ordering broken: 8B=%f 4B=%f 1B=%f", v8.AreaGE, v4.AreaGE, v1.AreaGE)
+	}
+	if !(v4.DelayNs > v1.DelayNs && v1.DelayNs > v8.DelayNs) {
+		t.Fatalf("delay ordering broken: 4B=%f 1B=%f 8B=%f", v4.DelayNs, v1.DelayNs, v8.DelayNs)
+	}
+}
+
+func TestBitvectorDelayOverheadSmall(t *testing.T) {
+	// Table 2 headline: califorms-bitvector adds < 3% delay and < 25%
+	// area to the L1.
+	tech := TSMC65()
+	over := CaliformsBitvector8B(tech).Over(BaselineL1(tech))
+	if over.DelayPct > 3 {
+		t.Fatalf("8B delay overhead %.2f%%, want < 3%% (paper: 1.85%%)", over.DelayPct)
+	}
+	if over.AreaPct < 12.5 || over.AreaPct > 25 {
+		t.Fatalf("8B area overhead %.2f%%, want 12.5–25%% (paper: 18.69%%)", over.AreaPct)
+	}
+	if over.PowerPct > 5 {
+		t.Fatalf("8B power overhead %.2f%%, want < 5%% (paper: 2.12%%)", over.PowerPct)
+	}
+}
+
+func TestFillSpillWithinTolerance(t *testing.T) {
+	tech := TSMC65()
+	fill := FillModule(tech)
+	spill := SpillModule(tech)
+	pf, ps := PaperFillSpill()
+	if !within(fill.AreaGE, pf.AreaGE, 0.15) || !within(fill.DelayNs, pf.DelayNs, 0.15) {
+		t.Errorf("fill: got %+v paper %+v", fill, pf)
+	}
+	if !within(spill.AreaGE, ps.AreaGE, 0.15) || !within(spill.DelayNs, ps.DelayNs, 0.15) {
+		t.Errorf("spill: got %+v paper %+v", spill, ps)
+	}
+	// Fill must be fast enough to hide in the L1 miss path: under the
+	// L1 access period. Spill is slower but off the critical path.
+	base := BaselineL1(tech)
+	if fill.DelayNs >= base.DelayNs {
+		t.Fatalf("fill delay %.2fns must be below L1 access %.2fns", fill.DelayNs, base.DelayNs)
+	}
+	if spill.DelayNs <= fill.DelayNs {
+		t.Fatal("spill (serial find-index chain) must be slower than fill")
+	}
+}
+
+func TestPipeliningSpillHalvesStageDelay(t *testing.T) {
+	// The paper notes the 4 chained find-index blocks can be
+	// pipelined into 4 stages. Each stage is then ~8 levels + the
+	// surrounding logic, comfortably below the L1 period.
+	tech := TSMC65()
+	spill := SpillModule(tech)
+	perStage := spill.DelayNs / 4
+	if perStage >= BaselineL1(tech).DelayNs {
+		t.Fatalf("pipelined spill stage %.2fns must fit the cache period", perStage)
+	}
+}
