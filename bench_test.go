@@ -13,16 +13,41 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cache"
 	"repro/internal/cacheline"
+	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/layout"
 	"repro/internal/mem"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/vlsi"
 	"repro/internal/workload"
 )
 
 const benchVisits = 4000
+
+// specsByName resolves a benchmark subset for a harness matrix.
+func specsByName(b *testing.B, names ...string) []workload.Spec {
+	out := make([]workload.Spec, len(names))
+	for i, name := range names {
+		s, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("unknown benchmark %q", name)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// matrixAvg runs a one-config harness matrix over the named subset
+// and returns the average slowdown — the same engine the registry
+// experiments use, size-reduced.
+func matrixAvg(b *testing.B, cfg sim.RunConfig, names ...string) float64 {
+	m := harness.Matrix{
+		Benches: specsByName(b, names...),
+		Configs: []sim.RunConfig{cfg},
+		Visits:  benchVisits,
+	}
+	return m.Run(harness.NewPool(0)).AvgSlowdown(0)
+}
 
 // BenchmarkFig3StructDensity regenerates the Figure 3 histograms.
 func BenchmarkFig3StructDensity(b *testing.B) {
@@ -35,19 +60,12 @@ func BenchmarkFig3StructDensity(b *testing.B) {
 }
 
 // BenchmarkFig4PaddingSweep regenerates the Figure 4 padding sweep on
-// three representative kernels.
+// three representative kernels through the harness matrix engine.
 func BenchmarkFig4PaddingSweep(b *testing.B) {
-	specs := []string{"mcf", "hmmer", "perlbench"}
 	var last float64
 	for i := 0; i < b.N; i++ {
-		var sds []float64
-		for _, name := range specs {
-			s, _ := workload.ByName(name)
-			base := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits})
-			v := sim.Run(s, sim.RunConfig{Policy: sim.PolicyFull, FixedPad: 7, Visits: benchVisits})
-			sds = append(sds, stats.Slowdown(base.Cycles, v.Cycles))
-		}
-		last = stats.Mean(sds)
+		last = matrixAvg(b, sim.RunConfig{Policy: sim.PolicyFull, FixedPad: 7},
+			"mcf", "hmmer", "perlbench")
 	}
 	b.ReportMetric(last*100, "%slowdown-7B")
 }
@@ -88,18 +106,12 @@ func BenchmarkTable7Variants(b *testing.B) {
 // BenchmarkFig10ExtraLatency regenerates the +1-cycle L2/L3 experiment
 // on three kernels spanning the sensitivity range.
 func BenchmarkFig10ExtraLatency(b *testing.B) {
+	slow := cache.Westmere()
+	slow.ExtraL2L3 = 1
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		var sds []float64
-		for _, name := range []string{"hmmer", "mcf", "xalancbmk"} {
-			s, _ := workload.ByName(name)
-			base := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits})
-			slow := cache.Westmere()
-			slow.ExtraL2L3 = 1
-			v := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits, Hier: &slow})
-			sds = append(sds, stats.Slowdown(base.Cycles, v.Cycles))
-		}
-		avg = stats.Mean(sds)
+		avg = matrixAvg(b, sim.RunConfig{Policy: sim.PolicyNone, Hier: &slow},
+			"hmmer", "mcf", "xalancbmk")
 	}
 	b.ReportMetric(avg*100, "%slowdown")
 }
@@ -109,14 +121,8 @@ func BenchmarkFig10ExtraLatency(b *testing.B) {
 func BenchmarkFig11FullPolicy(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		var sds []float64
-		for _, name := range []string{"gobmk", "perlbench", "xalancbmk"} {
-			s, _ := workload.ByName(name)
-			base := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits})
-			v := sim.Run(s, sim.RunConfig{Policy: sim.PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: benchVisits})
-			sds = append(sds, stats.Slowdown(base.Cycles, v.Cycles))
-		}
-		avg = stats.Mean(sds)
+		avg = matrixAvg(b, sim.RunConfig{Policy: sim.PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true},
+			"gobmk", "perlbench", "xalancbmk")
 	}
 	b.ReportMetric(avg*100, "%slowdown")
 }
@@ -126,14 +132,8 @@ func BenchmarkFig11FullPolicy(b *testing.B) {
 func BenchmarkFig12IntelligentPolicy(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		var sds []float64
-		for _, name := range []string{"gobmk", "perlbench", "milc"} {
-			s, _ := workload.ByName(name)
-			base := sim.Run(s, sim.RunConfig{Policy: sim.PolicyNone, Visits: benchVisits})
-			v := sim.Run(s, sim.RunConfig{Policy: sim.PolicyIntelligent, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: benchVisits})
-			sds = append(sds, stats.Slowdown(base.Cycles, v.Cycles))
-		}
-		avg = stats.Mean(sds)
+		avg = matrixAvg(b, sim.RunConfig{Policy: sim.PolicyIntelligent, MinPad: 1, MaxPad: 7, UseCForm: true},
+			"gobmk", "perlbench", "milc")
 	}
 	b.ReportMetric(avg*100, "%slowdown")
 }

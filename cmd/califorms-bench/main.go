@@ -1,322 +1,76 @@
 // Command califorms-bench regenerates every table and figure of the
-// Califorms paper's evaluation (§2, §8, Appendix A) on the simulated
-// substrate and prints them as text tables, side by side with the
-// published values where applicable.
+// Califorms paper's evaluation (§2, §8, Appendix A) via the
+// internal/harness experiment registry and prints them side by side
+// with the published values where applicable.
 //
 // Usage:
 //
 //	califorms-bench -exp fig3|fig4|fig10|fig11|fig12|table1..table7|security|ablations|all
-//	                [-visits N] [-seeds N]
+//	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv] [-list]
 //
 // -visits scales the measured steady-state region of each benchmark
 // kernel (default 30000 object visits); -seeds sets how many layout
 // randomizations ("binaries") are averaged for Figures 11/12.
+// -workers sizes the simulation worker pool (default GOMAXPROCS);
+// output is byte-identical at any worker count. Per-experiment timing
+// goes to stderr so stdout stays a clean report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/attack"
-	"repro/internal/cache"
-	"repro/internal/layout"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/vlsi"
-	"repro/internal/workload"
+	"repro/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig3,fig4,fig10,fig11,fig12,table1,...,table7,security,ablations,all)")
+	exp := flag.String("exp", "all", "experiment to run (see -list, or 'all')")
 	visits := flag.Int("visits", 30000, "steady-state object visits per benchmark run")
 	seeds := flag.Int("seeds", 1, "layout randomizations averaged per configuration (paper: 3)")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text, json, csv")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
 
-	run := map[string]func(int, int){
-		"fig3":      func(int, int) { fig3() },
-		"fig4":      fig4,
-		"fig10":     fig10,
-		"fig11":     fig11,
-		"fig12":     fig12,
-		"table1":    func(int, int) { table1() },
-		"table2":    func(int, int) { table2() },
-		"table3":    func(int, int) { table3() },
-		"table4":    func(int, int) { table4() },
-		"table5":    func(int, int) { table5() },
-		"table6":    func(int, int) { table6() },
-		"table7":    func(int, int) { table7() },
-		"security":  func(int, int) { security() },
-		"ablations": func(v, _ int) { ablations(v) },
-	}
-	order := []string{"fig3", "fig4", "table1", "table2", "table3", "fig10", "fig11", "fig12", "table4", "table5", "table6", "table7", "security", "ablations"}
-
-	if *exp == "all" {
-		for _, name := range order {
-			start := time.Now()
-			run[name](*visits, *seeds)
-			fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-10s %-12s %s\n", e.Name, e.Paper, e.Title)
 		}
 		return
 	}
-	f, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+
+	em, err := harness.NewEmitter(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	f(*visits, *seeds)
-}
 
-// fig3 prints the struct-density histograms (Figure 3).
-func fig3() {
-	for _, p := range []layout.Profile{layout.SPECProfile(), layout.V8Profile()} {
-		h := layout.Densities(p.Generate(20000, 1))
-		labels := make([]string, 10)
-		vals := make([]float64, 10)
-		for i := range h.Bins {
-			labels[i] = fmt.Sprintf("[%.1f,%.1f)", float64(i)/10, float64(i+1)/10)
-			vals[i] = h.Bins[i]
+	var exps []harness.Experiment
+	if *exp == "all" {
+		exps = harness.Experiments()
+	} else {
+		e, ok := harness.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n",
+				*exp, strings.Join(harness.Names(), ", "))
+			os.Exit(2)
 		}
-		fmt.Println(stats.Histogram(
-			fmt.Sprintf("Figure 3 (%s): struct density histogram, %d structs", p.Name, h.Count),
-			labels, vals, 50))
-		paper := 0.457
-		if p.Name == "v8" {
-			paper = 0.410
-		}
-		fmt.Printf("structs with >=1 padding byte: %.1f%% (paper: %.1f%%)\n\n",
-			h.PaddedFraction*100, paper*100)
+		exps = []harness.Experiment{e}
+	}
+
+	pool := harness.NewPool(*workers)
+	p := harness.Params{Visits: *visits, Seeds: *seeds}
+	var results []harness.Result
+	for _, e := range exps {
+		start := time.Now()
+		results = append(results, harness.Run(e, p, pool)...)
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if err := em.Emit(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
-
-// fig4 prints the fixed-padding sweep (Figure 4).
-func fig4(visits, _ int) {
-	r := sim.Fig4(visits)
-	t := stats.Table{
-		Title:   "Figure 4: average slowdown with fixed security-byte padding (full insertion, no CFORM)",
-		Headers: []string{"padding", "slowdown", "paper"},
-	}
-	paper := []string{"3.0%", "~4%", "~5%", "5.4%", "~6%", "~6%", "7.6%"}
-	for i, p := range r.PadBytes {
-		t.AddRow(fmt.Sprintf("%dB", p), stats.Pct(r.AvgSlowdown[i]), paper[i])
-	}
-	fmt.Println(t.String())
-}
-
-// table1 prints the CFORM K-map (Table 1).
-func table1() {
-	t := stats.Table{
-		Title:   "Table 1: CFORM instruction K-map (semantics verified by internal/cacheline tests)",
-		Headers: []string{"initial state", "mask=0 (disallow)", "set, allow", "unset, allow"},
-	}
-	t.AddRow("regular byte", "regular byte", "security byte", "EXCEPTION")
-	t.AddRow("security byte", "security byte", "EXCEPTION", "regular byte")
-	fmt.Println(t.String())
-}
-
-// table2 prints the VLSI results for the main design (Table 2).
-func table2() {
-	rows := vlsi.Table7(vlsi.TSMC65())[:2]
-	paper := vlsi.PaperTable7()[:2]
-	pf, ps := vlsi.PaperFillSpill()
-	t := stats.Table{
-		Title:   "Table 2: area, delay and power of L1 Califorms (califorms-bitvector), modeled vs paper",
-		Headers: []string{"design", "area (GE)", "delay (ns)", "power (mW)", "paper GE", "paper ns", "paper mW"},
-	}
-	for i, r := range rows {
-		t.AddRow(r.Design.Name,
-			fmt.Sprintf("%.0f", r.Design.AreaGE), fmt.Sprintf("%.2f", r.Design.DelayNs), fmt.Sprintf("%.2f", r.Design.PowerMW),
-			fmt.Sprintf("%.0f", paper[i].AreaGE), fmt.Sprintf("%.2f", paper[i].DelayNs), fmt.Sprintf("%.2f", paper[i].PowerMW))
-	}
-	fill, spill := vlsi.FillModule(vlsi.TSMC65()), vlsi.SpillModule(vlsi.TSMC65())
-	t.AddRow("Fill module", fmt.Sprintf("%.0f", fill.AreaGE), fmt.Sprintf("%.2f", fill.DelayNs), fmt.Sprintf("%.2f", fill.PowerMW),
-		fmt.Sprintf("%.0f", pf.AreaGE), fmt.Sprintf("%.2f", pf.DelayNs), fmt.Sprintf("%.2f", pf.PowerMW))
-	t.AddRow("Spill module", fmt.Sprintf("%.0f", spill.AreaGE), fmt.Sprintf("%.2f", spill.DelayNs), fmt.Sprintf("%.2f", spill.PowerMW),
-		fmt.Sprintf("%.0f", ps.AreaGE), fmt.Sprintf("%.2f", ps.DelayNs), fmt.Sprintf("%.2f", ps.PowerMW))
-	over := rows[1].Design.Over(rows[0].Design)
-	fmt.Println(t.String())
-	fmt.Printf("L1 overheads: area %.2f%% delay %.2f%% power %.2f%% (paper: 18.69%% / 1.85%% / 2.12%%)\n\n",
-		over.AreaPct, over.DelayPct, over.PowerPct)
-}
-
-// table3 prints the simulated system configuration (Table 3).
-func table3() {
-	cfg := cache.Westmere()
-	t := stats.Table{
-		Title:   "Table 3: simulated system configuration",
-		Headers: []string{"component", "configuration"},
-	}
-	t.AddRow("Core", "x86-64 Westmere-like OoO model: 4-wide issue, 10 MSHRs, 48-cycle ROB window")
-	t.AddRow("L1 data cache", fmt.Sprintf("%dKB, %d-way, %d-cycle latency", cfg.L1.Size>>10, cfg.L1.Ways, cfg.L1.Latency))
-	t.AddRow("L2 cache", fmt.Sprintf("%dKB, %d-way, %d-cycle latency", cfg.L2.Size>>10, cfg.L2.Ways, cfg.L2.Latency))
-	t.AddRow("L3 cache", fmt.Sprintf("%dMB, %d-way, %d-cycle latency", cfg.L3.Size>>20, cfg.L3.Ways, cfg.L3.Latency))
-	t.AddRow("DRAM", fmt.Sprintf("%d-cycle latency", cfg.MemLatency))
-	fmt.Println(t.String())
-}
-
-// fig10 prints the extra L2/L3 latency experiment (Figure 10).
-func fig10(visits, _ int) {
-	rs := sim.Fig10(visits)
-	t := stats.Table{
-		Title:   "Figure 10: slowdown with +1 cycle L2 and L3 latency (paper avg: 0.83%, range 0.24–1.37%)",
-		Headers: []string{"benchmark", "slowdown"},
-	}
-	var all []float64
-	for _, r := range rs {
-		t.AddRow(r.Name, stats.Pct(r.Slowdown))
-		all = append(all, r.Slowdown)
-	}
-	t.AddRow("AVG", stats.Pct(stats.Mean(all)))
-	fmt.Println(t.String())
-}
-
-func policyMatrix(title string, cfgs []sim.Fig11Config, paperAvg []string, visits, seeds int) {
-	m := sim.PolicyMatrix(cfgs, visits, seeds)
-	headers := []string{"benchmark"}
-	for _, c := range m.Configs {
-		headers = append(headers, c.Label)
-	}
-	t := stats.Table{Title: title, Headers: headers}
-	for bi, b := range m.Benches {
-		row := []string{b}
-		for ci := range m.Configs {
-			row = append(row, stats.Pct(m.Slowdown[bi][ci]))
-		}
-		t.AddRow(row...)
-	}
-	avg := m.AvgPerConfig()
-	row := []string{"AVG"}
-	for _, a := range avg {
-		row = append(row, stats.Pct(a))
-	}
-	t.AddRow(row...)
-	if paperAvg != nil {
-		t.AddRow(append([]string{"paper AVG"}, paperAvg...)...)
-	}
-	fmt.Println(t.String())
-}
-
-// fig11 prints the opportunistic/full policy matrix (Figure 11).
-func fig11(visits, seeds int) {
-	policyMatrix(
-		"Figure 11: slowdown of opportunistic and full insertion policies (random security bytes)",
-		sim.Fig11Configs(),
-		[]string{"5.5%", "5.6%", "6.5%", "7.9%", "~13%", "~13.5%", "14.0%"},
-		visits, seeds)
-}
-
-// fig12 prints the intelligent policy matrix (Figure 12).
-func fig12(visits, seeds int) {
-	policyMatrix(
-		"Figure 12: slowdown of the intelligent insertion policy",
-		sim.Fig12Configs(),
-		[]string{"~0.2%", "~0.2%", "0.2%", "~1.5%", "~1.5%", "1.5%"},
-		visits, seeds)
-}
-
-// table4/5/6 print the qualitative comparison matrices.
-func table4() {
-	t := stats.Table{
-		Title:   "Table 4: security comparison against previous hardware techniques",
-		Headers: []string{"proposal", "granularity", "intra-object", "binary comp.", "temporal"},
-	}
-	for _, r := range stats.Table4() {
-		t.AddRow(r.Name, r.Granularity, r.IntraObject, r.BinaryComp, r.Temporal)
-	}
-	fmt.Println(t.String())
-}
-
-func table5() {
-	t := stats.Table{
-		Title:   "Table 5: performance comparison against previous hardware techniques",
-		Headers: []string{"proposal", "metadata", "memory overhead", "perf overhead", "main operations"},
-	}
-	for _, r := range stats.Table5() {
-		t.AddRow(r.Name, r.MetadataOverhead, r.MemoryOverhead, r.PerfOverhead, r.MainOperations)
-	}
-	fmt.Println(t.String())
-}
-
-func table6() {
-	t := stats.Table{
-		Title:   "Table 6: implementation complexity comparison",
-		Headers: []string{"proposal", "core", "caches/TLB", "memory", "software"},
-	}
-	for _, r := range stats.Table6() {
-		t.AddRow(r.Name, r.CoreMods, r.CacheTLB, r.Memory, r.Software)
-	}
-	fmt.Println(t.String())
-}
-
-// table7 prints the appendix VLSI variants (Table 7).
-func table7() {
-	rows := vlsi.Table7(vlsi.TSMC65())
-	paper := vlsi.PaperTable7()
-	t := stats.Table{
-		Title:   "Table 7: the three L1 Califorms variants, modeled vs paper",
-		Headers: []string{"design", "area (GE)", "delay (ns)", "power (mW)", "area ovh", "delay ovh", "paper GE", "paper ns"},
-	}
-	for i, r := range rows {
-		areaOvh, delayOvh := "—", "—"
-		if i > 0 {
-			areaOvh = fmt.Sprintf("%.2f%%", r.L1.AreaPct)
-			delayOvh = fmt.Sprintf("%.2f%%", r.L1.DelayPct)
-		}
-		t.AddRow(r.Design.Name,
-			fmt.Sprintf("%.0f", r.Design.AreaGE), fmt.Sprintf("%.2f", r.Design.DelayNs), fmt.Sprintf("%.2f", r.Design.PowerMW),
-			areaOvh, delayOvh,
-			fmt.Sprintf("%.0f", paper[i].AreaGE), fmt.Sprintf("%.2f", paper[i].DelayNs))
-	}
-	fmt.Println(t.String())
-}
-
-// security prints the §7.3 derandomization analysis.
-func security() {
-	fmt.Println("Security analysis (§7.3): memory-scan survival probability (1 - P/N)^O")
-	t := stats.Table{Headers: []string{"objects scanned", "P/N=5%", "P/N=10%", "P/N=20%"}}
-	for _, o := range []int{1, 10, 50, 100, 250} {
-		t.AddRow(fmt.Sprintf("%d", o),
-			fmt.Sprintf("%.2e", simSurv(0.05, o)),
-			fmt.Sprintf("%.2e", simSurv(0.10, o)),
-			fmt.Sprintf("%.2e", simSurv(0.20, o)))
-	}
-	fmt.Println(t.String())
-	fmt.Println("Span-size guessing probability 1/7^n (1–7B random spans):")
-	for _, n := range []int{1, 2, 4, 8} {
-		fmt.Printf("  n=%d: %.3e\n", n, guess(n))
-	}
-	fmt.Println()
-	fmt.Println("BROP crash-and-restart campaigns (4 spans, 1-7B, 200-crash budget):")
-	fixed := attack.ExpectedBROPCrashes(4, 7, false, 200, 50, 1)
-	rer := attack.ExpectedBROPCrashes(4, 7, true, 200, 50, 2)
-	fmt.Printf("  static layout (restart-after-crash): mean %.1f crashes to success\n", fixed)
-	fmt.Printf("  re-randomized on respawn (the paper's mitigation): mean %.1f crashes, mostly budget-exhausted\n", rer)
-	fmt.Println()
-}
-
-func simSurv(p float64, o int) float64 {
-	v := 1.0
-	for i := 0; i < o; i++ {
-		v *= 1 - p
-	}
-	return v
-}
-
-func guess(n int) float64 {
-	v := 1.0
-	for i := 0; i < n; i++ {
-		v /= 7
-	}
-	return v
-}
-
-// ablations prints the design-choice sweeps (DESIGN.md §4).
-func ablations(visits int) {
-	for _, a := range sim.Ablations(visits) {
-		fmt.Println(a.Render())
-	}
-}
-
-// silence unused-import pruning if experiment sets shrink.
-var _ = workload.Fig10Set

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	califorms-sim -bench mcf -policy full -maxpad 7 -cform [-visits N] [-extral2l3 1]
+//
+// The baseline and configured runs are expanded through the same
+// internal/harness matrix engine that drives califorms-bench, so the
+// numbers here are the exact unit results behind the aggregate
+// figures.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/cache"
+	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -66,11 +72,12 @@ func main() {
 	hier.ExtraL2L3 = *extra
 	rc := sim.RunConfig{
 		Policy: pol, MinPad: *minPad, MaxPad: *maxPad, FixedPad: *fixedPad,
-		UseCForm: *cform, LayoutSeed: *seed, Visits: *visits, Hier: &hier,
+		UseCForm: *cform, LayoutSeed: *seed, Hier: &hier,
 	}
 
-	base := sim.Run(spec, sim.RunConfig{Policy: sim.PolicyNone, Visits: *visits})
-	r := sim.Run(spec, rc)
+	m := harness.Matrix{Benches: []workload.Spec{spec}, Configs: []sim.RunConfig{rc}, Visits: *visits}
+	res := m.Run(harness.NewPool(0))
+	base, r := res.Base[0], res.Runs[0][0][0]
 
 	fmt.Printf("benchmark %s, policy %s (cform=%v, pads %d-%d fixed=%d, +L2L3 %d)\n\n",
 		spec.Name, pol, *cform, *minPad, *maxPad, *fixedPad, *extra)

@@ -7,7 +7,9 @@
 // and figure of the paper's evaluation.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results. The root-level
-// benchmarks in bench_test.go regenerate each experiment via
-// `go test -bench=.`.
+// EXPERIMENTS.md for paper-vs-measured results. Every experiment is
+// registered in the internal/harness registry and regenerated through
+// its parallel sweep engine — by cmd/califorms-bench, by
+// cmd/califorms-sim for single configurations, and by the root-level
+// benchmarks in bench_test.go via `go test -bench=.`.
 package repro

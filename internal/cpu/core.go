@@ -1,3 +1,11 @@
+// Package cpu is the timing core of the simulated machine (Table 3):
+// an out-of-order Westmere-class approximation with a fixed issue
+// width, an MSHR-bounded miss window and ROB-window slack for
+// memory-level parallelism, a load-store queue, the Califorms
+// exception delivery path, and the SIMD security-byte handling
+// options of Appendix B. It consumes trace.Op streams from the
+// workloads and charges every CFORM and memory access through the
+// cache hierarchy.
 package cpu
 
 import (

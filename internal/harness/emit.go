@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Emitter renders a finished sweep's Result records. Emitters must be
+// pure functions of their input so that harness output stays
+// byte-identical for identical results.
+type Emitter interface {
+	Emit(w io.Writer, results []Result) error
+}
+
+// NewEmitter returns the emitter for a format name: "text", "json" or
+// "csv".
+func NewEmitter(format string) (Emitter, error) {
+	switch format {
+	case "text":
+		return TextEmitter{}, nil
+	case "json":
+		return JSONEmitter{}, nil
+	case "csv":
+		return CSVEmitter{}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown output format %q (text, json, csv)", format)
+	}
+}
+
+// TextEmitter renders aligned plain-text tables and prerendered
+// charts/prose — the terminal report format, with published paper
+// values side by side where the experiment provides them.
+type TextEmitter struct{}
+
+// Emit writes each record followed by a blank line, and one extra
+// blank line between experiments (matching the report layout of the
+// pre-harness driver).
+func (TextEmitter) Emit(w io.Writer, results []Result) error {
+	for i, r := range results {
+		if i > 0 && r.Experiment != results[i-1].Experiment {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		var body string
+		switch r.Kind {
+		case KindTable:
+			t := stats.Table{Title: r.Title, Headers: r.Headers, Rows: r.Rows}
+			body = t.String()
+		default:
+			body = r.Text
+		}
+		if body != "" && body[len(body)-1] != '\n' {
+			body += "\n"
+		}
+		if _, err := fmt.Fprintln(w, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONEmitter marshals the records as an indented JSON array, one
+// object per Result.
+type JSONEmitter struct{}
+
+func (JSONEmitter) Emit(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// CSVEmitter flattens every tabular record (tables and histogram
+// bins) into one CSV stream with leading experiment/title columns; a
+// header record precedes each table's data records. Free-form text
+// records carry no cells and are skipped.
+type CSVEmitter struct{}
+
+func (CSVEmitter) Emit(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	for _, r := range results {
+		if len(r.Headers) == 0 {
+			continue
+		}
+		if err := cw.Write(append([]string{"experiment", "title"}, r.Headers...)); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write(append([]string{r.Experiment, r.Title}, row...)); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

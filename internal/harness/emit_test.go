@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// goldenResults is a synthetic sweep exercising every Result kind and
+// an experiment boundary.
+func goldenResults() []Result {
+	return []Result{
+		{
+			Experiment: "demo",
+			Kind:       KindTable,
+			Title:      "Demo table",
+			Headers:    []string{"name", "value"},
+			Rows:       [][]string{{"a", "1"}, {"bb", "22"}},
+		},
+		{
+			Experiment: "demo",
+			Kind:       KindText,
+			Text:       "a trailing analysis line\n",
+		},
+		{
+			Experiment: "demo2",
+			Kind:       KindHistogram,
+			Title:      "Demo histogram",
+			Headers:    []string{"bin", "fraction"},
+			Rows:       [][]string{{"[0.0,0.5)", "0.2500"}, {"[0.5,1.0)", "0.7500"}},
+			Text:       "Demo histogram\n[0.0,0.5)  25.00% #\n[0.5,1.0)  75.00% ###\n",
+		},
+	}
+}
+
+func TestTextEmitterGolden(t *testing.T) {
+	want := strings.Join([]string{
+		"Demo table",
+		"name  value",
+		"----  -----",
+		"a     1    ",
+		"bb    22   ",
+		"",
+		"a trailing analysis line",
+		"",
+		"", // experiment boundary
+		"Demo histogram",
+		"[0.0,0.5)  25.00% #",
+		"[0.5,1.0)  75.00% ###",
+		"",
+	}, "\n") + "\n"
+	var buf bytes.Buffer
+	if err := (TextEmitter{}).Emit(&buf, goldenResults()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Fatalf("text emitter output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestJSONEmitterGolden(t *testing.T) {
+	want := `[
+  {
+    "experiment": "demo",
+    "kind": "table",
+    "title": "Demo table",
+    "headers": [
+      "name",
+      "value"
+    ],
+    "rows": [
+      [
+        "a",
+        "1"
+      ],
+      [
+        "bb",
+        "22"
+      ]
+    ]
+  },
+  {
+    "experiment": "demo",
+    "kind": "text",
+    "text": "a trailing analysis line\n"
+  },
+  {
+    "experiment": "demo2",
+    "kind": "histogram",
+    "title": "Demo histogram",
+    "headers": [
+      "bin",
+      "fraction"
+    ],
+    "rows": [
+      [
+        "[0.0,0.5)",
+        "0.2500"
+      ],
+      [
+        "[0.5,1.0)",
+        "0.7500"
+      ]
+    ],
+    "text": "Demo histogram\n[0.0,0.5)  25.00% #\n[0.5,1.0)  75.00% ###\n"
+  }
+]
+`
+	var buf bytes.Buffer
+	if err := (JSONEmitter{}).Emit(&buf, goldenResults()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Fatalf("json emitter output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCSVEmitterGolden(t *testing.T) {
+	// Text-only records carry no cells and are skipped; each tabular
+	// record gets a header line plus its rows.
+	want := strings.Join([]string{
+		"experiment,title,name,value",
+		"demo,Demo table,a,1",
+		"demo,Demo table,bb,22",
+		"experiment,title,bin,fraction",
+		`demo2,Demo histogram,"[0.0,0.5)",0.2500`,
+		`demo2,Demo histogram,"[0.5,1.0)",0.7500`,
+	}, "\n") + "\n"
+	var buf bytes.Buffer
+	if err := (CSVEmitter{}).Emit(&buf, goldenResults()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Fatalf("csv emitter output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestNewEmitter(t *testing.T) {
+	for _, format := range []string{"text", "json", "csv"} {
+		if _, err := NewEmitter(format); err != nil {
+			t.Fatalf("NewEmitter(%q): %v", format, err)
+		}
+	}
+	if _, err := NewEmitter("yaml"); err == nil {
+		t.Fatal("NewEmitter accepted an unknown format")
+	}
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// layoutSeedStride spaces the per-replica layout seeds. The value is
+// load-bearing for output compatibility: the pre-harness sweep code
+// seeded replica k with k*7919, and the regression tables were
+// recorded under those layouts.
+const layoutSeedStride = 7919
+
+// Cell is one run unit's coordinate in a Matrix: which benchmark,
+// which configuration column (-1 is the shared per-benchmark
+// baseline), and which layout-randomization replica.
+type Cell struct {
+	Bench  int
+	Config int // index into Matrix.Configs; -1 = baseline
+	Seed   int
+}
+
+// Matrix is the declarative configuration matrix of a performance
+// experiment: benchmark × configuration × seed replica, plus one
+// uninstrumented baseline run per benchmark that every slowdown is
+// measured against.
+type Matrix struct {
+	Benches []workload.Spec
+	// Configs are the configuration columns. Visits and the replica
+	// layout seed are filled in per cell; everything else is taken
+	// as-is.
+	Configs []sim.RunConfig
+	// Seeds is the number of layout replicas per cell (<=1 means one,
+	// with the config's own LayoutSeed unchanged).
+	Seeds int
+	// Visits overrides RunConfig.Visits for every unit.
+	Visits int
+}
+
+func (m Matrix) seeds() int {
+	if m.Seeds <= 1 {
+		return 1
+	}
+	return m.Seeds
+}
+
+// Cells expands the matrix into its run units in canonical order:
+// for each benchmark, the baseline first, then configs × seeds.
+// Result folding relies on this order, never on completion order.
+func (m Matrix) Cells() []Cell {
+	var out []Cell
+	for b := range m.Benches {
+		out = append(out, Cell{Bench: b, Config: -1})
+		for c := range m.Configs {
+			for s := 0; s < m.seeds(); s++ {
+				out = append(out, Cell{Bench: b, Config: c, Seed: s})
+			}
+		}
+	}
+	return out
+}
+
+// Config materializes the full RunConfig of one cell.
+func (m Matrix) Config(cell Cell) sim.RunConfig {
+	if cell.Config < 0 {
+		return sim.RunConfig{Policy: sim.PolicyNone, Visits: m.Visits}
+	}
+	rc := m.Configs[cell.Config]
+	rc.Visits = m.Visits
+	rc.LayoutSeed += int64(cell.Seed) * layoutSeedStride
+	return rc
+}
+
+// MatrixResult holds every unit result of a sweep, addressable by
+// matrix coordinates.
+type MatrixResult struct {
+	Matrix Matrix
+	// Base[b] is benchmark b's uninstrumented baseline.
+	Base []sim.Result
+	// Runs[b][c][s] is the (bench, config, seed) unit result.
+	Runs [][][]sim.Result
+}
+
+// Run expands the matrix and executes every unit on the pool. Each
+// unit is an independent, deterministically seeded sim.Run; results
+// land in coordinate-addressed slots, so the fold is identical at any
+// worker count.
+func (m Matrix) Run(pool *Pool) MatrixResult {
+	res := MatrixResult{Matrix: m, Base: make([]sim.Result, len(m.Benches))}
+	res.Runs = make([][][]sim.Result, len(m.Benches))
+	for b := range res.Runs {
+		res.Runs[b] = make([][]sim.Result, len(m.Configs))
+		for c := range res.Runs[b] {
+			res.Runs[b][c] = make([]sim.Result, m.seeds())
+		}
+	}
+	cells := m.Cells()
+	pool.Map(len(cells), func(i int) {
+		cell := cells[i]
+		r := sim.Run(m.Benches[cell.Bench], m.Config(cell))
+		if cell.Config < 0 {
+			res.Base[cell.Bench] = r
+		} else {
+			res.Runs[cell.Bench][cell.Config][cell.Seed] = r
+		}
+	})
+	return res
+}
+
+// Slowdown returns benchmark b's slowdown under config c versus its
+// baseline, averaged over the seed replicas.
+func (r MatrixResult) Slowdown(b, c int) float64 {
+	sum := 0.0
+	for _, run := range r.Runs[b][c] {
+		sum += stats.Slowdown(r.Base[b].Cycles, run.Cycles)
+	}
+	return sum / float64(len(r.Runs[b][c]))
+}
+
+// AvgSlowdown returns the arithmetic-mean slowdown of config c across
+// all benchmarks (the paper's AVG bars).
+func (r MatrixResult) AvgSlowdown(c int) float64 {
+	var col []float64
+	for b := range r.Matrix.Benches {
+		col = append(col, r.Slowdown(b, c))
+	}
+	return stats.Mean(col)
+}

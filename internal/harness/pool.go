@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-width goroutine worker pool. Experiments shard
+// their run units over it with Map; unit results are written to
+// index-addressed slots, so scheduling order never leaks into output.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width; workers <= 0 means
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs f(0..n-1) across the pool and returns when all calls have
+// finished. f must write its result to an index-addressed location;
+// invocation order is unspecified.
+func (p *Pool) Map(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}

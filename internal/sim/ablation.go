@@ -175,13 +175,25 @@ func AblationL1Variant(visits int) AblationResult {
 	return out
 }
 
+// AblationSweeps returns every registered sweep in report order; the
+// harness ablations experiment iterates this list, so a new sweep
+// added here shows up in `califorms-bench -exp ablations`
+// automatically.
+func AblationSweeps() []func(int) AblationResult {
+	return []func(int) AblationResult{
+		AblationSpillFill,
+		AblationNonTemporalCForm,
+		AblationQuarantine,
+		AblationMLP,
+		AblationL1Variant,
+	}
+}
+
 // Ablations runs all sweeps.
 func Ablations(visits int) []AblationResult {
-	return []AblationResult{
-		AblationSpillFill(visits),
-		AblationNonTemporalCForm(visits),
-		AblationQuarantine(visits),
-		AblationMLP(visits),
-		AblationL1Variant(visits),
+	var out []AblationResult
+	for _, sweep := range AblationSweeps() {
+		out = append(out, sweep(visits))
 	}
+	return out
 }

@@ -84,58 +84,5 @@ func TestExtraLatencyAlwaysSlower(t *testing.T) {
 	}
 }
 
-func TestFig4Monotone(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full sweep in -short mode")
-	}
-	r := Fig4(8000)
-	if len(r.AvgSlowdown) != 7 {
-		t.Fatalf("want 7 pad sizes, got %d", len(r.AvgSlowdown))
-	}
-	// Shape: positive, and 7B costs more than 1B (the paper's 3.0% ->
-	// 7.6% trend). Individual adjacent steps may tie due to alignment
-	// absorption.
-	if r.AvgSlowdown[0] < 0.005 {
-		t.Fatalf("1B padding slowdown %.4f, expected noticeable (paper: 3%%)", r.AvgSlowdown[0])
-	}
-	if r.AvgSlowdown[6] <= r.AvgSlowdown[0] {
-		t.Fatalf("7B (%f) must exceed 1B (%f)", r.AvgSlowdown[6], r.AvgSlowdown[0])
-	}
-	if r.AvgSlowdown[6] > 0.2 {
-		t.Fatalf("7B slowdown %.2f%% implausibly high (paper: 7.6%%)", r.AvgSlowdown[6]*100)
-	}
-}
-
-func TestFig10Band(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full sweep in -short mode")
-	}
-	rs := Fig10(8000)
-	var all []float64
-	for _, r := range rs {
-		if r.Slowdown < -0.002 || r.Slowdown > 0.03 {
-			t.Fatalf("%s: slowdown %.3f%% outside plausible band", r.Name, r.Slowdown*100)
-		}
-		all = append(all, r.Slowdown)
-	}
-	avg := stats.Mean(all)
-	if avg < 0.002 || avg > 0.02 {
-		t.Fatalf("average %.3f%%, paper reports 0.83%%", avg*100)
-	}
-}
-
-func TestPolicyMatrixShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("matrix in -short mode")
-	}
-	m := PolicyMatrix(Fig12Configs(), 6000, 1)
-	avg := m.AvgPerConfig()
-	// Intelligent with CFORM must stay cheap on average (paper: 1.5%)
-	// and be costlier than without CFORM.
-	if avg[5] <= avg[2] {
-		t.Fatalf("CFORM must add cost: %.3f vs %.3f", avg[5], avg[2])
-	}
-	if avg[5] > 0.08 {
-		t.Fatalf("intelligent 1-7B CFORM avg %.2f%%, paper ~1.5%%", avg[5]*100)
-	}
-}
+// The Figure 4/10/11/12 sweep drivers moved to internal/harness; the
+// paper-shape assertions on them live in that package's tests now.
