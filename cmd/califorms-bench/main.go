@@ -7,6 +7,8 @@
 //
 //	califorms-bench -exp fig3|fig4|fig10|fig11|fig12|table1..table7|security|ablations|all
 //	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv] [-list]
+//	califorms-bench -perf [-exp ...] [-perf-out BENCH_califorms.json]
+//	                [-perf-baseline BENCH_califorms.json] [-perf-gate 20]
 //
 // -visits scales the measured steady-state region of each benchmark
 // kernel (default 30000 object visits); -seeds sets how many layout
@@ -14,6 +16,14 @@
 // -workers sizes the simulation worker pool (default GOMAXPROCS);
 // output is byte-identical at any worker count. Per-experiment timing
 // goes to stderr so stdout stays a clean report.
+//
+// -perf switches to measurement mode: instead of emitting the
+// experiment reports, it measures each selected experiment's
+// simulated-instruction throughput and per-stage cost, writes the
+// result to -perf-out (the BENCH_califorms.json trajectory file, see
+// internal/perf for the schema), and — when -perf-baseline is given —
+// exits non-zero if any experiment's ops/sec regressed more than
+// -perf-gate percent against the baseline report.
 package main
 
 import (
@@ -24,7 +34,22 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/perf"
 )
+
+func expNames(exp string) ([]string, error) {
+	if exp == "all" {
+		var names []string
+		for _, e := range harness.Experiments() {
+			names = append(names, e.Name)
+		}
+		return names, nil
+	}
+	if _, ok := harness.Get(exp); !ok {
+		return nil, fmt.Errorf("unknown experiment %q (have: %s, all)", exp, strings.Join(harness.Names(), ", "))
+	}
+	return []string{exp}, nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see -list, or 'all')")
@@ -33,6 +58,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text, json, csv")
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	perfMode := flag.Bool("perf", false, "measure experiment throughput instead of emitting reports")
+	perfOut := flag.String("perf-out", "BENCH_califorms.json", "perf mode: where to write the measurement report")
+	perfBaseline := flag.String("perf-baseline", "", "perf mode: baseline report to gate against (optional)")
+	perfGate := flag.Float64("perf-gate", 20, "perf mode: max tolerated ops/sec regression in percent")
 	flag.Parse()
 
 	if *list {
@@ -42,29 +71,27 @@ func main() {
 		return
 	}
 
+	names, err := expNames(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pool := harness.NewPool(*workers)
+	p := harness.Params{Visits: *visits, Seeds: *seeds}
+
+	if *perfMode {
+		runPerf(names, p, pool, *perfOut, *perfBaseline, *perfGate)
+		return
+	}
+
 	em, err := harness.NewEmitter(*format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	var exps []harness.Experiment
-	if *exp == "all" {
-		exps = harness.Experiments()
-	} else {
-		e, ok := harness.Get(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n",
-				*exp, strings.Join(harness.Names(), ", "))
-			os.Exit(2)
-		}
-		exps = []harness.Experiment{e}
-	}
-
-	pool := harness.NewPool(*workers)
-	p := harness.Params{Visits: *visits, Seeds: *seeds}
 	var results []harness.Result
-	for _, e := range exps {
+	for _, name := range names {
+		e, _ := harness.Get(name)
 		start := time.Now()
 		results = append(results, harness.Run(e, p, pool)...)
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
@@ -73,4 +100,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runPerf measures the named experiments, writes the trajectory
+// report, and applies the regression gate when a baseline is given.
+func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baselinePath string, gatePct float64) {
+	report, err := perf.Measure(names, p, pool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, m := range report.Experiments {
+		if m.SimOps > 0 {
+			fmt.Fprintf(os.Stderr, "[perf %-10s %8.3fs  %12d ops  %10.3g ops/s  (setup %.2fs, sim %.2fs)]\n",
+				m.Name, m.WallSeconds, m.SimOps, m.OpsPerSec, m.SetupSeconds, m.SimSeconds)
+		} else {
+			fmt.Fprintf(os.Stderr, "[perf %-10s %8.3fs  (no simulation)]\n", m.Name, m.WallSeconds)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[perf total      %8.3fs  %12d ops  %10.3g ops/s]\n",
+		report.TotalWallSeconds, report.TotalOps, report.TotalOpsPerSec)
+	if err := perf.Write(out, report); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[perf report written to %s]\n", out)
+	if baselinePath == "" {
+		return
+	}
+	baseline, err := perf.Read(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	regs, err := perf.Compare(baseline, report, gatePct)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "[perf gate passed: no experiment regressed more than %.0f%% vs %s]\n", gatePct, baselinePath)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "perf gate FAILED (tolerance %.0f%% vs %s):\n", gatePct, baselinePath)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
 }

@@ -7,6 +7,9 @@
 package cache
 
 import (
+	"fmt"
+	"math/bits"
+
 	"repro/internal/cacheline"
 )
 
@@ -38,81 +41,320 @@ func (s LevelStats) MissRate() float64 {
 	return float64(s.Misses) / float64(total)
 }
 
-type entry[L any] struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64
-	line  L
+// maxWays bounds associativity: the per-set recency state packs one
+// 4-bit way index per way into a single word.
+const maxWays = 16
+
+// setHdr is the packed replacement state of one set, sized to stay
+// within a single host cache line (32 bytes): the LRU order as a
+// move-to-front permutation of way indices (4 bits each, MRU in the
+// low nibble), valid and dirty bitmaps, and an 8-bit signature per
+// way that lets a set probe reject non-matching ways without
+// touching the (much larger) tag array. A full miss scan therefore
+// costs one header read instead of a walk over per-way entry
+// structs.
+type setHdr struct {
+	perm uint64
+	// sigLo/sigHi hold the per-way signatures as byte lanes (ways 0-7
+	// and 8-15), so a set probe matches all ways with two SWAR
+	// compares instead of a byte loop.
+	sigLo uint64
+	sigHi uint64
+	valid uint16
+	dirty uint16
+	// zero marks ways whose payload is the canonical zero line. Trace
+	// replay is dominated by Touch ops that never carry data, so most
+	// simulated lines hold all-zero payloads end to end; the flag lets
+	// every such line skip its payload reads and writes entirely (the
+	// lines array is not even touched). A zero way's slot in the lines
+	// array holds an arbitrary stale value and must never be read.
+	zero uint16
+}
+
+const (
+	lsbBytes   = 0x0101010101010101
+	msbBytes   = 0x8080808080808080
+	lsbNibbles = 0x1111111111111111
+	msbNibbles = 0x8888888888888888
+)
+
+// byteMatches returns a mask with bit 8w+7 set for every byte lane w
+// of word equal to the broadcast pattern. The zero-byte detection has
+// no false negatives; false positives (possible only above a true
+// match) are filtered by the caller's tag compare.
+func byteMatches(word, broadcast uint64) uint64 {
+	x := word ^ broadcast
+	return (x - lsbBytes) & ^x & msbBytes
+}
+
+// permInit is the identity permutation: way w at recency position w.
+const permInit = 0xFEDCBA9876543210
+
+// sigOf hashes a line index to its scan signature. Collisions only
+// cost a redundant tag compare.
+func sigOf(lineIdx uint64) uint8 {
+	return uint8((lineIdx * 0x9E3779B97F4A7C15) >> 56)
+}
+
+// mtf moves the way at recency position p to the front of the
+// permutation, preserving the relative order of everything else —
+// exactly the effect a monotonic LRU-stamp refresh has on the
+// stamp ordering.
+func mtf(perm uint64, p, w int) uint64 {
+	keep := perm &^ (uint64(1)<<uint(4*(p+1)) - 1)
+	low := perm & (uint64(1)<<uint(4*p) - 1)
+	return keep | low<<4 | uint64(w)
+}
+
+// permPos returns the recency position of way w via SWAR nibble
+// matching: the detector never misses the (unique) true match, and
+// candidate positions are verified, so borrow-induced false
+// positives above it are harmless.
+func permPos(perm uint64, w int) int {
+	x := perm ^ uint64(w)*lsbNibbles
+	for m := (x - lsbNibbles) & ^x & msbNibbles; ; m &= m - 1 {
+		p := bits.TrailingZeros64(m) >> 2
+		if int(perm>>uint(4*p))&0xf == w {
+			return p
+		}
+	}
 }
 
 // level is a generic set-associative write-back cache over a line
-// representation type (Bitvector for L1, Sentinel for L2/L3).
+// representation type (Bitvector for L1, Sentinel for L2/L3), stored
+// struct-of-arrays: per-set packed headers, a tag array and the line
+// payloads are parallel, indexed by slot = set*ways + way.
 type level[L any] struct {
 	cfg   LevelConfig
-	sets  [][]entry[L]
-	clock uint64
-	Stats LevelStats
+	ways  int
+	nsets int
+	// setMask is nsets-1 when nsets is a power of two (every Table 3
+	// configuration), letting setIndex avoid the modulo; waysShift
+	// likewise replaces the slot/ways division.
+	setMask   uint64
+	waysShift int
+	hdrs      []setHdr
+	tags      []uint64
+	lines     []L
+	// lastLine/lastSlot remember the most recent hit. The
+	// pair is self-validating (tag and valid bit are re-checked), so
+	// no invalidation hook is needed; it short-circuits the set scan
+	// for the extremely common touch-the-same-line-again case.
+	lastLine uint64
+	lastSlot int
+	Stats    LevelStats
 }
 
 func newLevel[L any](cfg LevelConfig) *level[L] {
+	if cfg.Ways > maxWays {
+		panic(fmt.Sprintf("cache: %s: %d ways exceeds the supported maximum of %d", cfg.Name, cfg.Ways, maxWays))
+	}
 	n := cfg.Sets()
-	sets := make([][]entry[L], n)
-	for i := range sets {
-		sets[i] = make([]entry[L], cfg.Ways)
+	l := &level[L]{
+		cfg:       cfg,
+		ways:      cfg.Ways,
+		nsets:     n,
+		waysShift: -1,
+		hdrs:      make([]setHdr, n),
+		tags:      make([]uint64, n*cfg.Ways),
+		lines:     make([]L, n*cfg.Ways),
+		lastSlot:  -1,
 	}
-	return &level[L]{cfg: cfg, sets: sets}
+	for i := range l.hdrs {
+		l.hdrs[i].perm = permInit
+	}
+	if n > 0 && n&(n-1) == 0 {
+		l.setMask = uint64(n - 1)
+	}
+	if w := cfg.Ways; w > 0 && w&(w-1) == 0 {
+		l.waysShift = bits.TrailingZeros(uint(w))
+	}
+	return l
 }
 
+// setIndex returns lineIdx's set.
 func (l *level[L]) setIndex(lineIdx uint64) int {
-	return int(lineIdx % uint64(len(l.sets)))
+	if l.setMask != 0 || l.nsets == 1 {
+		return int(lineIdx & l.setMask)
+	}
+	return int(lineIdx % uint64(l.nsets))
 }
 
-// lookup returns a pointer to the entry holding lineIdx, or nil.
-func (l *level[L]) lookup(lineIdx uint64) *entry[L] {
-	set := l.sets[l.setIndex(lineIdx)]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineIdx {
-			l.clock++
-			set[i].lru = l.clock
-			return &set[i]
-		}
+// setWay splits a slot into its set and way.
+func (l *level[L]) setWay(slot int) (set, way int) {
+	if l.waysShift >= 0 {
+		set = slot >> uint(l.waysShift)
+		return set, slot - set<<uint(l.waysShift)
 	}
-	return nil
+	return slot / l.ways, slot % l.ways
 }
 
-// insert places a line, evicting the LRU victim if necessary. It
-// returns the victim (valid only if evicted dirty or evictedValid).
-func (l *level[L]) insert(lineIdx uint64, line L, dirty bool) (victim entry[L], evicted bool) {
-	set := l.sets[l.setIndex(lineIdx)]
-	vi := 0
-	for i := range set {
-		if !set[i].valid {
-			vi = i
-			goto place
-		}
-		if set[i].lru < set[vi].lru {
-			vi = i
+// touch refreshes the recency of way w in h (an LRU-stamp update).
+func (l *level[L]) touch(h *setHdr, w int) {
+	if int(h.perm)&0xf == w {
+		return // already MRU
+	}
+	h.perm = mtf(h.perm, permPos(h.perm, w), w)
+}
+
+// acquire resolves lineIdx in a single set scan: on a hit it
+// refreshes the way's recency and returns the slot; on a miss it
+// returns the slot an insert should fill — the first invalid way in
+// way order, else the LRU way — without writing it, so callers can
+// consume the evicted line in place. The caller owns the miss slot
+// until its place call; the victim choice made here stays valid as
+// long as the set is untouched in between, which every call site
+// guarantees (lower-level traffic never touches the acquiring set).
+func (l *level[L]) acquire(lineIdx uint64) (slot int, hit, evicted bool) {
+	if l.lastLine == lineIdx && l.lastSlot >= 0 && l.tags[l.lastSlot] == lineIdx {
+		set, way := l.setWay(l.lastSlot)
+		h := &l.hdrs[set]
+		if h.valid&(1<<uint(way)) != 0 {
+			l.touch(h, way)
+			return l.lastSlot, true, false
 		}
 	}
-	victim = set[vi]
-	evicted = true
+	set := l.setIndex(lineIdx)
+	h := &l.hdrs[set]
+	base := set * l.ways
+	bsig := uint64(sigOf(lineIdx)) * lsbBytes
+	for m := byteMatches(h.sigLo, bsig); m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m) >> 3
+		if h.valid&(1<<uint(w)) != 0 && l.tags[base+w] == lineIdx {
+			l.touch(h, w)
+			l.lastLine, l.lastSlot = lineIdx, base+w
+			return base + w, true, false
+		}
+	}
+	if l.ways > 8 {
+		for m := byteMatches(h.sigHi, bsig); m != 0; m &= m - 1 {
+			w := 8 + bits.TrailingZeros64(m)>>3
+			if h.valid&(1<<uint(w)) != 0 && l.tags[base+w] == lineIdx {
+				l.touch(h, w)
+				l.lastLine, l.lastSlot = lineIdx, base+w
+				return base + w, true, false
+			}
+		}
+	}
+	if inv := ^h.valid & (uint16(1)<<uint(l.ways) - 1); inv != 0 {
+		return base + bits.TrailingZeros16(inv), false, false
+	}
 	l.Stats.Evictions++
-place:
-	l.clock++
-	set[vi] = entry[L]{tag: lineIdx, valid: true, dirty: dirty, lru: l.clock, line: line}
-	return victim, evicted
+	return base + int(h.perm>>uint(4*(l.ways-1)))&0xf, false, true
 }
 
-// invalidate drops lineIdx if present, returning the entry.
-func (l *level[L]) invalidate(lineIdx uint64) (entry[L], bool) {
-	set := l.sets[l.setIndex(lineIdx)]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineIdx {
-			e := set[i]
-			set[i].valid = false
-			return e, true
+// probe locates lineIdx without updating recency state
+// (invalidation paths).
+func (l *level[L]) probe(lineIdx uint64) (slot int, ok bool) {
+	set := l.setIndex(lineIdx)
+	h := &l.hdrs[set]
+	base := set * l.ways
+	bsig := uint64(sigOf(lineIdx)) * lsbBytes
+	for m := byteMatches(h.sigLo, bsig); m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m) >> 3
+		if h.valid&(1<<uint(w)) != 0 && l.tags[base+w] == lineIdx {
+			return base + w, true
 		}
 	}
-	return entry[L]{}, false
+	if l.ways > 8 {
+		for m := byteMatches(h.sigHi, bsig); m != 0; m &= m - 1 {
+			w := 8 + bits.TrailingZeros64(m)>>3
+			if h.valid&(1<<uint(w)) != 0 && l.tags[base+w] == lineIdx {
+				return base + w, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// place fills a slot previously returned by acquire with a
+// materialized payload.
+func (l *level[L]) place(slot int, lineIdx uint64, line L, dirty bool) {
+	l.placeMeta(slot, lineIdx, dirty, false)
+	l.lines[slot] = line
+}
+
+// placeZero fills a slot with the canonical zero line; the payload
+// array is not touched.
+func (l *level[L]) placeZero(slot int, lineIdx uint64, dirty bool) {
+	l.placeMeta(slot, lineIdx, dirty, true)
+}
+
+func (l *level[L]) placeMeta(slot int, lineIdx uint64, dirty, zero bool) {
+	set, way := l.setWay(slot)
+	h := &l.hdrs[set]
+	bit := uint16(1) << uint(way)
+	h.valid |= bit
+	if dirty {
+		h.dirty |= bit
+	} else {
+		h.dirty &^= bit
+	}
+	if zero {
+		h.zero |= bit
+	} else {
+		h.zero &^= bit
+	}
+	sig := uint64(sigOf(lineIdx))
+	if way < 8 {
+		sh := uint(8 * way)
+		h.sigLo = h.sigLo&^(0xff<<sh) | sig<<sh
+	} else {
+		sh := uint(8 * (way - 8))
+		h.sigHi = h.sigHi&^(0xff<<sh) | sig<<sh
+	}
+	l.touch(h, way)
+	l.tags[slot] = lineIdx
+}
+
+// zeroAt reports whether the slot holds the canonical zero line.
+func (l *level[L]) zeroAt(slot int) bool {
+	set, way := l.setWay(slot)
+	return l.hdrs[set].zero&(1<<uint(way)) != 0
+}
+
+// overwrite replaces a hit slot's payload with a materialized line.
+func (l *level[L]) overwrite(slot int, line *L) {
+	set, way := l.setWay(slot)
+	l.hdrs[set].zero &^= 1 << uint(way)
+	l.lines[slot] = *line
+}
+
+// setZeroAt replaces a hit slot's payload with the zero line.
+func (l *level[L]) setZeroAt(slot int) {
+	set, way := l.setWay(slot)
+	l.hdrs[set].zero |= 1 << uint(way)
+}
+
+// materialize turns a zero slot into an explicit zero payload so a
+// functional writer can modify it in place.
+func (l *level[L]) materialize(slot int) {
+	set, way := l.setWay(slot)
+	bit := uint16(1) << uint(way)
+	if l.hdrs[set].zero&bit != 0 {
+		l.hdrs[set].zero &^= bit
+		var z L
+		l.lines[slot] = z
+	}
+}
+
+// Per-slot accessors for the hierarchy.
+func (l *level[L]) validAt(slot int) bool {
+	set, way := l.setWay(slot)
+	return l.hdrs[set].valid&(1<<uint(way)) != 0
+}
+
+func (l *level[L]) dirtyAt(slot int) bool {
+	set, way := l.setWay(slot)
+	return l.hdrs[set].dirty&(1<<uint(way)) != 0
+}
+
+func (l *level[L]) markDirty(slot int) {
+	set, way := l.setWay(slot)
+	l.hdrs[set].dirty |= 1 << uint(way)
+}
+
+func (l *level[L]) clearValid(slot int) {
+	set, way := l.setWay(slot)
+	l.hdrs[set].valid &^= 1 << uint(way)
 }

@@ -101,110 +101,184 @@ func (h *Hierarchy) L3Stats() LevelStats { return h.l3.Stats }
 
 // writeBackL2 installs a sentinel line into L2, cascading evictions
 // downward. Clean victims are dropped: with write-back propagation a
-// clean copy always matches the level below.
-func (h *Hierarchy) writeBackL2(lineIdx uint64, s cacheline.Sentinel, dirty bool) {
-	if e := h.l2.lookup(lineIdx); e != nil {
-		e.line = s
-		e.dirty = e.dirty || dirty
+// clean copy always matches the level below. Victims are written
+// back from their slot before it is overwritten, so no line is ever
+// copied through an intermediate.
+// zeroSentinel is the canonical zero line, passed (read-only) where a
+// zero-flagged writeback needs a value for the non-optimized paths.
+var zeroSentinel cacheline.Sentinel
+
+// writeBackL2 installs a sentinel line into L2. zero marks the
+// canonical zero line: its payload is tracked as a flag and the line
+// arrays are never touched.
+func (h *Hierarchy) writeBackL2(lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
+	slot, hit, evicted := h.l2.acquire(lineIdx)
+	if hit {
+		if zero {
+			h.l2.setZeroAt(slot)
+		} else {
+			h.l2.overwrite(slot, s)
+		}
+		if dirty {
+			h.l2.markDirty(slot)
+		}
 		return
 	}
-	victim, evicted := h.l2.insert(lineIdx, s, dirty)
-	if evicted && victim.dirty {
+	h.placeL2(slot, evicted, lineIdx, s, zero, dirty)
+}
+
+// placeL2 fills an acquired L2 miss slot, first cascading a dirty
+// victim downward from its slot (no line is copied through an
+// intermediate).
+func (h *Hierarchy) placeL2(slot int, evicted bool, lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
+	if evicted && h.l2.dirtyAt(slot) {
 		h.l2.Stats.Writebacks++
-		h.writeBackL3(victim.tag, victim.line, true)
+		if h.l2.zeroAt(slot) {
+			h.writeBackL3(h.l2.tags[slot], &zeroSentinel, true, true)
+		} else {
+			h.writeBackL3(h.l2.tags[slot], &h.l2.lines[slot], false, true)
+		}
+	}
+	if zero {
+		h.l2.placeZero(slot, lineIdx, dirty)
+	} else {
+		h.l2.place(slot, lineIdx, *s, dirty)
 	}
 }
 
-func (h *Hierarchy) writeBackL3(lineIdx uint64, s cacheline.Sentinel, dirty bool) {
-	if e := h.l3.lookup(lineIdx); e != nil {
-		e.line = s
-		e.dirty = e.dirty || dirty
+func (h *Hierarchy) writeBackL3(lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
+	slot, hit, evicted := h.l3.acquire(lineIdx)
+	if hit {
+		if zero {
+			h.l3.setZeroAt(slot)
+		} else {
+			h.l3.overwrite(slot, s)
+		}
+		if dirty {
+			h.l3.markDirty(slot)
+		}
 		return
 	}
-	victim, evicted := h.l3.insert(lineIdx, s, dirty)
-	if evicted && victim.dirty {
+	h.placeL3(slot, evicted, lineIdx, s, zero, dirty)
+}
+
+// placeL3 mirrors placeL2 one level down.
+func (h *Hierarchy) placeL3(slot int, evicted bool, lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
+	if evicted && h.l3.dirtyAt(slot) {
 		h.l3.Stats.Writebacks++
-		h.mem.WriteLine(victim.tag, victim.line)
+		if h.l3.zeroAt(slot) {
+			h.mem.WriteLine(h.l3.tags[slot], zeroSentinel)
+		} else {
+			h.mem.WriteLine(h.l3.tags[slot], h.l3.lines[slot])
+		}
+	}
+	if zero {
+		h.l3.placeZero(slot, lineIdx, dirty)
+	} else {
+		h.l3.place(slot, lineIdx, *s, dirty)
 	}
 }
 
 // fetchSentinel finds the sentinel-format line below L1, returning it
-// with the accumulated latency and deepest level touched. The line is
-// installed in L2 (and L3 on a memory fetch) per write-allocate.
-func (h *Hierarchy) fetchSentinel(lineIdx uint64) (cacheline.Sentinel, int, int) {
+// (plus its zero-line flag) with the accumulated latency and deepest
+// level touched. The line is installed in L2 (and L3 on a memory
+// fetch) per write-allocate. Every level is probed with a single
+// combined hit-or-victim scan; the miss slots acquired up front stay
+// valid because traffic to the levels below never touches the
+// acquiring set, and the install order (L3 before L2, victims written
+// back before placement) is exactly the lookup-then-insert order the
+// two-pass implementation used.
+func (h *Hierarchy) fetchSentinel(lineIdx uint64) (cacheline.Sentinel, bool, int, int) {
 	lat := h.cfg.L2.Latency + h.cfg.ExtraL2L3
-	if e := h.l2.lookup(lineIdx); e != nil {
+	l2slot, hit, l2evict := h.l2.acquire(lineIdx)
+	if hit {
 		h.l2.Stats.Hits++
-		return e.line, lat, LvlL2
+		if h.l2.zeroAt(l2slot) {
+			return zeroSentinel, true, lat, LvlL2
+		}
+		return h.l2.lines[l2slot], false, lat, LvlL2
 	}
 	h.l2.Stats.Misses++
 	lat += h.cfg.L3.Latency + h.cfg.ExtraL2L3
-	if e := h.l3.lookup(lineIdx); e != nil {
+	l3slot, hit3, l3evict := h.l3.acquire(lineIdx)
+	if hit3 {
 		h.l3.Stats.Hits++
-		s := e.line
-		h.writeBackL2(lineIdx, s, false)
-		return s, lat, LvlL3
+		if h.l3.zeroAt(l3slot) {
+			h.placeL2(l2slot, l2evict, lineIdx, &zeroSentinel, true, false)
+			return zeroSentinel, true, lat, LvlL3
+		}
+		s := h.l3.lines[l3slot]
+		h.placeL2(l2slot, l2evict, lineIdx, &s, false, false)
+		return s, false, lat, LvlL3
 	}
 	h.l3.Stats.Misses++
 	lat += h.cfg.MemLatency
-	s := h.mem.ReadLine(lineIdx)
-	h.writeBackL3(lineIdx, s, false)
-	h.writeBackL2(lineIdx, s, false)
-	return s, lat, LvlMem
+	s, resident := h.mem.ReadLineSparse(lineIdx)
+	zero := !resident
+	h.placeL3(l3slot, l3evict, lineIdx, &s, zero, false)
+	h.placeL2(l2slot, l2evict, lineIdx, &s, zero, false)
+	return s, zero, lat, LvlMem
 }
 
-// spillL1Victim evicts an L1 line, converting to sentinel format
-// (Algorithm 1) and installing the result in L2.
-func (h *Hierarchy) spillL1Victim(v entry[cacheline.Bitvector]) {
-	s, err := cacheline.Spill(v.line)
+// spillL1Victim evicts the L1 line in the given slot, converting to
+// sentinel format (Algorithm 1) and installing the result in L2.
+// Zero lines skip the conversion: the spill of an all-zero bitvector
+// line is the all-zero sentinel line.
+func (h *Hierarchy) spillL1Victim(slot int) {
+	dirty := h.l1.dirtyAt(slot)
+	if dirty {
+		h.l1.Stats.Writebacks++
+	}
+	if h.l1.zeroAt(slot) {
+		h.writeBackL2(h.l1.tags[slot], &zeroSentinel, true, dirty)
+		return
+	}
+	s, err := cacheline.Spill(h.l1.lines[slot])
 	if err != nil {
 		// Unreachable by construction (see cacheline.FindSentinel);
 		// fail loudly rather than silently dropping protection.
 		panic("cache: " + err.Error())
 	}
-	if v.line.Mask != 0 {
+	if h.l1.lines[slot].Mask != 0 {
 		h.Stats.Spills++
 	}
-	if v.dirty {
-		h.l1.Stats.Writebacks++
-	}
-	h.writeBackL2(v.tag, s, v.dirty)
+	h.writeBackL2(h.l1.tags[slot], &s, false, dirty)
 }
 
-// l1Entry returns the L1 entry for lineIdx, filling on a miss
+// l1Entry returns the L1 slot for lineIdx, filling on a miss
 // (converting sentinel -> bitvector, Algorithm 2), with latency and
 // deepest level.
-func (h *Hierarchy) l1Entry(lineIdx uint64) (*entry[cacheline.Bitvector], int, int) {
-	if e := h.l1.lookup(lineIdx); e != nil {
+func (h *Hierarchy) l1Entry(lineIdx uint64) (int, int, int) {
+	slot, hit, evicted := h.l1.acquire(lineIdx)
+	if hit {
 		h.l1.Stats.Hits++
-		return e, h.cfg.L1.Latency, LvlL1
+		return slot, h.cfg.L1.Latency, LvlL1
 	}
 	h.l1.Stats.Misses++
-	s, lat, lvl := h.fetchSentinel(lineIdx)
+	s, zero, lat, lvl := h.fetchSentinel(lineIdx)
 	lat += h.cfg.L1.Latency
-	bv := cacheline.Fill(s)
 	if s.Califormed {
 		h.Stats.Fills++
 		lat += h.cfg.SpillFillLatency
 	}
-	victim, evicted := h.l1.insert(lineIdx, bv, false)
+	// Spill the victim in place before overwriting its slot; the L2/L3
+	// traffic and the L1 recency advance exactly as insert-then-spill
+	// did, so replacement behavior and stats are identical.
 	if evicted {
-		h.spillL1Victim(victim)
+		h.spillL1Victim(slot)
 	}
-	// insert invalidated our pointer's set ordering; re-lookup.
-	e := h.l1.lookup(lineIdx)
-	return e, lat, lvl
+	if zero {
+		h.l1.placeZero(slot, lineIdx, false)
+	} else {
+		h.l1.place(slot, lineIdx, cacheline.Fill(s), false)
+	}
+	return slot, lat, lvl
 }
 
 // violationAddr returns the address of the first security byte in
 // [off, off+n) of the line, or -1.
 func violationAddr(m cacheline.SecMask, off, n int) int {
-	for i := off; i < off+n && i < cacheline.Size; i++ {
-		if m.IsSet(i) {
-			return i
-		}
-	}
-	return -1
+	return (m & cacheline.RangeMask(off, n)).First()
 }
 
 // Load reads size bytes at addr through the hierarchy. The returned
@@ -212,7 +286,8 @@ func violationAddr(m cacheline.SecMask, off, n int) int {
 // hardening, §5.1); if any byte touched is a security byte the result
 // carries an ExcLoad exception recorded at commit time.
 func (h *Hierarchy) Load(addr uint64, size int) ([]byte, AccessResult) {
-	out := make([]byte, 0, size)
+	out := make([]byte, size)
+	pos := 0
 	var res AccessResult
 	for size > 0 {
 		lineIdx := addr >> 6
@@ -221,20 +296,23 @@ func (h *Hierarchy) Load(addr uint64, size int) ([]byte, AccessResult) {
 		if n > size {
 			n = size
 		}
-		e, lat, lvl := h.l1Entry(lineIdx)
+		slot, lat, lvl := h.l1Entry(lineIdx)
 		res.Cycles += lat
 		if lvl > res.Level {
 			res.Level = lvl
 		}
-		chunk, bad := e.line.LoadRange(off, n)
-		out = append(out, chunk...)
-		if bad && res.Exc == nil {
-			h.Stats.Violations++
-			res.Exc = &isa.Exception{
-				Kind: isa.ExcLoad,
-				Addr: lineIdx<<6 + uint64(violationAddr(e.line.Mask, off, n)),
+		if !h.l1.zeroAt(slot) {
+			// Zero lines read as the zeros out already holds.
+			line := &h.l1.lines[slot]
+			if bad := line.LoadRangeInto(out[pos:], off, n); bad && res.Exc == nil {
+				h.Stats.Violations++
+				res.Exc = &isa.Exception{
+					Kind: isa.ExcLoad,
+					Addr: lineIdx<<6 + uint64(violationAddr(line.Mask, off, n)),
+				}
 			}
 		}
+		pos += n
 		addr += uint64(n)
 		size -= n
 	}
@@ -256,12 +334,12 @@ func (h *Hierarchy) storePrecheck(addr uint64, size int) (AccessResult, bool) {
 		if n > sz {
 			n = sz
 		}
-		e, lat, lvl := h.l1Entry(lineIdx)
+		slot, lat, lvl := h.l1Entry(lineIdx)
 		res.Cycles += lat
 		if lvl > res.Level {
 			res.Level = lvl
 		}
-		if bad := violationAddr(e.line.Mask, off, n); bad >= 0 && res.Exc == nil {
+		if bad := violationAddr(h.l1MaskAt(slot), off, n); bad >= 0 && res.Exc == nil {
 			h.Stats.Violations++
 			res.Exc = &isa.Exception{Kind: isa.ExcStore, Addr: lineIdx<<6 + uint64(bad)}
 		}
@@ -269,6 +347,15 @@ func (h *Hierarchy) storePrecheck(addr uint64, size int) (AccessResult, bool) {
 		sz -= n
 	}
 	return res, res.Exc != nil
+}
+
+// l1MaskAt returns the security mask of an L1 slot without touching
+// the payload array for zero lines.
+func (h *Hierarchy) l1MaskAt(slot int) cacheline.SecMask {
+	if h.l1.zeroAt(slot) {
+		return 0
+	}
+	return h.l1.lines[slot].Mask
 }
 
 // Store writes data at addr. A store touching any security byte does
@@ -293,21 +380,25 @@ func (h *Hierarchy) storeCommit(addr uint64, data []byte) AccessResult {
 		if n > len(data) {
 			n = len(data)
 		}
-		e, lat, lvl := h.l1Entry(lineIdx)
+		slot, lat, lvl := h.l1Entry(lineIdx)
 		res.Cycles += lat
 		if lvl > res.Level {
 			res.Level = lvl
 		}
-		if bad := e.line.StoreRange(off, data[:n]); bad {
+		// A functional store writes real bytes: materialize zero lines
+		// so the payload can be modified in place.
+		h.l1.materialize(slot)
+		line := &h.l1.lines[slot]
+		if bad := line.StoreRange(off, data[:n]); bad {
 			if res.Exc == nil {
 				h.Stats.Violations++
 				res.Exc = &isa.Exception{
 					Kind: isa.ExcStore,
-					Addr: lineIdx<<6 + uint64(violationAddr(e.line.Mask, off, n)),
+					Addr: lineIdx<<6 + uint64(violationAddr(line.Mask, off, n)),
 				}
 			}
 		} else {
-			e.dirty = true
+			h.l1.markDirty(slot)
 		}
 		addr += uint64(n)
 		data = data[n:]
@@ -326,12 +417,12 @@ func (h *Hierarchy) LoadTouch(addr uint64, size int) AccessResult {
 		if n > size {
 			n = size
 		}
-		e, lat, lvl := h.l1Entry(lineIdx)
+		slot, lat, lvl := h.l1Entry(lineIdx)
 		res.Cycles += lat
 		if lvl > res.Level {
 			res.Level = lvl
 		}
-		if bad := violationAddr(e.line.Mask, off, n); bad >= 0 && res.Exc == nil {
+		if bad := violationAddr(h.l1MaskAt(slot), off, n); bad >= 0 && res.Exc == nil {
 			h.Stats.Violations++
 			res.Exc = &isa.Exception{Kind: isa.ExcLoad, Addr: lineIdx<<6 + uint64(bad)}
 		}
@@ -358,18 +449,18 @@ func (h *Hierarchy) StoreTouch(addr uint64, size int) AccessResult {
 		if n > size {
 			n = size
 		}
-		e, lat, lvl := h.l1Entry(lineIdx)
+		slot, lat, lvl := h.l1Entry(lineIdx)
 		res.Cycles += lat
 		if lvl > res.Level {
 			res.Level = lvl
 		}
-		if bad := violationAddr(e.line.Mask, off, n); bad >= 0 {
+		if bad := violationAddr(h.l1MaskAt(slot), off, n); bad >= 0 {
 			if res.Exc == nil {
 				h.Stats.Violations++
 				res.Exc = &isa.Exception{Kind: isa.ExcStore, Addr: lineIdx<<6 + uint64(bad)}
 			}
 		} else {
-			e.dirty = true
+			h.l1.markDirty(slot)
 		}
 		addr += uint64(n)
 		size -= n
@@ -393,11 +484,15 @@ func (h *Hierarchy) CForm(cf isa.CFORM) AccessResult {
 	if cf.NonTemporal {
 		// Invalidate any L1 copy first (like a streaming store, the
 		// NT CFORM must not leave a stale bitvector line above).
-		if v, ok := h.l1.invalidate(lineIdx); ok {
-			h.spillL1Victim(v)
+		if slot, ok := h.l1.probe(lineIdx); ok {
+			h.spillL1Victim(slot)
+			h.l1.clearValid(slot)
 		}
-		s, lat, lvl := h.fetchSentinel(lineIdx)
-		bv := cacheline.Fill(s)
+		s, zero, lat, lvl := h.fetchSentinel(lineIdx)
+		var bv cacheline.Bitvector
+		if !zero {
+			bv = cacheline.Fill(s)
+		}
 		if fault := bv.Caliform(cacheline.SecMask(cf.Attrs), cacheline.SecMask(cf.Mask)); fault >= 0 {
 			h.Stats.Violations++
 			return AccessResult{Cycles: lat, Level: lvl, Exc: &isa.Exception{
@@ -409,19 +504,23 @@ func (h *Hierarchy) CForm(cf isa.CFORM) AccessResult {
 		if err != nil {
 			panic("cache: " + err.Error())
 		}
-		h.writeBackL2(lineIdx, s2, true)
+		h.writeBackL2(lineIdx, &s2, false, true)
 		return AccessResult{Cycles: lat, Level: lvl}
 	}
 
-	e, lat, lvl := h.l1Entry(lineIdx)
-	if fault := e.line.Caliform(cacheline.SecMask(cf.Attrs), cacheline.SecMask(cf.Mask)); fault >= 0 {
+	slot, lat, lvl := h.l1Entry(lineIdx)
+	// CFORM rewrites the line's metadata (and zeroes selected bytes):
+	// materialize zero lines before modifying in place.
+	h.l1.materialize(slot)
+	line := &h.l1.lines[slot]
+	if fault := line.Caliform(cacheline.SecMask(cf.Attrs), cacheline.SecMask(cf.Mask)); fault >= 0 {
 		h.Stats.Violations++
 		return AccessResult{Cycles: lat, Level: lvl, Exc: &isa.Exception{
 			Kind: isa.ExcCaliformConflict,
 			Addr: cf.Base + uint64(fault),
 		}}
 	}
-	e.dirty = true
+	h.l1.markDirty(slot)
 	return AccessResult{Cycles: lat, Level: lvl}
 }
 
@@ -444,13 +543,14 @@ func (h *Hierarchy) SecurityBitmap(addr uint64, size int) (uint64, AccessResult)
 		if n > size-pos {
 			n = size - pos
 		}
-		e, lat, lvl := h.l1Entry(lineIdx)
+		slot, lat, lvl := h.l1Entry(lineIdx)
 		res.Cycles += lat
 		if lvl > res.Level {
 			res.Level = lvl
 		}
+		mask := h.l1MaskAt(slot)
 		for i := 0; i < n; i++ {
-			if e.line.Mask.IsSet(off + i) {
+			if mask.IsSet(off + i) {
 				bitmap |= 1 << uint(pos+i)
 			}
 		}
@@ -463,8 +563,8 @@ func (h *Hierarchy) SecurityBitmap(addr uint64, size int) (uint64, AccessResult)
 // fetching it if needed. It is a debug/verification path and counts
 // as a normal access.
 func (h *Hierarchy) SecMaskAt(addr uint64) cacheline.SecMask {
-	e, _, _ := h.l1Entry(addr >> 6)
-	return e.line.Mask
+	slot, _, _ := h.l1Entry(addr >> 6)
+	return h.l1MaskAt(slot)
 }
 
 // ResetStats zeroes all per-level and hierarchy counters without
@@ -479,37 +579,38 @@ func (h *Hierarchy) ResetStats() {
 
 // Flush drains every dirty line to memory, converting formats on the
 // way down. Used at simulation barriers and by tests that verify
-// end-to-end data integrity.
+// end-to-end data integrity. Slots are visited in the same set-major
+// order the entry-array layout used, keeping writeback order (and so
+// stats and memory state) stable.
 func (h *Hierarchy) Flush() {
-	for si := range h.l1.sets {
-		for wi := range h.l1.sets[si] {
-			e := &h.l1.sets[si][wi]
-			if e.valid {
-				h.spillL1Victim(*e)
-				e.valid = false
-			}
+	for slot := range h.l1.lines {
+		if h.l1.validAt(slot) {
+			h.spillL1Victim(slot)
+			h.l1.clearValid(slot)
 		}
 	}
-	for si := range h.l2.sets {
-		for wi := range h.l2.sets[si] {
-			e := &h.l2.sets[si][wi]
-			if e.valid {
-				if e.dirty {
-					h.writeBackL3(e.tag, e.line, true)
+	for slot := range h.l2.lines {
+		if h.l2.validAt(slot) {
+			if h.l2.dirtyAt(slot) {
+				if h.l2.zeroAt(slot) {
+					h.writeBackL3(h.l2.tags[slot], &zeroSentinel, true, true)
+				} else {
+					h.writeBackL3(h.l2.tags[slot], &h.l2.lines[slot], false, true)
 				}
-				e.valid = false
 			}
+			h.l2.clearValid(slot)
 		}
 	}
-	for si := range h.l3.sets {
-		for wi := range h.l3.sets[si] {
-			e := &h.l3.sets[si][wi]
-			if e.valid {
-				if e.dirty {
-					h.mem.WriteLine(e.tag, e.line)
+	for slot := range h.l3.lines {
+		if h.l3.validAt(slot) {
+			if h.l3.dirtyAt(slot) {
+				if h.l3.zeroAt(slot) {
+					h.mem.WriteLine(h.l3.tags[slot], zeroSentinel)
+				} else {
+					h.mem.WriteLine(h.l3.tags[slot], h.l3.lines[slot])
 				}
-				e.valid = false
 			}
+			h.l3.clearValid(slot)
 		}
 	}
 }

@@ -43,22 +43,34 @@ func (b *Bitvector) Store(i int, v byte) (violation bool) {
 // slice substitutes zero for security bytes.
 func (b *Bitvector) LoadRange(off, n int) (out []byte, violation bool) {
 	out = make([]byte, n)
-	for i := 0; i < n; i++ {
-		v, bad := b.Load(off + i)
-		out[i] = v
-		violation = violation || bad
+	return out, b.LoadRangeInto(out, off, n)
+}
+
+// LoadRangeInto is the allocation-free form of LoadRange: it copies
+// the n bytes at offset off into dst (which must hold at least n
+// bytes), substituting zero for security bytes, and reports whether
+// any byte in the range is a security byte.
+func (b *Bitvector) LoadRangeInto(dst []byte, off, n int) (violation bool) {
+	copy(dst[:n], b.Data[off:off+n])
+	hit := b.Mask & RangeMask(off, n)
+	if hit == 0 {
+		return false
 	}
-	return out, violation
+	// The metadata lookup decides the returned value, never the data
+	// array (§5.1): force the predetermined zero even if a caller
+	// violated the zeroed-storage invariant.
+	for v := uint64(hit); v != 0; v &= v - 1 {
+		dst[firstBit(v)-off] = 0
+	}
+	return true
 }
 
 // StoreRange writes p starting at offset off. If any byte in the range
 // is a security byte the entire store is suppressed and a violation is
 // reported, matching the precise pre-commit exception of §5.1.
 func (b *Bitvector) StoreRange(off int, p []byte) (violation bool) {
-	for i := range p {
-		if b.Mask.IsSet(off + i) {
-			return true
-		}
+	if b.Mask&RangeMask(off, len(p)) != 0 {
+		return true
 	}
 	copy(b.Data[off:off+len(p)], p)
 	return false
@@ -73,29 +85,22 @@ func (b *Bitvector) StoreRange(off int, p []byte) (violation bool) {
 // state keep the zero the security byte held.
 func (b *Bitvector) Caliform(attrs, mask SecMask) (faultIndex int) {
 	// Validate first: the instruction raises a privileged exception
-	// and must not partially commit.
-	for i := 0; i < Size; i++ {
-		if !mask.IsSet(i) {
-			continue
-		}
-		if attrs.IsSet(i) && b.Mask.IsSet(i) {
-			return i // set over existing security byte
-		}
-		if !attrs.IsSet(i) && !b.Mask.IsSet(i) {
-			return i // unset of a normal byte
-		}
+	// and must not partially commit. The two K-map fault rows are
+	// "set over existing security byte" and "unset of a normal byte".
+	setBad := mask & attrs & b.Mask
+	clearBad := mask &^ attrs &^ b.Mask
+	if bad := setBad | clearBad; bad != 0 {
+		return bad.First()
 	}
-	for i := 0; i < Size; i++ {
-		if !mask.IsSet(i) {
-			continue
-		}
-		if attrs.IsSet(i) {
-			b.Mask = b.Mask.Set(i)
-			b.Data[i] = 0
-		} else {
-			b.Mask = b.Mask.Clear(i)
-			b.Data[i] = 0
-		}
+	b.Mask = (b.Mask | mask&attrs) &^ (mask &^ attrs)
+	// Every selected byte ends up zero: newly created security bytes
+	// are zeroed, and bytes returning to normal keep the zero the
+	// security byte held.
+	for v := uint64(mask); v != 0; v &= v - 1 {
+		b.Data[firstBit(v)] = 0
 	}
 	return -1
 }
+
+// firstBit returns the index of the lowest set bit of v (v != 0).
+func firstBit(v uint64) int { return SecMask(v).First() }

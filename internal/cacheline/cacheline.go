@@ -66,6 +66,27 @@ func (m SecMask) Indices() []int {
 	return idx
 }
 
+// RangeMask returns the mask with bits [off, off+n) set. n is clamped
+// to the line size; it is the per-byte footprint of an n-byte access
+// at line offset off.
+func RangeMask(off, n int) SecMask {
+	if n <= 0 {
+		return 0
+	}
+	if off+n >= Size {
+		return ^SecMask(0) << uint(off)
+	}
+	return ((1 << uint(n)) - 1) << uint(off)
+}
+
+// First returns the lowest set byte index, or -1 for the empty mask.
+func (m SecMask) First() int {
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(m))
+}
+
 // String renders the mask as a 64-character map, '.' for normal bytes
 // and 'S' for security bytes, byte 0 first.
 func (m SecMask) String() string {
@@ -84,16 +105,16 @@ func (m SecMask) String() string {
 // zero. Hardware zeroes security bytes on califorming so that loads
 // speculatively reading them cannot leak their previous contents.
 func ZeroSecurity(d Data, m SecMask) Data {
-	for _, i := range m.Indices() {
-		d[i] = 0
+	for v := uint64(m); v != 0; v &= v - 1 {
+		d[bits.TrailingZeros64(v)] = 0
 	}
 	return d
 }
 
 // Validate checks structural invariants shared by all formats.
 func Validate(m SecMask, d Data) error {
-	for _, i := range m.Indices() {
-		if d[i] != 0 {
+	for v := uint64(m); v != 0; v &= v - 1 {
+		if i := bits.TrailingZeros64(v); d[i] != 0 {
 			return fmt.Errorf("cacheline: security byte %d holds %#x, want 0", i, d[i])
 		}
 	}

@@ -69,30 +69,32 @@ func FindSentinel(d Data) (byte, error) {
 }
 
 // relocation computes the canonical displaced-byte mapping for a line
-// whose first min(n,4) security locations are hdrAddrs and whose
-// header occupies h = len(hdrAddrs) bytes. It returns parallel slices:
-// srcs[i] is a normal byte position inside [0,h) whose original value
-// is kept at security location dsts[i] (>= h).
-func relocation(hdrAddrs []int) (srcs, dsts []int) {
-	h := len(hdrAddrs)
-	inHeader := func(p int) bool { return p < h }
-	secSet := make(map[int]bool, h)
-	for _, a := range hdrAddrs {
-		secSet[a] = true
+// whose first h security locations are hdrAddrs[:h] (ascending) and
+// whose header occupies h bytes. It fills parallel arrays: srcs[i] is
+// a normal byte position inside [0,h) whose original value is kept at
+// security location dsts[i] (>= h); n is the number of valid pairs.
+// len(dsts) >= len(srcs) always holds: each security location inside
+// the header removes one source and one destination candidate in
+// tandem.
+func relocation(hdrAddrs *[4]int, h int) (srcs, dsts [4]int, n int) {
+	var hdrSec uint64 // security locations, as a bitmap
+	for i := 0; i < h; i++ {
+		hdrSec |= 1 << uint(hdrAddrs[i])
 	}
 	for i := 0; i < h; i++ {
-		if !secSet[i] {
-			srcs = append(srcs, i)
+		if hdrSec&(1<<uint(i)) == 0 {
+			srcs[n] = i
+			n++
 		}
 	}
-	for _, a := range hdrAddrs {
-		if !inHeader(a) {
-			dsts = append(dsts, a)
+	j := 0
+	for i := 0; i < h && j < n; i++ {
+		if hdrAddrs[i] >= h {
+			dsts[j] = hdrAddrs[i]
+			j++
 		}
 	}
-	// len(dsts) >= len(srcs): each security location inside the header
-	// removes one source and one destination candidate in tandem.
-	return srcs, dsts[:len(srcs)]
+	return srcs, dsts, n
 }
 
 // Spill converts an L1 bitvector line into the sentinel format,
@@ -102,20 +104,25 @@ func Spill(bv Bitvector) (Sentinel, error) {
 	if bv.Mask == 0 {
 		return Sentinel{Data: bv.Data, Califormed: false}, nil
 	}
-	sec := bv.Mask.Indices()
-	n := len(sec)
+	n := bv.Mask.Count()
 	h := n
 	if h > 4 {
 		h = 4
 	}
-	hdrAddrs := sec[:h]
+	var hdrAddrs [4]int
+	rest := uint64(bv.Mask)
+	for i := 0; i < h; i++ {
+		hdrAddrs[i] = bits.TrailingZeros64(rest)
+		rest &= rest - 1
+	}
+	// rest now holds the security bytes past the fourth, if any.
 
 	out := bv.Data
 
 	// Relocate displaced normal header bytes into dead storage
 	// (Algorithm 1 line 9, canonical mapping).
-	srcs, dsts := relocation(hdrAddrs)
-	for i := range srcs {
+	srcs, dsts, nr := relocation(&hdrAddrs, h)
+	for i := 0; i < nr; i++ {
 		out[dsts[i]] = bv.Data[srcs[i]]
 	}
 
@@ -133,8 +140,8 @@ func Spill(bv Bitvector) (Sentinel, error) {
 	}
 	hdr := code
 	shift := uint(2)
-	for _, a := range hdrAddrs {
-		hdr |= uint32(a) << shift
+	for i := 0; i < h; i++ {
+		hdr |= uint32(hdrAddrs[i]) << shift
 		shift += 6
 	}
 
@@ -147,8 +154,8 @@ func Spill(bv Bitvector) (Sentinel, error) {
 		// Mark security bytes past the fourth with the sentinel
 		// (Algorithm 1 line 11). They are all at offsets >= 4 because
 		// the first four occupy the lowest positions.
-		for _, p := range sec[4:] {
-			out[p] = sentinel
+		for v := rest; v != 0; v &= v - 1 {
+			out[bits.TrailingZeros64(v)] = sentinel
 		}
 	}
 
@@ -164,11 +171,11 @@ func Fill(s Sentinel) Bitvector {
 	if !s.Califormed {
 		return Bitvector{Data: s.Data}
 	}
-	_, hdrAddrs, sentinel, hasSentinel := s.HeaderMeta()
+	headerLen, hdrAddrs, sentinel, hasSentinel := s.headerMeta()
 
 	var mask SecMask
-	for _, a := range hdrAddrs {
-		mask = mask.Set(a)
+	for i := 0; i < headerLen; i++ {
+		mask = mask.Set(hdrAddrs[i])
 	}
 	if hasSentinel {
 		for i := 4; i < Size; i++ {
@@ -183,14 +190,31 @@ func Fill(s Sentinel) Bitvector {
 	// every security byte (line 10). Zeroing runs second so a security
 	// byte inside the header region ends up zero rather than holding
 	// stale header bits.
-	srcs, dsts := relocation(hdrAddrs)
-	for i := range srcs {
+	srcs, dsts, nr := relocation(&hdrAddrs, headerLen)
+	for i := 0; i < nr; i++ {
 		out[srcs[i]] = s.Data[dsts[i]]
 	}
-	for _, p := range mask.Indices() {
-		out[p] = 0
+	for v := uint64(mask); v != 0; v &= v - 1 {
+		out[bits.TrailingZeros64(v)] = 0
 	}
 	return Bitvector{Data: out, Mask: mask}
+}
+
+// headerMeta is the allocation-free header decode shared by Fill and
+// HeaderMeta: only addrs[:headerLen] is meaningful.
+func (s Sentinel) headerMeta() (headerLen int, addrs [4]int, sentinel byte, hasSentinel bool) {
+	hdr := uint32(s.Data[0]) | uint32(s.Data[1])<<8 | uint32(s.Data[2])<<16 | uint32(s.Data[3])<<24
+	code := hdr & 0b11
+	headerLen = int(code) + 1
+	shift := uint(2)
+	for i := 0; i < headerLen; i++ {
+		addrs[i] = int(hdr>>shift) & 0x3f
+		shift += 6
+	}
+	if code == codeFourPlus {
+		return headerLen, addrs, byte(hdr>>26) & 0x3f, true
+	}
+	return headerLen, addrs, 0, false
 }
 
 // HeaderMeta decodes only the first four bytes of a califormed line:
@@ -202,16 +226,6 @@ func (s Sentinel) HeaderMeta() (headerLen int, addrs []int, sentinel byte, hasSe
 	if !s.Califormed {
 		return 0, nil, 0, false
 	}
-	hdr := uint32(s.Data[0]) | uint32(s.Data[1])<<8 | uint32(s.Data[2])<<16 | uint32(s.Data[3])<<24
-	code := hdr & 0b11
-	headerLen = int(code) + 1
-	shift := uint(2)
-	for i := 0; i < headerLen; i++ {
-		addrs = append(addrs, int(hdr>>shift)&0x3f)
-		shift += 6
-	}
-	if code == codeFourPlus {
-		return headerLen, addrs, byte(hdr>>26) & 0x3f, true
-	}
-	return headerLen, addrs, 0, false
+	n, a, sen, has := s.headerMeta()
+	return n, append([]int(nil), a[:n]...), sen, has
 }

@@ -22,12 +22,28 @@ type Instrumented struct {
 
 	// secOffsets are the blacklisted byte offsets within the object.
 	secOffsets []int
+	// secWords is secOffsets as a bitmap (bit o of word o/64), the
+	// form the per-site mask computation consumes.
+	secWords []uint64
+}
+
+func secBitmap(offsets []int, size int) []uint64 {
+	if len(offsets) == 0 {
+		return nil
+	}
+	words := make([]uint64, (size+63)/64)
+	for _, o := range offsets {
+		words[o/64] |= 1 << uint(o%64)
+	}
+	return words
 }
 
 // Instrument runs the pass over one struct definition.
 func Instrument(def layout.StructDef, p layout.Policy, cfg layout.PolicyConfig) *Instrumented {
 	l := layout.Apply(&def, p, cfg)
-	return &Instrumented{Def: def, Policy: p, Layout: l, secOffsets: l.SecurityOffsets()}
+	offs := l.SecurityOffsets()
+	return &Instrumented{Def: def, Policy: p, Layout: l,
+		secOffsets: offs, secWords: secBitmap(offs, l.Size)}
 }
 
 // InstrumentNone returns an un-instrumented baseline artifact: the
@@ -69,20 +85,39 @@ func lineSpans(base uint64, size int) []lineSpan {
 
 // maskFor builds the per-line bit vectors for the object placed at
 // base: dataMask covers the object's non-security bytes in the line,
-// secMask its security bytes.
+// secMask its security bytes. Both are assembled with whole-word bit
+// extraction from the precomputed security bitmap — no per-byte loop.
 func (in *Instrumented) maskFor(sp lineSpan, base uint64) (dataMask, secMask uint64) {
+	shift := uint((base + uint64(sp.lo)) & uint64(cacheline.Size-1))
+	n := sp.hi - sp.lo
 	var objMask uint64
-	for o := sp.lo; o < sp.hi; o++ {
-		bit := (base + uint64(o)) - sp.lineBase
-		objMask |= 1 << bit
+	if int(shift)+n >= 64 {
+		objMask = ^uint64(0) << shift
+	} else {
+		objMask = (uint64(1)<<uint(n) - 1) << shift
 	}
-	for _, o := range in.secOffsets {
-		if o >= sp.lo && o < sp.hi {
-			bit := (base + uint64(o)) - sp.lineBase
-			secMask |= 1 << bit
-		}
-	}
+	secMask = extractBits(in.secWords, sp.lo, n) << shift
 	return objMask &^ secMask, secMask
+}
+
+// extractBits returns the n bits of the bitmap starting at offset
+// start, bit k of the result holding bit start+k (n <= 64).
+func extractBits(words []uint64, start, n int) uint64 {
+	if len(words) == 0 {
+		return 0
+	}
+	w, b := start/64, uint(start%64)
+	var v uint64
+	if w < len(words) {
+		v = words[w] >> b
+	}
+	if b != 0 && w+1 < len(words) {
+		v |= words[w+1] << (64 - b)
+	}
+	if n < 64 {
+		v &= uint64(1)<<uint(n) - 1
+	}
+	return v
 }
 
 // AllocOps returns the CFORM instructions a clean-before-use heap

@@ -1,0 +1,36 @@
+package cpu
+
+import "repro/internal/trace"
+
+// RunBatch executes a batch of trace operations in order. It is the
+// batched fast path of the trace.BatchSink contract: semantics and
+// timing are identical to calling the per-op Sink methods one at a
+// time, but the dispatch loop touches the ops in one contiguous array
+// pass, checks the halt flag once per op, and keeps the core state
+// hot instead of paying a call-boundary round trip per instruction in
+// the producer.
+func (c *Core) RunBatch(b *trace.Batch) {
+	ops := b.Ops()
+	for i := range ops {
+		if c.halted {
+			return
+		}
+		op := &ops[i]
+		switch op.Kind {
+		case trace.NonMem:
+			c.NonMem(op.Count)
+		case trace.Load:
+			c.Load(op.Addr, int(op.Size), op.Dependent)
+		case trace.Store:
+			c.Store(op.Addr, int(op.Size))
+		case trace.CForm:
+			c.CForm(op.CFORM())
+		case trace.WhitelistEnter:
+			c.WhitelistEnter()
+		case trace.WhitelistExit:
+			c.WhitelistExit()
+		}
+	}
+}
+
+var _ trace.BatchSink = (*Core)(nil)

@@ -1,0 +1,94 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// benchBatch builds a batch exercising the three op kinds the
+// workload kernels emit, spread over a working set of the given size.
+func benchBatch(lines int) *trace.Batch {
+	b := trace.NewBatch(4096)
+	addr := uint64(0x1000_0000)
+	for i := 0; b.Len()+3 <= b.Cap(); i++ {
+		a := addr + uint64(i%lines)*64
+		b.Load(a, 8, i%7 == 0)
+		b.NonMem(4)
+		b.Store(a+16, 8)
+	}
+	return b
+}
+
+func newBenchCore() *Core {
+	return New(DefaultConfig(), cache.New(cache.Westmere(), mem.New()))
+}
+
+// TestBatchedPathZeroAllocs is the allocation contract of the batched
+// hot path: replaying a batch of loads, stores and non-memory bursts
+// through the core — L1 hits and full DRAM misses alike — must not
+// allocate at all.
+func TestBatchedPathZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		lines int
+	}{
+		{"l1-resident", 64},        // 4KB working set: all hits
+		{"dram-streaming", 131072}, // 8MB working set: misses through L3
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			core := newBenchCore()
+			b := benchBatch(tc.lines)
+			core.RunBatch(b) // warm caches and internal state
+			allocs := testing.AllocsPerRun(10, func() {
+				core.RunBatch(b)
+			})
+			if allocs != 0 {
+				t.Fatalf("batched path allocates %.1f times per batch, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchedDispatch measures the batched trace path end to
+// end; BenchmarkPerOpDispatch is the same op stream delivered through
+// the per-op Sink interface for comparison.
+func BenchmarkBatchedDispatch(b *testing.B) {
+	core := newBenchCore()
+	batch := benchBatch(64)
+	core.RunBatch(batch)
+	ops := len(batch.Ops())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunBatch(batch)
+	}
+	b.ReportMetric(float64(ops), "ops/batch")
+}
+
+func BenchmarkPerOpDispatch(b *testing.B) {
+	core := newBenchCore()
+	batch := benchBatch(64)
+	core.RunBatch(batch)
+	var sink trace.Sink = core // interface dispatch, as pre-batch callers did
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Replay(batch.Ops(), sink)
+	}
+}
+
+// BenchmarkBatchedDRAMStream covers the miss-dominated regime where
+// every access walks the full hierarchy.
+func BenchmarkBatchedDRAMStream(b *testing.B) {
+	core := newBenchCore()
+	batch := benchBatch(131072)
+	core.RunBatch(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunBatch(batch)
+	}
+}

@@ -72,16 +72,70 @@ type missEntry struct {
 	done  float64
 }
 
-// Core is the trace-driven timing model. It implements trace.Sink.
+// missRing is a fixed-capacity FIFO of outstanding misses. Capacity
+// is the MSHR count, so the hot path never allocates: the old
+// append-and-reslice queue reallocated its backing array every time
+// the sliding window walked off the end.
+type missRing struct {
+	buf  []missEntry
+	head int
+	n    int
+}
+
+func (r *missRing) init(capacity int) {
+	r.buf = make([]missEntry, capacity)
+	r.head, r.n = 0, 0
+}
+
+func (r *missRing) len() int         { return r.n }
+func (r *missRing) front() missEntry { return r.buf[r.head] }
+
+func (r *missRing) at(i int) missEntry {
+	p := r.head + i
+	if p >= len(r.buf) {
+		p -= len(r.buf)
+	}
+	return r.buf[p]
+}
+
+func (r *missRing) pop() {
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
+
+// push appends; callers guarantee r.n < cap by popping first at the
+// MSHR limit.
+func (r *missRing) push(e missEntry) {
+	p := r.head + r.n
+	if p >= len(r.buf) {
+		p -= len(r.buf)
+	}
+	r.buf[p] = e
+	r.n++
+}
+
+func (r *missRing) reset() { r.head, r.n = 0, 0 }
+
+// Core is the trace-driven timing model. It implements trace.Sink,
+// with a batched fast path via RunBatch.
 type Core struct {
 	cfg   Config
 	hier  *cache.Hierarchy
 	masks isa.MaskRegisters
 	lsq   *LSQ
 
+	// invIssue and issueF cache 1/IssueWidth and float64(IssueWidth);
+	// they are the exact values the per-op expressions previously
+	// recomputed, so timing is bit-identical.
+	invIssue float64
+	issueF   float64
+
 	cycle        float64
 	lastLoadDone float64
-	outstanding  []missEntry
+	miss         missRing
 	halted       bool
 
 	Stats Stats
@@ -95,7 +149,15 @@ func New(cfg Config, h *cache.Hierarchy) *Core {
 	if cfg.MSHRs <= 0 {
 		cfg.MSHRs = 10
 	}
-	return &Core{cfg: cfg, hier: h, lsq: NewLSQ(cfg.LSQDepth)}
+	c := &Core{
+		cfg:      cfg,
+		hier:     h,
+		lsq:      NewLSQ(cfg.LSQDepth),
+		invIssue: 1 / float64(cfg.IssueWidth),
+		issueF:   float64(cfg.IssueWidth),
+	}
+	c.miss.init(cfg.MSHRs)
+	return c
 }
 
 // Hierarchy returns the attached memory hierarchy.
@@ -114,8 +176,8 @@ func (c *Core) Cycles() float64 {
 	if c.lastLoadDone > v {
 		v = c.lastLoadDone
 	}
-	for _, m := range c.outstanding {
-		if m.done > v {
+	for i := 0; i < c.miss.len(); i++ {
+		if m := c.miss.at(i); m.done > v {
 			v = m.done
 		}
 	}
@@ -127,16 +189,16 @@ func (c *Core) Cycles() float64 {
 // oldest incomplete miss.
 func (c *Core) advance(dt float64) {
 	c.cycle += dt
-	for len(c.outstanding) > 0 {
-		head := c.outstanding[0]
+	for c.miss.len() > 0 {
+		head := c.miss.front()
 		if head.done <= c.cycle {
-			c.outstanding = c.outstanding[1:]
+			c.miss.pop()
 			continue
 		}
 		if c.cycle > head.issue+c.cfg.ROBWindow {
 			// ROB full: stall until the oldest miss returns.
 			c.cycle = head.done
-			c.outstanding = c.outstanding[1:]
+			c.miss.pop()
 			continue
 		}
 		break
@@ -149,7 +211,7 @@ func (c *Core) NonMem(n uint32) {
 		return
 	}
 	c.Stats.Instructions += uint64(n)
-	c.advance(float64(n) / float64(c.cfg.IssueWidth))
+	c.advance(float64(n) / c.issueF)
 }
 
 // deliver routes an exception through the mask registers.
@@ -183,7 +245,7 @@ func (c *Core) Load(addr uint64, size int, dependent bool) {
 	if c.lsq.HasCForms() {
 		if fwd := c.lsq.LookupLoad(addr, size); fwd.Exc != nil {
 			c.deliver(fwd.Exc)
-			c.advance(1 / float64(c.cfg.IssueWidth))
+			c.advance(c.invIssue)
 			return
 		}
 	}
@@ -206,7 +268,7 @@ func (c *Core) Load(addr uint64, size int, dependent bool) {
 		} else {
 			c.lastLoadDone = c.cycle + lat
 		}
-		c.advance(1 / float64(c.cfg.IssueWidth))
+		c.advance(c.invIssue)
 		return
 	}
 
@@ -215,10 +277,10 @@ func (c *Core) Load(addr uint64, size int, dependent bool) {
 	if dependent && c.lastLoadDone > issue {
 		issue = c.lastLoadDone
 	}
-	if len(c.outstanding) >= c.cfg.MSHRs {
+	if c.miss.len() >= c.cfg.MSHRs {
 		// MSHRs exhausted: wait for the oldest to return.
-		head := c.outstanding[0]
-		c.outstanding = c.outstanding[1:]
+		head := c.miss.front()
+		c.miss.pop()
 		if head.done > issue {
 			issue = head.done
 		}
@@ -227,9 +289,9 @@ func (c *Core) Load(addr uint64, size int, dependent bool) {
 		}
 	}
 	done := issue + lat
-	c.outstanding = append(c.outstanding, missEntry{issue: issue, done: done})
+	c.miss.push(missEntry{issue: issue, done: done})
 	c.lastLoadDone = done
-	c.advance(1 / float64(c.cfg.IssueWidth))
+	c.advance(c.invIssue)
 }
 
 // Store executes a store of size bytes. Stores retire through the
@@ -246,7 +308,7 @@ func (c *Core) Store(addr uint64, size int) {
 	if c.lsq.HasCForms() {
 		if exc := c.lsq.CheckStore(addr, size); exc != nil {
 			c.deliver(exc)
-			c.advance(1 / float64(c.cfg.IssueWidth))
+			c.advance(c.invIssue)
 			return
 		}
 	}
@@ -255,7 +317,7 @@ func (c *Core) Store(addr uint64, size int) {
 	if c.halted {
 		return
 	}
-	cost := 1/float64(c.cfg.IssueWidth) + c.cfg.StoreMissCost[res.Level]
+	cost := c.invIssue + c.cfg.StoreMissCost[res.Level]
 	c.advance(cost)
 }
 
@@ -271,7 +333,7 @@ func (c *Core) StoreData(addr uint64, data []byte) {
 	if c.lsq.HasCForms() {
 		if exc := c.lsq.CheckStore(addr, len(data)); exc != nil {
 			c.deliver(exc)
-			c.advance(1 / float64(c.cfg.IssueWidth))
+			c.advance(c.invIssue)
 			return
 		}
 	}
@@ -283,7 +345,7 @@ func (c *Core) StoreData(addr uint64, data []byte) {
 	if c.lsq.HasCForms() {
 		c.lsq.PushStore(addr, data)
 	}
-	c.advance(1/float64(c.cfg.IssueWidth) + c.cfg.StoreMissCost[res.Level])
+	c.advance(c.invIssue + c.cfg.StoreMissCost[res.Level])
 }
 
 // LoadData is Load returning the data read (zero for security bytes).
@@ -297,17 +359,17 @@ func (c *Core) LoadData(addr uint64, size int) []byte {
 	if c.lsq.HasCForms() {
 		if fwd := c.lsq.LookupLoad(addr, size); fwd.Exc != nil {
 			c.deliver(fwd.Exc)
-			c.advance(1 / float64(c.cfg.IssueWidth))
+			c.advance(c.invIssue)
 			return fwd.Value
 		} else if fwd.Hit {
-			c.advance(1 / float64(c.cfg.IssueWidth))
+			c.advance(c.invIssue)
 			return fwd.Value
 		}
 	}
 	data, res := c.hier.Load(addr, size)
 	c.deliver(res.Exc)
 	c.lastLoadDone = c.cycle + float64(res.Cycles)
-	c.advance(1 / float64(c.cfg.IssueWidth))
+	c.advance(c.invIssue)
 	return data
 }
 
@@ -326,7 +388,7 @@ func (c *Core) CForm(cf isa.CFORM) {
 		return
 	}
 	c.lsq.PushCForm(cf)
-	c.advance(1/float64(c.cfg.IssueWidth) + c.cfg.StoreMissCost[res.Level])
+	c.advance(c.invIssue + c.cfg.StoreMissCost[res.Level])
 }
 
 // WhitelistEnter and WhitelistExit bracket whitelisted regions
@@ -359,6 +421,6 @@ func (c *Core) DrainLSQ() { c.lsq.Drain() }
 func (c *Core) ResetTiming() {
 	c.cycle = 0
 	c.lastLoadDone = 0
-	c.outstanding = c.outstanding[:0]
+	c.miss.reset()
 	c.Stats = Stats{}
 }

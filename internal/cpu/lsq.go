@@ -30,22 +30,34 @@ func overlaps(aAddr uint64, aSize int, bAddr uint64, bSize int) bool {
 // cformTouches reports whether any byte of [addr, addr+size) is in
 // the given byte-selector bit vector of the CFORM entry. Per §5.3 the
 // line address is matched first, then the mask value stored in the
-// LSQ confirms the byte match.
+// LSQ confirms the byte match — here as one AND against the access's
+// byte-range mask instead of a 64-iteration bit walk.
 func cformTouches(e *LSQEntry, bits uint64, addr uint64, size int) bool {
 	if lineOf(addr) != lineOf(e.Addr) && lineOf(addr+uint64(size)-1) != lineOf(e.Addr) {
 		return false
 	}
-	base := e.Addr
-	for i := 0; i < 64; i++ {
-		if bits&(1<<uint(i)) == 0 {
-			continue
-		}
-		b := base + uint64(i)
-		if b >= addr && b < addr+uint64(size) {
-			return true
-		}
+	// Intersect [addr, addr+size) with the 64 byte slots at e.Addr.
+	lo := int64(addr) - int64(e.Addr)
+	hi := lo + int64(size)
+	if lo < 0 {
+		lo = 0
 	}
-	return false
+	if hi > 64 {
+		hi = 64
+	}
+	if hi <= lo {
+		return false
+	}
+	return bits&rangeBits(int(lo), int(hi-lo)) != 0
+}
+
+// rangeBits returns a mask with bits [off, off+n) set, n >= 1,
+// off+n <= 64.
+func rangeBits(off, n int) uint64 {
+	if off+n >= 64 {
+		return ^uint64(0) << uint(off)
+	}
+	return ((uint64(1) << uint(n)) - 1) << uint(off)
 }
 
 // settingBits returns the bytes the CFORM turns *into* security bytes;
@@ -59,11 +71,15 @@ func settingBits(e *LSQEntry) uint64 { return e.Attrs & e.Mask }
 func clearingBits(e *LSQEntry) uint64 { return e.Mask &^ e.Attrs }
 
 // LSQ models the load/store queue with the Califorms modifications.
-// Entries are kept in program order, oldest first.
+// Entries are kept in program order, oldest first, in a fixed ring
+// sized to the queue capacity: pushing and retiring never allocate,
+// and store-data buffers are recycled slot by slot.
 type LSQ struct {
-	entries []LSQEntry
-	seq     uint64
-	cforms  int
+	buf    []LSQEntry
+	head   int // index of the oldest entry
+	n      int // live entries
+	seq    uint64
+	cforms int
 	// Capacity bounds in-flight entries; pushing past it retires the
 	// oldest entry (models commit).
 	Capacity int
@@ -75,42 +91,76 @@ func NewLSQ(capacity int) *LSQ {
 	if capacity <= 0 {
 		capacity = 36
 	}
-	return &LSQ{Capacity: capacity}
+	return &LSQ{Capacity: capacity, buf: make([]LSQEntry, capacity)}
 }
 
 // Len returns the number of in-flight entries.
-func (q *LSQ) Len() int { return len(q.entries) }
+func (q *LSQ) Len() int { return q.n }
+
+// slot returns the i-th oldest entry (0 <= i < q.n).
+func (q *LSQ) slot(i int) *LSQEntry {
+	p := q.head + i
+	if p >= len(q.buf) {
+		p -= len(q.buf)
+	}
+	return &q.buf[p]
+}
+
+// dropFront retires the oldest entry.
+func (q *LSQ) dropFront() {
+	if q.buf[q.head].IsCForm {
+		q.cforms--
+	}
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+}
+
+// pushSlot advances program order, retires the oldest entry when the
+// queue is full, and returns a cleared back slot whose Value buffer
+// is kept for reuse.
+func (q *LSQ) pushSlot() *LSQEntry {
+	q.seq++
+	if q.n == q.Capacity {
+		q.dropFront()
+	}
+	e := q.slot(q.n)
+	q.n++
+	val := e.Value[:0]
+	*e = LSQEntry{Seq: q.seq, Value: val}
+	return e
+}
 
 // PushStore inserts an in-flight store.
 func (q *LSQ) PushStore(addr uint64, value []byte) {
-	q.push(LSQEntry{IsStore: true, Addr: addr, Size: len(value), Value: append([]byte(nil), value...)})
+	e := q.pushSlot()
+	e.IsStore = true
+	e.Addr = addr
+	e.Size = len(value)
+	e.Value = append(e.Value, value...)
 }
 
 // PushCForm inserts an in-flight CFORM. It occupies an LSQ slot like
 // a store, with the CFORM bit set so matches can be detected (§5.3).
 func (q *LSQ) PushCForm(cf isa.CFORM) {
-	q.push(LSQEntry{IsStore: true, IsCForm: true, Addr: cf.Base, Size: 64, Attrs: cf.Attrs, Mask: cf.Mask})
+	e := q.pushSlot()
+	e.IsStore = true
+	e.IsCForm = true
+	e.Addr = cf.Base
+	e.Size = 64
+	e.Attrs = cf.Attrs
+	e.Mask = cf.Mask
+	q.cforms++
 }
 
 // PushLoad inserts an in-flight load (so that younger CFORM ordering
 // checks can see it; loads carry no value).
 func (q *LSQ) PushLoad(addr uint64, size int) {
-	q.push(LSQEntry{Addr: addr, Size: size})
-}
-
-func (q *LSQ) push(e LSQEntry) {
-	q.seq++
-	e.Seq = q.seq
-	if e.IsCForm {
-		q.cforms++
-	}
-	q.entries = append(q.entries, e)
-	if len(q.entries) > q.Capacity {
-		if q.entries[0].IsCForm {
-			q.cforms--
-		}
-		q.entries = q.entries[1:]
-	}
+	e := q.pushSlot()
+	e.Addr = addr
+	e.Size = size
 }
 
 // HasCForms reports whether any CFORM instruction is in flight. Cores
@@ -124,18 +174,15 @@ func (q *LSQ) HasCForms() bool { return q.cforms > 0 }
 // committed). Cores call it once per memory instruction.
 func (q *LSQ) Age() {
 	q.seq++
-	for len(q.entries) > 0 && q.seq-q.entries[0].Seq >= uint64(q.Capacity) {
-		if q.entries[0].IsCForm {
-			q.cforms--
-		}
-		q.entries = q.entries[1:]
+	for q.n > 0 && q.seq-q.buf[q.head].Seq >= uint64(q.Capacity) {
+		q.dropFront()
 	}
 }
 
 // Drain retires all entries (memory serialization barrier, the
 // alternative implementation the paper offers to avoid LSQ changes).
 func (q *LSQ) Drain() {
-	q.entries = q.entries[:0]
+	q.head, q.n = 0, 0
 	q.cforms = 0
 }
 
@@ -157,8 +204,8 @@ type ForwardResult struct {
 // speculative side channel that would otherwise reveal security-byte
 // locations.
 func (q *LSQ) LookupLoad(addr uint64, size int) ForwardResult {
-	for i := len(q.entries) - 1; i >= 0; i-- {
-		e := &q.entries[i]
+	for i := q.n - 1; i >= 0; i-- {
+		e := q.slot(i)
 		if !e.IsStore {
 			continue
 		}
@@ -196,8 +243,8 @@ func (q *LSQ) LookupLoad(addr uint64, size int) ForwardResult {
 // in-flight CFORM (younger stores to bytes being califormed fault at
 // commit, §5.3).
 func (q *LSQ) CheckStore(addr uint64, size int) *isa.Exception {
-	for i := len(q.entries) - 1; i >= 0; i-- {
-		e := &q.entries[i]
+	for i := q.n - 1; i >= 0; i-- {
+		e := q.slot(i)
 		if e.IsCForm && cformTouches(e, settingBits(e), addr, size) {
 			return &isa.Exception{Kind: isa.ExcLSQOrder, Addr: addr}
 		}

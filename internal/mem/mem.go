@@ -54,8 +54,18 @@ func New() *Memory {
 // ReadLine fetches the sentinel-format line at the given line index.
 // Untouched memory reads as zeroed, non-califormed lines.
 func (m *Memory) ReadLine(lineIdx uint64) cacheline.Sentinel {
+	s, _ := m.ReadLineSparse(lineIdx)
+	return s
+}
+
+// ReadLineSparse is ReadLine plus a residency flag: resident reports
+// whether the line is materialized in DRAM. A non-resident line is
+// the canonical zero line, which lets the hierarchy skip all payload
+// movement for it.
+func (m *Memory) ReadLineSparse(lineIdx uint64) (s cacheline.Sentinel, resident bool) {
 	m.Stats.LineReads++
-	return m.lines[lineIdx]
+	s, resident = m.lines[lineIdx]
+	return s, resident
 }
 
 // WriteLine stores a sentinel-format line, ECC metadata bit included.

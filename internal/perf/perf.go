@@ -1,0 +1,220 @@
+// Package perf measures the end-to-end throughput of registry
+// experiments — simulated instructions per wall-clock second plus
+// per-stage cost — and reads/writes the BENCH_califorms.json
+// trajectory file the CI perf gate consumes.
+//
+// # BENCH_califorms.json schema (califorms-bench-perf/v1)
+//
+//	{
+//	  "schema":      "califorms-bench-perf/v1",
+//	  "go":          "go1.24.x",            // runtime.Version()
+//	  "generated":   "2026-07-26T12:00:00Z",// RFC 3339 UTC
+//	  "visits":      20000,                 // harness.Params.Visits
+//	  "seeds":       1,                     // harness.Params.Seeds
+//	  "workers":     8,                     // pool width
+//	  "experiments": [
+//	    {
+//	      "name":          "fig10",
+//	      "wall_seconds":  1.93,   // wall time of the experiment
+//	      "sim_ops":       123456, // measured-region instructions simulated
+//	      "ops_per_sec":   6.4e7,  // sim_ops / wall_seconds
+//	      "setup_seconds": 1.2,    // CPU-s: machine + layout build
+//	      "sim_seconds":   9.3     // CPU-s: workload (populate + run)
+//	    }, ...
+//	  ],
+//	  "total_ops":          ...,  // sum of sim_ops
+//	  "total_wall_seconds": ...,  // sum of wall_seconds
+//	  "total_ops_per_sec":  ...   // total_ops / total_wall_seconds
+//	}
+//
+// sim_ops is deterministic for fixed (experiment, visits, seeds);
+// wall_seconds and the derived rates are machine-dependent. The CI
+// gate therefore compares only ops_per_sec, with a tolerance wide
+// enough to absorb runner noise, and only for experiments that
+// actually simulate (sim_ops > 0); table-only experiments carry
+// timing for trend inspection but never gate.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// Schema identifies the report format.
+const Schema = "califorms-bench-perf/v1"
+
+// Measurement is one experiment's throughput record.
+type Measurement struct {
+	Name         string  `json:"name"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	SimOps       uint64  `json:"sim_ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	SetupSeconds float64 `json:"setup_seconds"`
+	SimSeconds   float64 `json:"sim_seconds"`
+}
+
+// Report is the full BENCH_califorms.json document.
+type Report struct {
+	Schema           string        `json:"schema"`
+	Go               string        `json:"go"`
+	Generated        string        `json:"generated"`
+	Visits           int           `json:"visits"`
+	Seeds            int           `json:"seeds"`
+	Workers          int           `json:"workers"`
+	Experiments      []Measurement `json:"experiments"`
+	TotalOps         uint64        `json:"total_ops"`
+	TotalWallSeconds float64       `json:"total_wall_seconds"`
+	TotalOpsPerSec   float64       `json:"total_ops_per_sec"`
+}
+
+// Measure runs each named experiment on the pool, recording wall
+// time, simulated-instruction throughput and per-stage cost. The
+// experiments' own outputs are discarded: this is the measurement
+// harness, not the reporting one.
+func Measure(names []string, p harness.Params, pool *harness.Pool) (Report, error) {
+	r := Report{
+		Schema:    Schema,
+		Go:        runtime.Version(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Visits:    p.Visits,
+		Seeds:     p.Seeds,
+		Workers:   pool.Workers(),
+	}
+	for _, name := range names {
+		sim.StartProbe()
+		start := time.Now()
+		if _, err := harness.RunByName(name, p, pool); err != nil {
+			sim.StopProbe()
+			return Report{}, err
+		}
+		wall := time.Since(start).Seconds()
+		totals := sim.StopProbe()
+		m := Measurement{
+			Name:         name,
+			WallSeconds:  wall,
+			SimOps:       totals.Ops,
+			SetupSeconds: totals.SetupSeconds,
+			SimSeconds:   totals.SimSeconds,
+		}
+		if wall > 0 {
+			m.OpsPerSec = float64(totals.Ops) / wall
+		}
+		r.Experiments = append(r.Experiments, m)
+		r.TotalOps += totals.Ops
+		r.TotalWallSeconds += wall
+	}
+	if r.TotalWallSeconds > 0 {
+		r.TotalOpsPerSec = float64(r.TotalOps) / r.TotalWallSeconds
+	}
+	return r, nil
+}
+
+// Write stores the report as indented JSON.
+func Write(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a report, verifying the schema tag.
+func Read(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return Report{}, fmt.Errorf("perf: %s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Name     string
+	Unit     string // "ops/s", "x total" (normalized rate) or "sim ops"
+	Baseline float64
+	Current  float64
+	DropPct  float64
+}
+
+func (r Regression) String() string {
+	if r.Unit == "sim ops" {
+		return fmt.Sprintf("%s: simulated %.0f %s in the baseline but %.0f now — simulation behavior differs, regenerate the baseline",
+			r.Name, r.Baseline, r.Unit, r.Current)
+	}
+	return fmt.Sprintf("%s: %.3g %s -> %.3g %s (-%.1f%%)", r.Name, r.Baseline, r.Unit, r.Current, r.Unit, r.DropPct)
+}
+
+// Compare gates current against baseline and returns the violations.
+// Two layers, both needed because the two reports may come from
+// machines of different speed (a committed baseline vs. a CI runner):
+//
+//   - Per-experiment rates are compared *normalized by each report's
+//     total ops/sec*. A uniformly faster or slower machine scales
+//     every experiment alike and cancels out; a localized regression
+//     shifts the experiment's share and trips the gate.
+//   - The absolute total ops/sec is compared directly, which catches
+//     uniform regressions (for example, undoing the batched path
+//     everywhere). This layer is machine-sensitive by nature; the
+//     tolerance must absorb expected hardware variance.
+//
+// A sim_ops mismatch means the two reports simulated different work
+// (behavior changed, not speed) and is always a violation. Reports
+// measured with different visits/seeds/workers are not comparable at
+// all: that is an error, never a silent pass. Experiments present in
+// only one report are skipped — the registry may grow.
+func Compare(baseline, current Report, tolerancePct float64) ([]Regression, error) {
+	if baseline.Visits != current.Visits || baseline.Seeds != current.Seeds || baseline.Workers != current.Workers {
+		return nil, fmt.Errorf(
+			"perf: baseline (visits=%d seeds=%d workers=%d) and current (visits=%d seeds=%d workers=%d) measured different parameters; regenerate the baseline",
+			baseline.Visits, baseline.Seeds, baseline.Workers, current.Visits, current.Seeds, current.Workers)
+	}
+	base := make(map[string]Measurement, len(baseline.Experiments))
+	for _, m := range baseline.Experiments {
+		base[m.Name] = m
+	}
+	var regs []Regression
+	check := func(name, unit string, b, c float64) {
+		if b <= 0 || c >= b*(1-tolerancePct/100) {
+			return
+		}
+		regs = append(regs, Regression{Name: name, Unit: unit, Baseline: b, Current: c, DropPct: (1 - c/b) * 100})
+	}
+	matched := 0
+	for _, m := range current.Experiments {
+		bm, ok := base[m.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		if bm.SimOps == 0 || m.SimOps == 0 {
+			continue
+		}
+		if bm.SimOps != m.SimOps {
+			regs = append(regs, Regression{Name: m.Name, Unit: "sim ops",
+				Baseline: float64(bm.SimOps), Current: float64(m.SimOps)})
+			continue
+		}
+		if baseline.TotalOpsPerSec > 0 && current.TotalOpsPerSec > 0 {
+			check(m.Name, "x total", bm.OpsPerSec/baseline.TotalOpsPerSec, m.OpsPerSec/current.TotalOpsPerSec)
+		}
+	}
+	// The aggregate rate only gates when both reports measured the
+	// same experiment set.
+	if matched == len(baseline.Experiments) && matched == len(current.Experiments) {
+		check("total", "ops/s", baseline.TotalOpsPerSec, current.TotalOpsPerSec)
+	}
+	return regs, nil
+}

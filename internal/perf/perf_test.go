@@ -1,0 +1,131 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestMeasureCountsSimOps(t *testing.T) {
+	r, err := Measure([]string{"fig10", "table3"}, harness.Params{Visits: 50, Seeds: 1}, harness.NewPool(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Experiments) != 2 {
+		t.Fatalf("got %d measurements, want 2", len(r.Experiments))
+	}
+	fig10 := r.Experiments[0]
+	if fig10.Name != "fig10" || fig10.SimOps == 0 || fig10.OpsPerSec <= 0 {
+		t.Fatalf("fig10 measurement did not count sim ops: %+v", fig10)
+	}
+	if table3 := r.Experiments[1]; table3.SimOps != 0 {
+		t.Fatalf("table3 is not a simulation but counted %d ops", table3.SimOps)
+	}
+	if r.TotalOps != fig10.SimOps {
+		t.Fatalf("total ops %d, want %d", r.TotalOps, fig10.SimOps)
+	}
+
+	// sim_ops must be deterministic: it is what the CI gate uses to
+	// detect that a PR changed simulation behavior vs. just speed.
+	r2, err := Measure([]string{"fig10"}, harness.Params{Visits: 50, Seeds: 1}, harness.NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Experiments[0].SimOps != fig10.SimOps {
+		t.Fatalf("sim_ops not deterministic: %d vs %d", r2.Experiments[0].SimOps, fig10.SimOps)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r, err := Measure([]string{"fig10"}, harness.Params{Visits: 50, Seeds: 1}, harness.NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_califorms.json")
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.TotalOps != r.TotalOps || len(got.Experiments) != 1 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	// Two experiments so both gate layers are exercised: normalized
+	// per-experiment shares and the absolute total.
+	mk := func(rateA, rateB float64) Report {
+		return Report{
+			Schema: Schema, Visits: 100, Seeds: 1, Workers: 2,
+			Experiments: []Measurement{
+				{Name: "figA", SimOps: 1000, OpsPerSec: rateA},
+				{Name: "figB", SimOps: 2000, OpsPerSec: rateB},
+			},
+			TotalOps:       3000,
+			TotalOpsPerSec: (rateA + rateB) / 2,
+		}
+	}
+	base := mk(100, 100)
+
+	compare := func(cur Report) []Regression {
+		t.Helper()
+		regs, err := Compare(base, cur, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return regs
+	}
+
+	if regs := compare(mk(90, 90)); len(regs) != 0 {
+		t.Fatalf("10%% drop must pass a 20%% gate: %v", regs)
+	}
+	// A uniform 40% slowdown (slower machine or global regression):
+	// normalized shares unchanged, so only the total trips.
+	regs := compare(mk(60, 60))
+	if len(regs) != 1 || regs[0].Name != "total" {
+		t.Fatalf("uniform slowdown must trip exactly the total gate: %v", regs)
+	}
+	// A localized regression: figA loses 70% while figB holds, so the
+	// normalized share gate names the experiment.
+	names := map[string]bool{}
+	for _, r := range compare(mk(30, 100)) {
+		names[r.Name] = true
+	}
+	if !names["figA"] {
+		t.Fatalf("localized regression must name figA: %v", names)
+	}
+	// A sim_ops change means behavior changed, not speed.
+	cur := mk(100, 100)
+	cur.Experiments[0].SimOps = 999
+	found := false
+	for _, r := range compare(cur) {
+		if r.Name == "figA" && r.Unit == "sim ops" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("a sim_ops change at equal params must be flagged")
+	}
+	// An experiment missing from the baseline (registry growth) never
+	// gates.
+	cur = mk(100, 100)
+	cur.Experiments = append(cur.Experiments, Measurement{Name: "fig99", SimOps: 5, OpsPerSec: 1})
+	if regs := compare(cur); len(regs) != 0 {
+		t.Fatalf("unknown experiments must be skipped: %v", regs)
+	}
+	// Parameter mismatch is an error, never a vacuous pass.
+	bad := mk(100, 100)
+	bad.Visits = 999
+	if _, err := Compare(base, bad, 20); err == nil {
+		t.Fatal("visits mismatch must error")
+	}
+	bad = mk(100, 100)
+	bad.Workers = 7
+	if _, err := Compare(base, bad, 20); err == nil {
+		t.Fatal("workers mismatch must error")
+	}
+}

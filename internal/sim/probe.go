@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The probe is the measurement hook behind internal/perf: while
+// enabled, every Run accumulates its simulated-instruction count and
+// its per-stage wall cost (machine/layout setup vs. workload
+// simulation) into atomic counters. The hook costs two atomic loads
+// per Run when disabled — nothing per simulated op — so it never
+// perturbs the hot path it measures.
+var probe struct {
+	enabled atomic.Bool
+	ops     atomic.Uint64
+	setupNs atomic.Int64
+	simNs   atomic.Int64
+}
+
+// ProbeTotals is one measurement window's accumulated cost. Stage
+// seconds are CPU-seconds summed across parallel workers, so they can
+// exceed the wall time of the window.
+type ProbeTotals struct {
+	// Ops is the total number of simulated instructions retired.
+	Ops uint64
+	// SetupSeconds covers machine construction and layout
+	// instrumentation; SimSeconds the workload kernel (heap population
+	// plus the measured steady-state region).
+	SetupSeconds float64
+	SimSeconds   float64
+}
+
+// StartProbe zeroes the counters and enables accumulation.
+func StartProbe() {
+	probe.ops.Store(0)
+	probe.setupNs.Store(0)
+	probe.simNs.Store(0)
+	probe.enabled.Store(true)
+}
+
+// StopProbe disables accumulation and returns the window's totals.
+func StopProbe() ProbeTotals {
+	probe.enabled.Store(false)
+	return ProbeTotals{
+		Ops:          probe.ops.Load(),
+		SetupSeconds: float64(probe.setupNs.Load()) / 1e9,
+		SimSeconds:   float64(probe.simNs.Load()) / 1e9,
+	}
+}
+
+// probeStart returns the stage timestamp, zero when disabled.
+func probeStart() time.Time {
+	if !probe.enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// probeStage accumulates a stage duration and returns the next
+// stage's timestamp.
+func probeStage(t0 time.Time, into *atomic.Int64) time.Time {
+	if t0.IsZero() {
+		return t0
+	}
+	now := time.Now()
+	into.Add(int64(now.Sub(t0)))
+	return now
+}

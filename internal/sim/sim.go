@@ -106,6 +106,7 @@ func (r Result) IPC() float64 {
 // Run executes one workload under one configuration on a fresh
 // machine and returns its metrics. Runs are deterministic.
 func Run(spec workload.Spec, rc RunConfig) Result {
+	t := probeStart()
 	hierCfg := cache.Westmere()
 	if rc.Hier != nil {
 		hierCfg = *rc.Hier
@@ -147,7 +148,12 @@ func Run(spec workload.Spec, rc RunConfig) Result {
 	if visits <= 0 {
 		visits = 100_000
 	}
+	t = probeStage(t, &probe.setupNs)
 	spec.Run(env, visits)
+	probeStage(t, &probe.simNs)
+	if probe.enabled.Load() {
+		probe.ops.Add(core.Stats.Instructions)
+	}
 
 	return Result{
 		Benchmark:    spec.Name,

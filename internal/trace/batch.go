@@ -1,0 +1,102 @@
+package trace
+
+import "repro/internal/isa"
+
+// DefaultBatchCap is the batch capacity used when none is given. It
+// is sized so one batch comfortably covers the longest run of ops a
+// workload visit emits while staying small enough to live in the L2
+// of the host machine.
+const DefaultBatchCap = 4096
+
+// Batch is a reusable, fixed-capacity operation buffer: the batched
+// alternative to calling Sink methods once per op. Producers append
+// ops with the same Sink methods (a *Batch is itself a Sink that
+// buffers), flush with Flush when Full, and the backing array is
+// recycled across flushes, so steady-state batched dispatch performs
+// no allocation.
+type Batch struct {
+	ops []Op
+}
+
+// NewBatch returns an empty batch with the given capacity
+// (DefaultBatchCap if capacity <= 0).
+func NewBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = DefaultBatchCap
+	}
+	return &Batch{ops: make([]Op, 0, capacity)}
+}
+
+// Len returns the number of buffered ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Cap returns the batch capacity.
+func (b *Batch) Cap() int { return cap(b.ops) }
+
+// Full reports whether the next append would grow the backing array.
+// Producers should flush when Full; appending past capacity still
+// works but reallocates.
+func (b *Batch) Full() bool { return len(b.ops) == cap(b.ops) }
+
+// Reset empties the batch, keeping the backing array.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// Ops exposes the buffered operations in append order. The slice is
+// invalidated by Reset and the appenders.
+func (b *Batch) Ops() []Op { return b.ops }
+
+// Append adds a raw op.
+func (b *Batch) Append(o Op) { b.ops = append(b.ops, o) }
+
+// The appenders below make *Batch a buffering trace.Sink, so any
+// op producer written against Sink can transparently emit into a
+// batch instead.
+
+// NonMem buffers n non-memory instructions.
+func (b *Batch) NonMem(n uint32) { b.ops = append(b.ops, Op{Kind: NonMem, Count: n}) }
+
+// Load buffers a load op.
+func (b *Batch) Load(addr uint64, size int, dependent bool) {
+	b.ops = append(b.ops, Op{Kind: Load, Addr: addr, Size: uint16(size), Dependent: dependent})
+}
+
+// Store buffers a store op.
+func (b *Batch) Store(addr uint64, size int) {
+	b.ops = append(b.ops, Op{Kind: Store, Addr: addr, Size: uint16(size)})
+}
+
+// CForm buffers a CFORM op.
+func (b *Batch) CForm(cf isa.CFORM) {
+	b.ops = append(b.ops, Op{Kind: CForm, Addr: cf.Base, Attrs: cf.Attrs, Mask: cf.Mask, NT: cf.NonTemporal})
+}
+
+// WhitelistEnter buffers a whitelisted-region entry.
+func (b *Batch) WhitelistEnter() { b.ops = append(b.ops, Op{Kind: WhitelistEnter}) }
+
+// WhitelistExit buffers a whitelisted-region exit.
+func (b *Batch) WhitelistExit() { b.ops = append(b.ops, Op{Kind: WhitelistExit}) }
+
+var _ Sink = (*Batch)(nil)
+
+// BatchSink is implemented by sinks that provide a batched dispatch
+// fast path (the timing core). Semantics must be identical to
+// replaying the ops one by one.
+type BatchSink interface {
+	Sink
+	RunBatch(*Batch)
+}
+
+// Flush delivers the buffered ops to s in order and resets the batch.
+// Sinks implementing BatchSink receive the whole batch in one call;
+// others get a per-op replay, so Flush works against any Sink.
+func Flush(b *Batch, s Sink) {
+	if b.Len() == 0 {
+		return
+	}
+	if bs, ok := s.(BatchSink); ok {
+		bs.RunBatch(b)
+	} else {
+		Replay(b.ops, s)
+	}
+	b.Reset()
+}

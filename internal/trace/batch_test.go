@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// opLog is a Sink that logs every delivered op.
+type opLog struct {
+	ops []Op
+}
+
+func (r *opLog) NonMem(n uint32) { r.ops = append(r.ops, Op{Kind: NonMem, Count: n}) }
+func (r *opLog) Load(a uint64, s int, d bool) {
+	r.ops = append(r.ops, Op{Kind: Load, Addr: a, Size: uint16(s), Dependent: d})
+}
+func (r *opLog) Store(a uint64, s int) {
+	r.ops = append(r.ops, Op{Kind: Store, Addr: a, Size: uint16(s)})
+}
+func (r *opLog) CForm(cf isa.CFORM) {
+	r.ops = append(r.ops, Op{Kind: CForm, Addr: cf.Base, Attrs: cf.Attrs, Mask: cf.Mask, NT: cf.NonTemporal})
+}
+func (r *opLog) WhitelistEnter() { r.ops = append(r.ops, Op{Kind: WhitelistEnter}) }
+func (r *opLog) WhitelistExit()  { r.ops = append(r.ops, Op{Kind: WhitelistExit}) }
+
+// batchRecorder additionally implements BatchSink.
+type batchRecorder struct {
+	opLog
+	batched int
+}
+
+func (b *batchRecorder) RunBatch(batch *Batch) {
+	b.batched++
+	Replay(batch.Ops(), &b.opLog)
+}
+
+func emitAll(s Sink) {
+	s.Load(0x40, 8, true)
+	s.NonMem(3)
+	s.Store(0x80, 4)
+	s.CForm(isa.CFORM{Base: 0xC0, Attrs: 2, Mask: 2, NonTemporal: true})
+	s.WhitelistEnter()
+	s.WhitelistExit()
+}
+
+// TestBatchBuffersSinkOps verifies a Batch records exactly the op
+// sequence a direct Sink would see, and that Flush delivers it via
+// RunBatch when the target supports batching.
+func TestBatchBuffersSinkOps(t *testing.T) {
+	var direct opLog
+	emitAll(&direct)
+
+	b := NewBatch(8)
+	emitAll(b)
+	if b.Len() != len(direct.ops) {
+		t.Fatalf("batch holds %d ops, want %d", b.Len(), len(direct.ops))
+	}
+
+	var via batchRecorder
+	Flush(b, &via)
+	if via.batched != 1 {
+		t.Fatalf("Flush used the per-op fallback against a BatchSink")
+	}
+	if !reflect.DeepEqual(via.ops, direct.ops) {
+		t.Fatalf("batched delivery diverged:\n got %+v\nwant %+v", via.ops, direct.ops)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Flush left %d ops buffered", b.Len())
+	}
+
+	// A plain Sink gets the per-op replay.
+	emitAll(b)
+	var plain opLog
+	Flush(b, &plain)
+	if !reflect.DeepEqual(plain.ops, direct.ops) {
+		t.Fatalf("fallback delivery diverged:\n got %+v\nwant %+v", plain.ops, direct.ops)
+	}
+}
+
+// TestBatchReuseNoAllocs verifies the fixed-capacity contract: a
+// fill/flush cycle at capacity reuses the backing array.
+func TestBatchReuseNoAllocs(t *testing.T) {
+	b := NewBatch(256)
+	var sink batchRecorder
+	allocs := testing.AllocsPerRun(10, func() {
+		for !b.Full() {
+			b.Store(0x40, 8)
+		}
+		b.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("fill/reset cycle allocates %.1f times, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestBatchCapacity(t *testing.T) {
+	b := NewBatch(0)
+	if b.Cap() != DefaultBatchCap {
+		t.Fatalf("default capacity = %d, want %d", b.Cap(), DefaultBatchCap)
+	}
+	if b.Full() {
+		t.Fatal("empty batch reports full")
+	}
+}

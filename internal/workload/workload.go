@@ -21,6 +21,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/cpu"
 	"repro/internal/layout"
+	"repro/internal/trace"
 )
 
 // Spec parameterizes one synthetic benchmark kernel.
@@ -194,6 +195,16 @@ func (s Spec) Run(env *Env, visits int) {
 		churnEvery = 1000 / s.AllocPer1K
 	}
 
+	// The steady-state loop emits its ops into a reusable batch and
+	// hands the core whole batches instead of one call per op. The op
+	// sequence is exactly the per-op one, so timing and statistics are
+	// unchanged; batches are flushed before any allocator work so heap
+	// churn (which drives the core directly) stays in program order.
+	b := trace.NewBatch(trace.DefaultBatchCap)
+	// margin is the most ops one visit can append: FieldsPerVisit
+	// accesses plus their NonMem bursts, plus the chase head load.
+	margin := 2*s.FieldsPerVisit + 2
+
 	// The flat buffer models the program's non-struct memory traffic
 	// (arrays, I/O buffers, stack spill space): it is never padded by
 	// any insertion policy, diluting the layout-change effect exactly
@@ -219,16 +230,19 @@ func (s Spec) Run(env *Env, visits int) {
 	seq := 0
 	cursor := r.Intn(len(objs))
 	for v := 0; v < visits; v++ {
+		if b.Len()+margin > b.Cap() {
+			trace.Flush(b, core)
+		}
 		if r.Float64() >= structFrac {
 			// Non-struct phase: stream over the flat buffer.
 			for f := 0; f < s.FieldsPerVisit; f++ {
 				addr := bufBase + bufPos
 				if r.Float64() < s.StoreFrac {
-					core.Store(addr, 8)
+					b.Store(addr, 8)
 				} else {
-					core.Load(addr, 8, false)
+					b.Load(addr, 8, false)
 				}
-				core.NonMem(uint32(s.ComputePerMem))
+				b.NonMem(uint32(s.ComputePerMem))
 				bufPos += 32
 				if bufPos >= bufBytes {
 					bufPos = 0
@@ -248,7 +262,7 @@ func (s Spec) Run(env *Env, visits int) {
 			}
 			o = &objs[cursor]
 			head := o.offs[0]
-			core.Load(o.addr+uint64(head.off), head.size, true)
+			b.Load(o.addr+uint64(head.off), head.size, true)
 		} else {
 			// Streaming sweep in shuffled epoch order.
 			seq++
@@ -265,17 +279,22 @@ func (s Spec) Run(env *Env, visits int) {
 		for f := 0; f < nf; f++ {
 			a := o.offs[(v+f)%len(o.offs)]
 			if r.Float64() < s.StoreFrac {
-				core.Store(o.addr+uint64(a.off), a.size)
+				b.Store(o.addr+uint64(a.off), a.size)
 			} else {
-				core.Load(o.addr+uint64(a.off), a.size, false)
+				b.Load(o.addr+uint64(a.off), a.size, false)
 			}
-			core.NonMem(uint32(s.ComputePerMem))
+			b.NonMem(uint32(s.ComputePerMem))
 		}
 
 		if churnEvery > 0 && v%churnEvery == 0 {
+			// The allocator issues its CFORMs and hook work straight to
+			// the core; drain buffered ops first to preserve program
+			// order.
+			trace.Flush(b, core)
 			k := r.Intn(len(objs))
 			env.Heap.Free(objs[k].addr, objs[k].in)
 			objs[k] = newObj()
 		}
 	}
+	trace.Flush(b, core)
 }
