@@ -8,7 +8,8 @@
 //	califorms-bench -exp fig3|fig4|fig10|fig11|fig12|table1..table7|security|ablations|all
 //	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv] [-list]
 //	califorms-bench -perf [-exp ...] [-perf-out BENCH_califorms.json]
-//	                [-perf-baseline BENCH_califorms.json] [-perf-gate 20]
+//	                [-perf-baseline BENCH_califorms.json] [-perf-gate 15]
+//	califorms-bench -perf-diff old.json new.json
 //
 // -visits scales the measured steady-state region of each benchmark
 // kernel (default 30000 object visits); -seeds sets how many layout
@@ -19,11 +20,17 @@
 //
 // -perf switches to measurement mode: instead of emitting the
 // experiment reports, it measures each selected experiment's
-// simulated-instruction throughput and per-stage cost, writes the
-// result to -perf-out (the BENCH_califorms.json trajectory file, see
-// internal/perf for the schema), and — when -perf-baseline is given —
-// exits non-zero if any experiment's ops/sec regressed more than
-// -perf-gate percent against the baseline report.
+// work-unit throughput and per-stage CPU cost (setup, direct
+// simulation, trace capture, trace replay), writes the result to
+// -perf-out (the BENCH_califorms.json trajectory file, see
+// internal/perf for the v2 schema), and — when -perf-baseline is
+// given — exits non-zero if any experiment's ops/sec regressed more
+// than -perf-gate percent against the baseline report.
+//
+// -perf-diff compares two measurement reports and prints a
+// per-experiment delta table (ops/sec, wall time, capture/replay
+// split) as GitHub-flavored markdown, for PR descriptions and the CI
+// job summary.
 package main
 
 import (
@@ -61,8 +68,14 @@ func main() {
 	perfMode := flag.Bool("perf", false, "measure experiment throughput instead of emitting reports")
 	perfOut := flag.String("perf-out", "BENCH_califorms.json", "perf mode: where to write the measurement report")
 	perfBaseline := flag.String("perf-baseline", "", "perf mode: baseline report to gate against (optional)")
-	perfGate := flag.Float64("perf-gate", 20, "perf mode: max tolerated ops/sec regression in percent")
+	perfGate := flag.Float64("perf-gate", 15, "perf mode: max tolerated ops/sec regression in percent")
+	perfDiff := flag.Bool("perf-diff", false, "compare two measurement reports: -perf-diff old.json new.json")
 	flag.Parse()
+
+	if *perfDiff {
+		runPerfDiff(flag.Args())
+		return
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
@@ -112,10 +125,11 @@ func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baseline
 	}
 	for _, m := range report.Experiments {
 		if m.SimOps > 0 {
-			fmt.Fprintf(os.Stderr, "[perf %-10s %8.3fs  %12d ops  %10.3g ops/s  (setup %.2fs, sim %.2fs)]\n",
-				m.Name, m.WallSeconds, m.SimOps, m.OpsPerSec, m.SetupSeconds, m.SimSeconds)
+			fmt.Fprintf(os.Stderr, "[perf %-10s %8.3fs  %12d ops  %10.3g ops/s  (cpu: setup %.2fs, sim %.2fs, capture %.2fs, replay %.2fs)]\n",
+				m.Name, m.WallSeconds, m.SimOps, m.OpsPerSec,
+				m.SetupCPUSeconds, m.SimCPUSeconds, m.CaptureCPUSeconds, m.ReplayCPUSeconds)
 		} else {
-			fmt.Fprintf(os.Stderr, "[perf %-10s %8.3fs  (no simulation)]\n", m.Name, m.WallSeconds)
+			fmt.Fprintf(os.Stderr, "[perf %-10s %8.3fs  (no work recorded)]\n", m.Name, m.WallSeconds)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "[perf total      %8.3fs  %12d ops  %10.3g ops/s]\n",
@@ -147,4 +161,23 @@ func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baseline
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
 	os.Exit(1)
+}
+
+// runPerfDiff prints the markdown delta table between two reports.
+func runPerfDiff(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: califorms-bench -perf-diff old.json new.json")
+		os.Exit(2)
+	}
+	old, err := perf.Read(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cur, err := perf.Read(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(perf.FormatDiff(old, cur))
 }

@@ -9,6 +9,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/cacheline"
 )
@@ -145,23 +146,90 @@ type level[L any] struct {
 	Stats    LevelStats
 }
 
-func newLevel[L any](cfg LevelConfig) *level[L] {
+// levelPool recycles one level geometry's backing arrays across
+// machines. Sweeps build and discard one machine per run unit; the
+// line payload arrays (megabytes for an L3) dominate the build cost
+// purely through allocation zeroing, yet never need to start zeroed —
+// every read of tags and lines is gated by a header valid bit, and
+// headers are reinitialized on reuse. One pool per (sets, ways)
+// geometry per line representation.
+type levelPool[L any] struct {
+	mu    sync.Mutex
+	pools map[[2]int]*sync.Pool
+}
+
+type levelArrays[L any] struct {
+	hdrs  []setHdr
+	tags  []uint64
+	lines []L
+}
+
+func (p *levelPool[L]) pool(nsets, ways int) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pools == nil {
+		p.pools = make(map[[2]int]*sync.Pool)
+	}
+	key := [2]int{nsets, ways}
+	sp := p.pools[key]
+	if sp == nil {
+		sp = &sync.Pool{}
+		p.pools[key] = sp
+	}
+	return sp
+}
+
+func (p *levelPool[L]) get(nsets, ways int) *levelArrays[L] {
+	if a, ok := p.pool(nsets, ways).Get().(*levelArrays[L]); ok {
+		// Reset replacement state; stale tags, signatures and line
+		// payloads are unreachable behind the cleared valid bits.
+		for i := range a.hdrs {
+			a.hdrs[i].perm = permInit
+			a.hdrs[i].valid = 0
+			a.hdrs[i].dirty = 0
+			a.hdrs[i].zero = 0
+		}
+		return a
+	}
+	a := &levelArrays[L]{
+		hdrs:  make([]setHdr, nsets),
+		tags:  make([]uint64, nsets*ways),
+		lines: make([]L, nsets*ways),
+	}
+	for i := range a.hdrs {
+		a.hdrs[i].perm = permInit
+	}
+	return a
+}
+
+func (p *levelPool[L]) put(l *level[L]) {
+	if l == nil || l.hdrs == nil {
+		return
+	}
+	p.pool(l.nsets, l.ways).Put(&levelArrays[L]{hdrs: l.hdrs, tags: l.tags, lines: l.lines})
+	l.hdrs, l.tags, l.lines = nil, nil, nil
+}
+
+var (
+	bitvectorArrays levelPool[cacheline.Bitvector]
+	sentinelArrays  levelPool[cacheline.Sentinel]
+)
+
+func newLevel[L any](cfg LevelConfig, pool *levelPool[L]) *level[L] {
 	if cfg.Ways > maxWays {
 		panic(fmt.Sprintf("cache: %s: %d ways exceeds the supported maximum of %d", cfg.Name, cfg.Ways, maxWays))
 	}
 	n := cfg.Sets()
+	a := pool.get(n, cfg.Ways)
 	l := &level[L]{
 		cfg:       cfg,
 		ways:      cfg.Ways,
 		nsets:     n,
 		waysShift: -1,
-		hdrs:      make([]setHdr, n),
-		tags:      make([]uint64, n*cfg.Ways),
-		lines:     make([]L, n*cfg.Ways),
+		hdrs:      a.hdrs,
+		tags:      a.tags,
+		lines:     a.lines,
 		lastSlot:  -1,
-	}
-	for i := range l.hdrs {
-		l.hdrs[i].perm = permInit
 	}
 	if n > 0 && n&(n-1) == 0 {
 		l.setMask = uint64(n - 1)
@@ -190,14 +258,28 @@ func (l *level[L]) setWay(slot int) (set, way int) {
 }
 
 // touch refreshes the recency of way w in h (an LRU-stamp update).
+// The two most recent ways cover nearly every hit (object fields
+// alternate between one or two lines per set), so positions 0 and 1
+// bypass the permutation scan.
 func (l *level[L]) touch(h *setHdr, w int) {
-	if int(h.perm)&0xf == w {
+	perm := h.perm
+	if int(perm)&0xf == w {
 		return // already MRU
 	}
-	h.perm = mtf(h.perm, permPos(h.perm, w), w)
+	if int(perm>>4)&0xf == w {
+		// Position 1: swap the two low nibbles.
+		h.perm = perm&^uint64(0xff) | perm&0xf<<4 | uint64(w)
+		return
+	}
+	if int(perm>>8)&0xf == w {
+		// Position 2: rotate the three low nibbles.
+		h.perm = perm&^uint64(0xfff) | perm&0xff<<4 | uint64(w)
+		return
+	}
+	h.perm = mtf(perm, permPos(perm, w), w)
 }
 
-// acquire resolves lineIdx in a single set scan: on a hit it
+// acquireHdr resolves lineIdx in a single set scan: on a hit it
 // refreshes the way's recency and returns the slot; on a miss it
 // returns the slot an insert should fill — the first invalid way in
 // way order, else the LRU way — without writing it, so callers can
@@ -205,17 +287,20 @@ func (l *level[L]) touch(h *setHdr, w int) {
 // until its place call; the victim choice made here stays valid as
 // long as the set is untouched in between, which every call site
 // guarantees (lower-level traffic never touches the acquiring set).
-func (l *level[L]) acquire(lineIdx uint64) (slot int, hit, evicted bool) {
+// The set header and way are returned alongside so fused callers can
+// read and update the slot's metadata (zero flag, mask check, dirty
+// bit) without recomputing set/way per step.
+func (l *level[L]) acquireHdr(lineIdx uint64) (slot int, h *setHdr, way int, hit, evicted bool) {
 	if l.lastLine == lineIdx && l.lastSlot >= 0 && l.tags[l.lastSlot] == lineIdx {
-		set, way := l.setWay(l.lastSlot)
-		h := &l.hdrs[set]
-		if h.valid&(1<<uint(way)) != 0 {
-			l.touch(h, way)
-			return l.lastSlot, true, false
+		set, w := l.setWay(l.lastSlot)
+		h = &l.hdrs[set]
+		if h.valid&(1<<uint(w)) != 0 {
+			l.touch(h, w)
+			return l.lastSlot, h, w, true, false
 		}
 	}
 	set := l.setIndex(lineIdx)
-	h := &l.hdrs[set]
+	h = &l.hdrs[set]
 	base := set * l.ways
 	bsig := uint64(sigOf(lineIdx)) * lsbBytes
 	for m := byteMatches(h.sigLo, bsig); m != 0; m &= m - 1 {
@@ -223,7 +308,7 @@ func (l *level[L]) acquire(lineIdx uint64) (slot int, hit, evicted bool) {
 		if h.valid&(1<<uint(w)) != 0 && l.tags[base+w] == lineIdx {
 			l.touch(h, w)
 			l.lastLine, l.lastSlot = lineIdx, base+w
-			return base + w, true, false
+			return base + w, h, w, true, false
 		}
 	}
 	if l.ways > 8 {
@@ -232,15 +317,17 @@ func (l *level[L]) acquire(lineIdx uint64) (slot int, hit, evicted bool) {
 			if h.valid&(1<<uint(w)) != 0 && l.tags[base+w] == lineIdx {
 				l.touch(h, w)
 				l.lastLine, l.lastSlot = lineIdx, base+w
-				return base + w, true, false
+				return base + w, h, w, true, false
 			}
 		}
 	}
 	if inv := ^h.valid & (uint16(1)<<uint(l.ways) - 1); inv != 0 {
-		return base + bits.TrailingZeros16(inv), false, false
+		w := bits.TrailingZeros16(inv)
+		return base + w, h, w, false, false
 	}
 	l.Stats.Evictions++
-	return base + int(h.perm>>uint(4*(l.ways-1)))&0xf, false, true
+	w := int(h.perm>>uint(4*(l.ways-1))) & 0xf
+	return base + w, h, w, false, true
 }
 
 // probe locates lineIdx without updating recency state
@@ -267,22 +354,33 @@ func (l *level[L]) probe(lineIdx uint64) (slot int, ok bool) {
 	return 0, false
 }
 
-// place fills a slot previously returned by acquire with a
-// materialized payload.
-func (l *level[L]) place(slot int, lineIdx uint64, line L, dirty bool) {
-	l.placeMeta(slot, lineIdx, dirty, false)
-	l.lines[slot] = line
+// placeHdr fills a slot previously returned by acquireHdr with a
+// materialized payload, reusing the header handle the acquire already
+// resolved.
+func (l *level[L]) placeHdr(slot int, h *setHdr, way int, lineIdx uint64, line *L, dirty bool) {
+	l.placeMeta(slot, h, way, lineIdx, dirty, false)
+	l.lines[slot] = *line
 }
 
-// placeZero fills a slot with the canonical zero line; the payload
+// placeZeroHdr fills a slot with the canonical zero line; the payload
 // array is not touched.
-func (l *level[L]) placeZero(slot int, lineIdx uint64, dirty bool) {
-	l.placeMeta(slot, lineIdx, dirty, true)
+func (l *level[L]) placeZeroHdr(slot int, h *setHdr, way int, lineIdx uint64, dirty bool) {
+	l.placeMeta(slot, h, way, lineIdx, dirty, true)
 }
 
-func (l *level[L]) placeMeta(slot int, lineIdx uint64, dirty, zero bool) {
+// place and placeZero are the handle-free forms for callers that did
+// not come through acquireHdr.
+func (l *level[L]) place(slot int, lineIdx uint64, line L, dirty bool) {
 	set, way := l.setWay(slot)
-	h := &l.hdrs[set]
+	l.placeHdr(slot, &l.hdrs[set], way, lineIdx, &line, dirty)
+}
+
+func (l *level[L]) placeZero(slot int, lineIdx uint64, dirty bool) {
+	set, way := l.setWay(slot)
+	l.placeZeroHdr(slot, &l.hdrs[set], way, lineIdx, dirty)
+}
+
+func (l *level[L]) placeMeta(slot int, h *setHdr, way int, lineIdx uint64, dirty, zero bool) {
 	bit := uint16(1) << uint(way)
 	h.valid |= bit
 	if dirty {
@@ -311,19 +409,6 @@ func (l *level[L]) placeMeta(slot int, lineIdx uint64, dirty, zero bool) {
 func (l *level[L]) zeroAt(slot int) bool {
 	set, way := l.setWay(slot)
 	return l.hdrs[set].zero&(1<<uint(way)) != 0
-}
-
-// overwrite replaces a hit slot's payload with a materialized line.
-func (l *level[L]) overwrite(slot int, line *L) {
-	set, way := l.setWay(slot)
-	l.hdrs[set].zero &^= 1 << uint(way)
-	l.lines[slot] = *line
-}
-
-// setZeroAt replaces a hit slot's payload with the zero line.
-func (l *level[L]) setZeroAt(slot int) {
-	set, way := l.setWay(slot)
-	l.hdrs[set].zero |= 1 << uint(way)
 }
 
 // materialize turns a zero slot into an explicit zero payload so a

@@ -77,15 +77,28 @@ type Hierarchy struct {
 	Stats HierStats
 }
 
-// New builds a hierarchy over the given memory.
+// New builds a hierarchy over the given memory. Level backing arrays
+// come from a recycling pool; short-lived hierarchies (one per sweep
+// unit) should hand them back with Release once their statistics have
+// been read.
 func New(cfg Config, m *mem.Memory) *Hierarchy {
 	return &Hierarchy{
 		cfg: cfg,
-		l1:  newLevel[cacheline.Bitvector](cfg.L1),
-		l2:  newLevel[cacheline.Sentinel](cfg.L2),
-		l3:  newLevel[cacheline.Sentinel](cfg.L3),
+		l1:  newLevel(cfg.L1, &bitvectorArrays),
+		l2:  newLevel(cfg.L2, &sentinelArrays),
+		l3:  newLevel(cfg.L3, &sentinelArrays),
 		mem: m,
 	}
+}
+
+// Release returns the hierarchy's level arrays to the recycling pool.
+// The hierarchy must not be used afterwards; callers that keep
+// machines alive (examples, interactive tools) simply never call it.
+func (h *Hierarchy) Release() {
+	bitvectorArrays.put(h.l1)
+	sentinelArrays.put(h.l2)
+	sentinelArrays.put(h.l3)
+	h.l1, h.l2, h.l3 = nil, nil, nil
 }
 
 // Config returns the hierarchy configuration.
@@ -99,125 +112,141 @@ func (h *Hierarchy) L1Stats() LevelStats { return h.l1.Stats }
 func (h *Hierarchy) L2Stats() LevelStats { return h.l2.Stats }
 func (h *Hierarchy) L3Stats() LevelStats { return h.l3.Stats }
 
-// writeBackL2 installs a sentinel line into L2, cascading evictions
-// downward. Clean victims are dropped: with write-back propagation a
-// clean copy always matches the level below. Victims are written
-// back from their slot before it is overwritten, so no line is ever
-// copied through an intermediate.
 // zeroSentinel is the canonical zero line, passed (read-only) where a
 // zero-flagged writeback needs a value for the non-optimized paths.
 var zeroSentinel cacheline.Sentinel
 
-// writeBackL2 installs a sentinel line into L2. zero marks the
-// canonical zero line: its payload is tracked as a flag and the line
-// arrays are never touched.
+// writeBackL2 installs a sentinel line into L2, cascading evictions
+// downward. Clean victims are dropped: with write-back propagation a
+// clean copy always matches the level below; victims are written back
+// from their slot before it is overwritten, so no line is ever copied
+// through an intermediate. zero marks the canonical zero line: its
+// payload is tracked as a flag and the line arrays are never touched.
 func (h *Hierarchy) writeBackL2(lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
-	slot, hit, evicted := h.l2.acquire(lineIdx)
+	slot, hd, way, hit, evicted := h.l2.acquireHdr(lineIdx)
 	if hit {
+		bit := uint16(1) << uint(way)
 		if zero {
-			h.l2.setZeroAt(slot)
+			hd.zero |= bit
 		} else {
-			h.l2.overwrite(slot, s)
+			hd.zero &^= bit
+			h.l2.lines[slot] = *s
 		}
 		if dirty {
-			h.l2.markDirty(slot)
+			hd.dirty |= bit
 		}
 		return
 	}
-	h.placeL2(slot, evicted, lineIdx, s, zero, dirty)
+	h.placeL2(slot, hd, way, evicted, lineIdx, s, zero, dirty)
 }
 
 // placeL2 fills an acquired L2 miss slot, first cascading a dirty
 // victim downward from its slot (no line is copied through an
-// intermediate).
-func (h *Hierarchy) placeL2(slot int, evicted bool, lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
-	if evicted && h.l2.dirtyAt(slot) {
+// intermediate). hd/way are the slot's handles from acquireHdr; the
+// victim's writeback below touches only L3 and memory, so they stay
+// valid.
+func (h *Hierarchy) placeL2(slot int, hd *setHdr, way int, evicted bool, lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
+	bit := uint16(1) << uint(way)
+	if evicted && hd.dirty&bit != 0 {
 		h.l2.Stats.Writebacks++
-		if h.l2.zeroAt(slot) {
+		if hd.zero&bit != 0 {
 			h.writeBackL3(h.l2.tags[slot], &zeroSentinel, true, true)
 		} else {
 			h.writeBackL3(h.l2.tags[slot], &h.l2.lines[slot], false, true)
 		}
 	}
 	if zero {
-		h.l2.placeZero(slot, lineIdx, dirty)
+		h.l2.placeZeroHdr(slot, hd, way, lineIdx, dirty)
 	} else {
-		h.l2.place(slot, lineIdx, *s, dirty)
+		h.l2.placeHdr(slot, hd, way, lineIdx, s, dirty)
 	}
 }
 
 func (h *Hierarchy) writeBackL3(lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
-	slot, hit, evicted := h.l3.acquire(lineIdx)
+	slot, hd, way, hit, evicted := h.l3.acquireHdr(lineIdx)
 	if hit {
+		bit := uint16(1) << uint(way)
 		if zero {
-			h.l3.setZeroAt(slot)
+			hd.zero |= bit
 		} else {
-			h.l3.overwrite(slot, s)
+			hd.zero &^= bit
+			h.l3.lines[slot] = *s
 		}
 		if dirty {
-			h.l3.markDirty(slot)
+			hd.dirty |= bit
 		}
 		return
 	}
-	h.placeL3(slot, evicted, lineIdx, s, zero, dirty)
+	h.placeL3(slot, hd, way, evicted, lineIdx, s, zero, dirty)
 }
 
 // placeL3 mirrors placeL2 one level down.
-func (h *Hierarchy) placeL3(slot int, evicted bool, lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
-	if evicted && h.l3.dirtyAt(slot) {
+func (h *Hierarchy) placeL3(slot int, hd *setHdr, way int, evicted bool, lineIdx uint64, s *cacheline.Sentinel, zero, dirty bool) {
+	bit := uint16(1) << uint(way)
+	if evicted && hd.dirty&bit != 0 {
 		h.l3.Stats.Writebacks++
-		if h.l3.zeroAt(slot) {
-			h.mem.WriteLine(h.l3.tags[slot], zeroSentinel)
+		if hd.zero&bit != 0 {
+			h.mem.WriteZeroLine(h.l3.tags[slot])
 		} else {
 			h.mem.WriteLine(h.l3.tags[slot], h.l3.lines[slot])
 		}
 	}
 	if zero {
-		h.l3.placeZero(slot, lineIdx, dirty)
+		h.l3.placeZeroHdr(slot, hd, way, lineIdx, dirty)
 	} else {
-		h.l3.place(slot, lineIdx, *s, dirty)
+		h.l3.placeHdr(slot, hd, way, lineIdx, s, dirty)
 	}
 }
 
-// fetchSentinel finds the sentinel-format line below L1, returning it
-// (plus its zero-line flag) with the accumulated latency and deepest
-// level touched. The line is installed in L2 (and L3 on a memory
-// fetch) per write-allocate. Every level is probed with a single
-// combined hit-or-victim scan; the miss slots acquired up front stay
-// valid because traffic to the levels below never touches the
-// acquiring set, and the install order (L3 before L2, victims written
-// back before placement) is exactly the lookup-then-insert order the
-// two-pass implementation used.
-func (h *Hierarchy) fetchSentinel(lineIdx uint64) (cacheline.Sentinel, bool, int, int) {
+// fetchSentinel finds the sentinel-format line below L1, returning a
+// read-only pointer to it (plus its zero-line flag) with the
+// accumulated latency and deepest level touched. The line is
+// installed in L2 (and L3 on a memory fetch) per write-allocate, and
+// the returned pointer aliases either the canonical zero line or the
+// line's fresh L2 slot — callers must consume it (convert or copy)
+// before issuing any further hierarchy traffic, which could displace
+// it. Every level is probed with a single combined hit-or-victim
+// scan; the miss slots acquired up front stay valid because traffic
+// to the levels below never touches the acquiring set, and the
+// install order (L3 before L2, victims written back before placement)
+// is exactly the lookup-then-insert order the two-pass implementation
+// used.
+func (h *Hierarchy) fetchSentinel(lineIdx uint64) (*cacheline.Sentinel, bool, int, int) {
 	lat := h.cfg.L2.Latency + h.cfg.ExtraL2L3
-	l2slot, hit, l2evict := h.l2.acquire(lineIdx)
+	l2slot, l2hd, l2way, hit, l2evict := h.l2.acquireHdr(lineIdx)
 	if hit {
 		h.l2.Stats.Hits++
-		if h.l2.zeroAt(l2slot) {
-			return zeroSentinel, true, lat, LvlL2
+		if l2hd.zero&(1<<uint(l2way)) != 0 {
+			return &zeroSentinel, true, lat, LvlL2
 		}
-		return h.l2.lines[l2slot], false, lat, LvlL2
+		return &h.l2.lines[l2slot], false, lat, LvlL2
 	}
 	h.l2.Stats.Misses++
 	lat += h.cfg.L3.Latency + h.cfg.ExtraL2L3
-	l3slot, hit3, l3evict := h.l3.acquire(lineIdx)
+	l3slot, l3hd, l3way, hit3, l3evict := h.l3.acquireHdr(lineIdx)
 	if hit3 {
 		h.l3.Stats.Hits++
-		if h.l3.zeroAt(l3slot) {
-			h.placeL2(l2slot, l2evict, lineIdx, &zeroSentinel, true, false)
-			return zeroSentinel, true, lat, LvlL3
+		if l3hd.zero&(1<<uint(l3way)) != 0 {
+			h.placeL2(l2slot, l2hd, l2way, l2evict, lineIdx, &zeroSentinel, true, false)
+			return &zeroSentinel, true, lat, LvlL3
 		}
+		// Copy before placing: the L2 victim's writeback below may
+		// displace this very L3 slot.
 		s := h.l3.lines[l3slot]
-		h.placeL2(l2slot, l2evict, lineIdx, &s, false, false)
-		return s, false, lat, LvlL3
+		h.placeL2(l2slot, l2hd, l2way, l2evict, lineIdx, &s, false, false)
+		return &h.l2.lines[l2slot], false, lat, LvlL3
 	}
 	h.l3.Stats.Misses++
 	lat += h.cfg.MemLatency
 	s, resident := h.mem.ReadLineSparse(lineIdx)
-	zero := !resident
-	h.placeL3(l3slot, l3evict, lineIdx, &s, zero, false)
-	h.placeL2(l2slot, l2evict, lineIdx, &s, zero, false)
-	return s, zero, lat, LvlMem
+	if !resident {
+		h.placeL3(l3slot, l3hd, l3way, l3evict, lineIdx, &zeroSentinel, true, false)
+		h.placeL2(l2slot, l2hd, l2way, l2evict, lineIdx, &zeroSentinel, true, false)
+		return &zeroSentinel, true, lat, LvlMem
+	}
+	h.placeL3(l3slot, l3hd, l3way, l3evict, lineIdx, &s, false, false)
+	h.placeL2(l2slot, l2hd, l2way, l2evict, lineIdx, &s, false, false)
+	return &h.l2.lines[l2slot], false, lat, LvlMem
 }
 
 // spillL1Victim evicts the L1 line in the given slot, converting to
@@ -225,11 +254,14 @@ func (h *Hierarchy) fetchSentinel(lineIdx uint64) (cacheline.Sentinel, bool, int
 // Zero lines skip the conversion: the spill of an all-zero bitvector
 // line is the all-zero sentinel line.
 func (h *Hierarchy) spillL1Victim(slot int) {
-	dirty := h.l1.dirtyAt(slot)
+	set, way := h.l1.setWay(slot)
+	hd := &h.l1.hdrs[set]
+	bit := uint16(1) << uint(way)
+	dirty := hd.dirty&bit != 0
 	if dirty {
 		h.l1.Stats.Writebacks++
 	}
-	if h.l1.zeroAt(slot) {
+	if hd.zero&bit != 0 {
 		h.writeBackL2(h.l1.tags[slot], &zeroSentinel, true, dirty)
 		return
 	}
@@ -245,33 +277,47 @@ func (h *Hierarchy) spillL1Victim(slot int) {
 	h.writeBackL2(h.l1.tags[slot], &s, false, dirty)
 }
 
-// l1Entry returns the L1 slot for lineIdx, filling on a miss
-// (converting sentinel -> bitvector, Algorithm 2), with latency and
-// deepest level.
-func (h *Hierarchy) l1Entry(lineIdx uint64) (int, int, int) {
-	slot, hit, evicted := h.l1.acquire(lineIdx)
-	if hit {
-		h.l1.Stats.Hits++
-		return slot, h.cfg.L1.Latency, LvlL1
-	}
+// l1Fill completes an L1 miss for a slot acquired by the caller:
+// fetch the sentinel line from below, convert it (Algorithm 2), spill
+// the victim in place, and install. It returns the line's security
+// mask alongside the latency and deepest level, so fused callers can
+// run their violation check without re-deriving set/way. The fetched
+// line is consumed (converted) before the victim spill issues any
+// L2/L3 traffic; the spill-then-place order keeps replacement
+// behavior and stats identical to the historical insert-then-spill.
+func (h *Hierarchy) l1Fill(lineIdx uint64, slot int, hd *setHdr, way int, evicted bool) (cacheline.SecMask, int, int) {
 	h.l1.Stats.Misses++
 	s, zero, lat, lvl := h.fetchSentinel(lineIdx)
 	lat += h.cfg.L1.Latency
+	if zero {
+		if evicted {
+			h.spillL1Victim(slot)
+		}
+		h.l1.placeZeroHdr(slot, hd, way, lineIdx, false)
+		return 0, lat, lvl
+	}
+	filled := cacheline.Fill(*s)
 	if s.Califormed {
 		h.Stats.Fills++
 		lat += h.cfg.SpillFillLatency
 	}
-	// Spill the victim in place before overwriting its slot; the L2/L3
-	// traffic and the L1 recency advance exactly as insert-then-spill
-	// did, so replacement behavior and stats are identical.
 	if evicted {
 		h.spillL1Victim(slot)
 	}
-	if zero {
-		h.l1.placeZero(slot, lineIdx, false)
-	} else {
-		h.l1.place(slot, lineIdx, cacheline.Fill(s), false)
+	h.l1.placeHdr(slot, hd, way, lineIdx, &filled, false)
+	return filled.Mask, lat, lvl
+}
+
+// l1Entry returns the L1 slot for lineIdx, filling on a miss
+// (converting sentinel -> bitvector, Algorithm 2), with latency and
+// deepest level.
+func (h *Hierarchy) l1Entry(lineIdx uint64) (int, int, int) {
+	slot, hd, way, hit, evicted := h.l1.acquireHdr(lineIdx)
+	if hit {
+		h.l1.Stats.Hits++
+		return slot, h.cfg.L1.Latency, LvlL1
 	}
+	_, lat, lvl := h.l1Fill(lineIdx, slot, hd, way, evicted)
 	return slot, lat, lvl
 }
 
@@ -407,8 +453,34 @@ func (h *Hierarchy) storeCommit(addr uint64, data []byte) AccessResult {
 }
 
 // LoadTouch performs a load for timing purposes without materializing
-// the data. Violation semantics are identical to Load.
+// the data. Violation semantics are identical to Load. Single-line
+// accesses that hit L1 — the overwhelming majority of simulated ops —
+// take a fused fast path: one combined scan-and-touch resolves the
+// slot, and the violation check reads the metadata through the set
+// header already in hand instead of recomputing set/way per step.
 func (h *Hierarchy) LoadTouch(addr uint64, size int) AccessResult {
+	if off := int(addr & 63); off+size <= cacheline.Size {
+		lineIdx := addr >> 6
+		slot, hd, way, hit, evicted := h.l1.acquireHdr(lineIdx)
+		var mask cacheline.SecMask
+		lat, lvl := h.cfg.L1.Latency, LvlL1
+		if hit {
+			h.l1.Stats.Hits++
+			if hd.zero&(1<<uint(way)) == 0 {
+				mask = h.l1.lines[slot].Mask
+			}
+		} else {
+			mask, lat, lvl = h.l1Fill(lineIdx, slot, hd, way, evicted)
+		}
+		if mask != 0 {
+			if bad := violationAddr(mask, off, size); bad >= 0 {
+				h.Stats.Violations++
+				return AccessResult{Cycles: lat, Level: lvl,
+					Exc: &isa.Exception{Kind: isa.ExcLoad, Addr: addr&^63 + uint64(bad)}}
+			}
+		}
+		return AccessResult{Cycles: lat, Level: lvl}
+	}
 	var res AccessResult
 	for size > 0 {
 		lineIdx := addr >> 6
@@ -434,12 +506,36 @@ func (h *Hierarchy) LoadTouch(addr uint64, size int) AccessResult {
 
 // StoreTouch performs a store for timing purposes without writing
 // data: the line is allocated and dirtied, and violations are checked
-// exactly as Store does.
+// exactly as Store does. Like LoadTouch it fuses the single-line
+// L1-hit case into one scan-touch-check-dirty pass over the set
+// header.
 func (h *Hierarchy) StoreTouch(addr uint64, size int) AccessResult {
-	if int(addr&63)+size > cacheline.Size {
-		if res, bad := h.storePrecheck(addr, size); bad {
-			return res
+	if off := int(addr & 63); off+size <= cacheline.Size {
+		lineIdx := addr >> 6
+		slot, hd, way, hit, evicted := h.l1.acquireHdr(lineIdx)
+		bit := uint16(1) << uint(way)
+		var mask cacheline.SecMask
+		lat, lvl := h.cfg.L1.Latency, LvlL1
+		if hit {
+			h.l1.Stats.Hits++
+			if hd.zero&bit == 0 {
+				mask = h.l1.lines[slot].Mask
+			}
+		} else {
+			mask, lat, lvl = h.l1Fill(lineIdx, slot, hd, way, evicted)
 		}
+		if mask != 0 {
+			if bad := violationAddr(mask, off, size); bad >= 0 {
+				h.Stats.Violations++
+				return AccessResult{Cycles: lat, Level: lvl,
+					Exc: &isa.Exception{Kind: isa.ExcStore, Addr: addr&^63 + uint64(bad)}}
+			}
+		}
+		hd.dirty |= bit
+		return AccessResult{Cycles: lat, Level: lvl}
+	}
+	if res, bad := h.storePrecheck(addr, size); bad {
+		return res
 	}
 	var res AccessResult
 	for size > 0 {
@@ -491,7 +587,7 @@ func (h *Hierarchy) CForm(cf isa.CFORM) AccessResult {
 		s, zero, lat, lvl := h.fetchSentinel(lineIdx)
 		var bv cacheline.Bitvector
 		if !zero {
-			bv = cacheline.Fill(s)
+			bv = cacheline.Fill(*s)
 		}
 		if fault := bv.Caliform(cacheline.SecMask(cf.Attrs), cacheline.SecMask(cf.Mask)); fault >= 0 {
 			h.Stats.Violations++

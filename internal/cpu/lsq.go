@@ -171,9 +171,17 @@ func (q *LSQ) HasCForms() bool { return q.cforms > 0 }
 
 // Age advances program order by one instruction and retires entries
 // that have been in flight longer than the queue depth (they have
-// committed). Cores call it once per memory instruction.
+// committed). Cores call it once per memory instruction; the retire
+// loop lives in retireAged so the empty-queue case — all of a
+// touch-only simulation — inlines to one increment.
 func (q *LSQ) Age() {
 	q.seq++
+	if q.n > 0 {
+		q.retireAged()
+	}
+}
+
+func (q *LSQ) retireAged() {
 	for q.n > 0 && q.seq-q.buf[q.head].Seq >= uint64(q.Capacity) {
 		q.dropFront()
 	}

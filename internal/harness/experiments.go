@@ -43,6 +43,7 @@ func fig3Run(_ Params, pool *Pool) []Result {
 	pool.Map(len(profiles), func(i int) {
 		p := profiles[i]
 		h := layout.Densities(p.Generate(20000, 1))
+		sim.CountWork(uint64(h.Count))
 		labels := make([]string, 10)
 		vals := make([]float64, 10)
 		rows := make([][]string, 10)
@@ -92,6 +93,7 @@ func fig4Run(p Params, pool *Pool) []Result {
 }
 
 func table1Run(_ Params, _ *Pool) []Result {
+	sim.CountWork(2) // K-map rows rendered
 	return []Result{{
 		Kind:    KindTable,
 		Title:   "Table 1: CFORM instruction K-map (semantics verified by internal/cacheline tests)",
@@ -125,6 +127,7 @@ func table2Run(_ Params, _ *Pool) []Result {
 		fmt.Sprintf("%.0f", spill.AreaGE), fmt.Sprintf("%.2f", spill.DelayNs), fmt.Sprintf("%.2f", spill.PowerMW),
 		fmt.Sprintf("%.0f", ps.AreaGE), fmt.Sprintf("%.2f", ps.DelayNs), fmt.Sprintf("%.2f", ps.PowerMW)})
 	over := rows[1].Design.Over(rows[0].Design)
+	sim.CountWork(uint64(len(t.Rows))) // VLSI designs modeled
 	note := Result{
 		Kind: KindText,
 		Text: fmt.Sprintf("L1 overheads: area %.2f%% delay %.2f%% power %.2f%% (paper: 18.69%% / 1.85%% / 2.12%%)\n",
@@ -135,6 +138,7 @@ func table2Run(_ Params, _ *Pool) []Result {
 
 func table3Run(_ Params, _ *Pool) []Result {
 	cfg := cache.Westmere()
+	sim.CountWork(5) // configuration rows rendered
 	return []Result{{
 		Kind:    KindTable,
 		Title:   "Table 3: simulated system configuration",
@@ -272,6 +276,7 @@ func table4Run(_ Params, _ *Pool) []Result {
 	for _, r := range stats.Table4() {
 		t.Rows = append(t.Rows, []string{r.Name, r.Granularity, r.IntraObject, r.BinaryComp, r.Temporal})
 	}
+	sim.CountWork(uint64(len(t.Rows)))
 	return []Result{t}
 }
 
@@ -284,6 +289,7 @@ func table5Run(_ Params, _ *Pool) []Result {
 	for _, r := range stats.Table5() {
 		t.Rows = append(t.Rows, []string{r.Name, r.MetadataOverhead, r.MemoryOverhead, r.PerfOverhead, r.MainOperations})
 	}
+	sim.CountWork(uint64(len(t.Rows)))
 	return []Result{t}
 }
 
@@ -296,6 +302,7 @@ func table6Run(_ Params, _ *Pool) []Result {
 	for _, r := range stats.Table6() {
 		t.Rows = append(t.Rows, []string{r.Name, r.CoreMods, r.CacheTLB, r.Memory, r.Software})
 	}
+	sim.CountWork(uint64(len(t.Rows)))
 	return []Result{t}
 }
 
@@ -318,6 +325,7 @@ func table7Run(_ Params, _ *Pool) []Result {
 			areaOvh, delayOvh,
 			fmt.Sprintf("%.0f", paper[i].AreaGE), fmt.Sprintf("%.2f", paper[i].DelayNs)})
 	}
+	sim.CountWork(uint64(len(t.Rows)))
 	return []Result{t}
 }
 
@@ -353,9 +361,11 @@ func securityRun(_ Params, pool *Pool) []Result {
 		guessText += fmt.Sprintf("  n=%d: %.3e\n", n, g)
 	}
 
-	// The two BROP campaigns are independent Monte Carlo units.
+	// The two BROP campaigns are independent Monte Carlo units; each
+	// runs 50 trial campaigns with a 200-crash budget.
 	crashes := make([]float64, 2)
 	pool.Map(2, func(i int) {
+		sim.CountWork(50 * 200)
 		if i == 0 {
 			crashes[0] = attack.ExpectedBROPCrashes(4, 7, false, 200, 50, 1)
 		} else {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"sync"
+
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -82,10 +84,67 @@ type MatrixResult struct {
 	Runs [][][]sim.Result
 }
 
-// Run expands the matrix and executes every unit on the pool. Each
-// unit is an independent, deterministically seeded sim.Run; results
-// land in coordinate-addressed slots, so the fold is identical at any
-// worker count.
+// visits returns the effective per-unit visit count, mirroring
+// sim.Run's default so scripts are captured for the same region.
+func (m Matrix) visits() int {
+	if m.Visits > 0 {
+		return m.Visits
+	}
+	return 100_000
+}
+
+// traceKey is the full determinant set of a cell's op stream: the op
+// sequence a cell's kernel and allocator emit is a pure function of
+// the benchmark, the instrumented layouts (policy, pad bounds, layout
+// seed) and the heap configuration — and of nothing else. Cells with
+// equal keys emit byte-identical streams; machine configuration
+// (hierarchy latencies, core parameters) consumes the stream without
+// influencing it, so it stays out of the key. Pad and seed fields are
+// normalized to zero for the uninstrumented baseline, whose layouts
+// ignore them — that is what lets a policy-free configuration column
+// (e.g. Figure 10's +1-cycle machine) share the baseline's capture.
+type traceKey struct {
+	bench                    int
+	policy                   sim.PolicyChoice
+	minPad, maxPad, fixedPad int
+	layoutSeed               int64
+	useCForm                 bool
+	// unique de-shares cells whose stream the key cannot vouch for
+	// (heap-config overrides); 0 for groupable cells.
+	unique int
+}
+
+func (m Matrix) traceKey(i int, cell Cell) traceKey {
+	rc := m.Config(cell)
+	if rc.Heap != nil {
+		return traceKey{unique: i + 1}
+	}
+	k := traceKey{bench: cell.Bench, policy: rc.Policy}
+	if rc.Policy != sim.PolicyNone {
+		k.minPad, k.maxPad, k.fixedPad = rc.MinPad, rc.MaxPad, rc.FixedPad
+		k.layoutSeed = rc.LayoutSeed
+		k.useCForm = rc.UseCForm
+	}
+	return k
+}
+
+// disableReplay switches Matrix.Run to one independent sim.Run per
+// cell, the original engine. It is the referee hook: equivalence
+// tests run both paths and require byte-identical results.
+var disableReplay = false
+
+// Run expands the matrix and executes every unit on the pool through
+// the capture/replay engine: each benchmark's kernel decision script
+// is captured once and shared by every cell; cells are grouped by
+// trace key; and each multi-cell group — machine variants of one op
+// stream, including the baseline column when it shares one — runs as
+// a single generation pass whose batches are multicast to every
+// sibling machine, so the kernel, the allocator and the batch
+// construction are paid once per stream instead of once per cell
+// (sim.RunFanout). Singleton groups run the shared script directly.
+// Group tasks are scheduled on the pool's work-stealing deques;
+// results land in coordinate-addressed slots and are bit-identical to
+// independent per-cell runs at any worker count.
 func (m Matrix) Run(pool *Pool) MatrixResult {
 	res := MatrixResult{Matrix: m, Base: make([]sim.Result, len(m.Benches))}
 	res.Runs = make([][][]sim.Result, len(m.Benches))
@@ -96,15 +155,69 @@ func (m Matrix) Run(pool *Pool) MatrixResult {
 		}
 	}
 	cells := m.Cells()
-	pool.Map(len(cells), func(i int) {
-		cell := cells[i]
-		r := sim.Run(m.Benches[cell.Bench], m.Config(cell))
+	store := func(cell Cell, r sim.Result) {
 		if cell.Config < 0 {
 			res.Base[cell.Bench] = r
 		} else {
 			res.Runs[cell.Bench][cell.Config][cell.Seed] = r
 		}
-	})
+	}
+	if disableReplay {
+		pool.Map(len(cells), func(i int) {
+			store(cells[i], sim.Run(m.Benches[cells[i].Bench], m.Config(cells[i])))
+		})
+		return res
+	}
+
+	// One decision script per benchmark, captured on first use and
+	// shared read-only by every cell of that benchmark.
+	scripts := make([]*workload.Script, len(m.Benches))
+	once := make([]sync.Once, len(m.Benches))
+	script := func(b int) *workload.Script {
+		once[b].Do(func() { scripts[b] = sim.CaptureScript(m.Benches[b], m.visits()) })
+		return scripts[b]
+	}
+
+	// Group cells by trace key, preserving canonical cell order within
+	// and across groups (the first cell of a group is its capture).
+	type group struct{ cells []int }
+	index := make(map[traceKey]*group)
+	var groups []*group
+	for i, cell := range cells {
+		k := m.traceKey(i, cell)
+		if g, ok := index[k]; ok {
+			g.cells = append(g.cells, i)
+			continue
+		}
+		g := &group{cells: []int{i}}
+		index[k] = g
+		groups = append(groups, g)
+	}
+
+	tasks := make([]Task, len(groups))
+	for gi, g := range groups {
+		g := g
+		tasks[gi] = func(func(Task)) {
+			first := cells[g.cells[0]]
+			spec := m.Benches[first.Bench]
+			sc := script(first.Bench)
+			if len(g.cells) == 1 {
+				store(first, sim.RunScripted(spec, m.Config(first), sc, nil))
+				return
+			}
+			// Multi-cell group: one generation pass feeds every sibling
+			// machine (kernel, allocator and batch construction run
+			// once; each flushed batch is multicast to all cores).
+			rcs := make([]sim.RunConfig, len(g.cells))
+			for i, ci := range g.cells {
+				rcs[i] = m.Config(cells[ci])
+			}
+			for i, r := range sim.RunFanout(spec, rcs, sc) {
+				store(cells[g.cells[i]], r)
+			}
+		}
+	}
+	pool.Run(tasks)
 	return res
 }
 

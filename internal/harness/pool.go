@@ -5,9 +5,12 @@ import (
 	"sync"
 )
 
-// Pool is a fixed-width goroutine worker pool. Experiments shard
-// their run units over it with Map; unit results are written to
-// index-addressed slots, so scheduling order never leaks into output.
+// Pool is a fixed-width worker pool with a work-stealing shard
+// scheduler. Experiments shard their run units over it with Map; the
+// capture/replay engine submits shard Tasks that spawn follow-up work
+// (a captured trace fanning out to its sibling configurations) with
+// Run. Unit results are written to index-addressed slots, so
+// scheduling order never leaks into output.
 type Pool struct {
 	workers int
 }
@@ -24,6 +27,123 @@ func NewPool(workers int) *Pool {
 // Workers reports the pool width.
 func (p *Pool) Workers() int { return p.workers }
 
+// Task is one schedulable unit. It may spawn follow-up tasks, which
+// land on the spawning worker's own deque (depth-first, keeping
+// freshly produced state hot) and are stolen by idle workers, so
+// spawned work still spreads across the pool.
+type Task func(spawn func(Task))
+
+// sched is the shared state of one Run invocation: one deque per
+// worker plus an outstanding-task count for termination. Tasks are
+// coarse (a whole simulation cell), so a single mutex is uncontended
+// in practice; owners pop their deque LIFO for locality, thieves
+// steal FIFO so the oldest (largest) shards migrate first.
+type sched struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	deques      [][]Task
+	outstanding int
+}
+
+func (s *sched) push(w int, t Task) {
+	s.mu.Lock()
+	s.outstanding++
+	s.deques[w] = append(s.deques[w], t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// next pops the worker's own deque, stealing on empty. It returns nil
+// only when every task has finished.
+func (s *sched) next(w int) Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if d := s.deques[w]; len(d) > 0 {
+			t := d[len(d)-1]
+			s.deques[w] = d[:len(d)-1]
+			return t
+		}
+		for i := 1; i < len(s.deques); i++ {
+			v := w + i
+			if v >= len(s.deques) {
+				v -= len(s.deques)
+			}
+			if d := s.deques[v]; len(d) > 0 {
+				t := d[0]
+				s.deques[v] = d[1:]
+				return t
+			}
+		}
+		if s.outstanding == 0 {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *sched) done() {
+	s.mu.Lock()
+	s.outstanding--
+	finished := s.outstanding == 0
+	s.mu.Unlock()
+	if finished {
+		s.cond.Broadcast()
+	}
+}
+
+// Run executes the tasks — and everything they spawn — across the
+// pool and returns when all have finished. With one worker, tasks run
+// sequentially in submission order, spawned work depth-first, which is
+// also the degenerate scheduling every multi-worker run is equivalent
+// to output-wise.
+func (p *Pool) Run(tasks []Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	// The full pool width is spun up even when the initial task list
+	// is shorter: tasks may spawn follow-up work, and a worker idled
+	// by a short list parks on the condition variable until spawns
+	// arrive or the run drains.
+	workers := p.workers
+	if workers <= 1 {
+		var stack []Task
+		spawn := func(t Task) { stack = append(stack, t) }
+		for _, t := range tasks {
+			t(spawn)
+			for len(stack) > 0 {
+				n := len(stack) - 1
+				st := stack[n]
+				stack = stack[:n]
+				st(spawn)
+			}
+		}
+		return
+	}
+	s := &sched{deques: make([][]Task, workers), outstanding: len(tasks)}
+	s.cond = sync.NewCond(&s.mu)
+	for i, t := range tasks {
+		s.deques[i%workers] = append(s.deques[i%workers], t)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			spawn := func(t Task) { s.push(w, t) }
+			for {
+				t := s.next(w)
+				if t == nil {
+					return
+				}
+				t(spawn)
+				s.done()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // Map runs f(0..n-1) across the pool and returns when all calls have
 // finished. f must write its result to an index-addressed location;
 // invocation order is unspecified.
@@ -31,30 +151,10 @@ func (p *Pool) Map(n int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := p.workers
-	if workers > n {
-		workers = n
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(func(Task)) { f(i) }
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
+	p.Run(tasks)
 }

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fig10StyleMatrix mirrors fig10's shape: one machine-only variant
+// column against the default baseline.
+func fig10StyleMatrix() Matrix {
+	slow := cache.Westmere()
+	slow.ExtraL2L3 = 1
+	return Matrix{
+		Benches: workload.Fig10Set()[:2],
+		Configs: []sim.RunConfig{{Policy: sim.PolicyNone, Hier: &slow}},
+		Visits:  100,
+	}
+}
+
+// fig4StyleMatrix mirrors fig4's shape: fixed-pad layout columns.
+func fig4StyleMatrix() Matrix {
+	return Matrix{
+		Benches: workload.Fig10Set()[:2],
+		Configs: []sim.RunConfig{
+			{Policy: sim.PolicyFull, FixedPad: 1},
+			{Policy: sim.PolicyFull, FixedPad: 2},
+		},
+		Visits: 100,
+	}
+}
+
+// emitAll runs every registry experiment at small parameters and
+// renders the full report in every format, concatenated.
+func emitAll(t *testing.T, p Params, pool *Pool) []byte {
+	t.Helper()
+	var results []Result
+	for _, e := range Experiments() {
+		results = append(results, Run(e, p, pool)...)
+	}
+	var buf bytes.Buffer
+	for _, format := range []string{"text", "json", "csv"} {
+		em, err := NewEmitter(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := em.Emit(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReplayEngineMatchesDirectRuns is the referee of the trace
+// capture/replay engine: for every registry experiment, the default
+// path (shared decision scripts, trace-key grouping, multicast
+// fan-out of captured streams) must produce byte-identical emitter
+// output to one independent sim.Run per cell — in every format, at
+// several worker counts.
+func TestReplayEngineMatchesDirectRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry twice")
+	}
+	p := Params{Visits: 300, Seeds: 2}
+
+	disableReplay = true
+	direct := emitAll(t, p, NewPool(2))
+	disableReplay = false
+
+	for _, workers := range []int{1, 3} {
+		replayed := emitAll(t, p, NewPool(workers))
+		if !bytes.Equal(direct, replayed) {
+			t.Fatalf("replay engine output diverges from direct runs at %d workers", workers)
+		}
+	}
+}
+
+// TestTraceKeyGrouping pins the grouping semantics: baseline and
+// machine-only variants share a stream; anything that changes layouts
+// or allocator behavior does not.
+func TestTraceKeyGrouping(t *testing.T) {
+	var m Matrix
+	keyOf := func(cell Cell) traceKey { return m.traceKey(0, cell) }
+
+	// fig10 shape: one PolicyNone column with a hierarchy override
+	// must group with the baseline.
+	m = fig10StyleMatrix()
+	if keyOf(Cell{Bench: 0, Config: -1}) != keyOf(Cell{Bench: 0, Config: 0}) {
+		t.Fatal("hierarchy-only variant must share the baseline trace key")
+	}
+	if keyOf(Cell{Bench: 0, Config: -1}) == keyOf(Cell{Bench: 1, Config: -1}) {
+		t.Fatal("different benchmarks must never share a trace key")
+	}
+
+	// fig4 shape: pad columns change layouts, so every column is its
+	// own group.
+	m = fig4StyleMatrix()
+	if keyOf(Cell{Bench: 0, Config: 0}) == keyOf(Cell{Bench: 0, Config: 1}) {
+		t.Fatal("different pad sizes must not share a trace key")
+	}
+	if keyOf(Cell{Bench: 0, Config: -1}) == keyOf(Cell{Bench: 0, Config: 0}) {
+		t.Fatal("a policied column must not share the baseline's key")
+	}
+
+	// Seed replicas randomize layouts differently.
+	m.Seeds = 2
+	if keyOf(Cell{Bench: 0, Config: 0, Seed: 0}) == keyOf(Cell{Bench: 0, Config: 0, Seed: 1}) {
+		t.Fatal("different layout-seed replicas must not share a trace key")
+	}
+}
+
+// TestPoolRunSpawn exercises the work-stealing scheduler: tasks spawn
+// follow-up tasks, everything completes at every worker count.
+func TestPoolRunSpawn(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		done := make([]bool, 64)
+		var tasks []Task
+		for i := 0; i < 8; i++ {
+			i := i
+			tasks = append(tasks, func(spawn func(Task)) {
+				done[i*8] = true
+				for j := 1; j < 8; j++ {
+					j := j
+					spawn(func(func(Task)) { done[i*8+j] = true })
+				}
+			})
+		}
+		NewPool(workers).Run(tasks)
+		for i, d := range done {
+			if !d {
+				t.Fatalf("workers=%d: task %d never ran", workers, i)
+			}
+		}
+	}
+}

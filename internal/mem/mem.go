@@ -61,9 +61,14 @@ func (m *Memory) ReadLine(lineIdx uint64) cacheline.Sentinel {
 // ReadLineSparse is ReadLine plus a residency flag: resident reports
 // whether the line is materialized in DRAM. A non-resident line is
 // the canonical zero line, which lets the hierarchy skip all payload
-// movement for it.
+// movement for it. Touch-driven simulations never materialize data,
+// so the common case is an empty line map; skip the hash (and the
+// zero-value construction) outright then.
 func (m *Memory) ReadLineSparse(lineIdx uint64) (s cacheline.Sentinel, resident bool) {
 	m.Stats.LineReads++
+	if len(m.lines) == 0 {
+		return s, false
+	}
 	s, resident = m.lines[lineIdx]
 	return s, resident
 }
@@ -77,6 +82,17 @@ func (m *Memory) WriteLine(lineIdx uint64, s cacheline.Sentinel) {
 		return
 	}
 	m.lines[lineIdx] = s
+}
+
+// WriteZeroLine stores the canonical zero (non-califormed) line —
+// the fast form of WriteLine for writebacks whose source level
+// already tracks the line as zero, skipping the 64-byte content
+// compare. The map stays sparse: any materialized copy is dropped.
+func (m *Memory) WriteZeroLine(lineIdx uint64) {
+	m.Stats.LineWrites++
+	if len(m.lines) != 0 {
+		delete(m.lines, lineIdx)
+	}
 }
 
 // Footprint returns the number of distinct lines currently resident.

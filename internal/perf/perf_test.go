@@ -1,7 +1,9 @@
 package perf
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/harness"
@@ -19,11 +21,18 @@ func TestMeasureCountsSimOps(t *testing.T) {
 	if fig10.Name != "fig10" || fig10.SimOps == 0 || fig10.OpsPerSec <= 0 {
 		t.Fatalf("fig10 measurement did not count sim ops: %+v", fig10)
 	}
-	if table3 := r.Experiments[1]; table3.SimOps != 0 {
-		t.Fatalf("table3 is not a simulation but counted %d ops", table3.SimOps)
+	table3 := r.Experiments[1]
+	if table3.SimOps == 0 {
+		t.Fatal("table3 must declare its work units (v2: no experiment reports sim_ops 0)")
 	}
-	if r.TotalOps != fig10.SimOps {
-		t.Fatalf("total ops %d, want %d", r.TotalOps, fig10.SimOps)
+	if r.TotalOps != fig10.SimOps+table3.SimOps {
+		t.Fatalf("total ops %d, want %d", r.TotalOps, fig10.SimOps+table3.SimOps)
+	}
+	if got := fig10.SetupCPUSeconds + fig10.SimCPUSeconds + fig10.CaptureCPUSeconds + fig10.ReplayCPUSeconds; got != fig10.CPUSeconds {
+		t.Fatalf("cpu_seconds %v is not the sum of its stages %v", fig10.CPUSeconds, got)
+	}
+	if fig10.CaptureCPUSeconds <= 0 {
+		t.Fatalf("fig10 runs through the capture engine; capture stage unmeasured: %+v", fig10)
 	}
 
 	// sim_ops must be deterministic: it is what the CI gate uses to
@@ -62,8 +71,8 @@ func TestCompareGates(t *testing.T) {
 		return Report{
 			Schema: Schema, Visits: 100, Seeds: 1, Workers: 2,
 			Experiments: []Measurement{
-				{Name: "figA", SimOps: 1000, OpsPerSec: rateA},
-				{Name: "figB", SimOps: 2000, OpsPerSec: rateB},
+				{Name: "figA", SimOps: 1000, OpsPerSec: rateA, WallSeconds: 1},
+				{Name: "figB", SimOps: 2000, OpsPerSec: rateB, WallSeconds: 1},
 			},
 			TotalOps:       3000,
 			TotalOpsPerSec: (rateA + rateB) / 2,
@@ -117,6 +126,15 @@ func TestCompareGates(t *testing.T) {
 	if regs := compare(cur); len(regs) != 0 {
 		t.Fatalf("unknown experiments must be skipped: %v", regs)
 	}
+	// Sub-threshold wall times are too noisy to rate-gate; sim_ops
+	// equality still applies to them.
+	cur = mk(30, 100)
+	cur.Experiments[0].WallSeconds = 0.001
+	for _, r := range compare(cur) {
+		if r.Name == "figA" && r.Unit != "sim ops" {
+			t.Fatalf("sub-threshold wall must not rate-gate: %v", r)
+		}
+	}
 	// Parameter mismatch is an error, never a vacuous pass.
 	bad := mk(100, 100)
 	bad.Visits = 999
@@ -127,5 +145,44 @@ func TestCompareGates(t *testing.T) {
 	bad.Workers = 7
 	if _, err := Compare(base, bad, 20); err == nil {
 		t.Fatal("workers mismatch must error")
+	}
+}
+
+func TestDiffTable(t *testing.T) {
+	old := Report{Schema: Schema, Experiments: []Measurement{
+		{Name: "fig4", OpsPerSec: 100, WallSeconds: 2.0},
+	}, TotalOpsPerSec: 100, TotalWallSeconds: 2.0}
+	cur := Report{Schema: Schema, Experiments: []Measurement{
+		{Name: "fig4", OpsPerSec: 150, WallSeconds: 1.4, CaptureCPUSeconds: 0.9, ReplayCPUSeconds: 0.3},
+		{Name: "fig99", OpsPerSec: 10, WallSeconds: 0.1},
+	}, TotalOpsPerSec: 140, TotalWallSeconds: 1.5}
+
+	rows := Diff(old, cur)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want fig4+fig99+total", len(rows))
+	}
+	if rows[0].Name != "fig4" || rows[0].RatePct() < 49.9 || rows[0].RatePct() > 50.1 {
+		t.Fatalf("fig4 delta wrong: %+v", rows[0])
+	}
+	if rows[1].Name != "fig99" || rows[1].OldRate != 0 {
+		t.Fatalf("new experiment must carry no old rate: %+v", rows[1])
+	}
+	if rows[2].Name != "total" {
+		t.Fatalf("last row must be the total: %+v", rows[2])
+	}
+
+	md := FormatDiff(old, cur)
+	if !strings.Contains(md, "| fig4 |") || !strings.Contains(md, "+50.0%") || !strings.Contains(md, "| total |") {
+		t.Fatalf("markdown table incomplete:\n%s", md)
+	}
+}
+
+func TestReadRejectsV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"califorms-bench-perf/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("v1 reports must be rejected with a regenerate hint")
 	}
 }

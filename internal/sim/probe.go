@@ -6,29 +6,42 @@ import (
 )
 
 // The probe is the measurement hook behind internal/perf: while
-// enabled, every Run accumulates its simulated-instruction count and
-// its per-stage wall cost (machine/layout setup vs. workload
-// simulation) into atomic counters. The hook costs two atomic loads
-// per Run when disabled — nothing per simulated op — so it never
-// perturbs the hot path it measures.
+// enabled, every Run/RunScripted/RunReplayed accumulates its
+// simulated-instruction count and its per-stage CPU cost into atomic
+// counters. Stages are: machine/layout setup, direct or scripted
+// kernel simulation, recording capture (a scripted run teeing its op
+// stream into a trace.Recording), and recording replay. The hook
+// costs two atomic loads per run when disabled — nothing per
+// simulated op — so it never perturbs the hot path it measures.
 var probe struct {
-	enabled atomic.Bool
-	ops     atomic.Uint64
-	setupNs atomic.Int64
-	simNs   atomic.Int64
+	enabled   atomic.Bool
+	ops       atomic.Uint64
+	setupNs   atomic.Int64
+	simNs     atomic.Int64
+	captureNs atomic.Int64
+	replayNs  atomic.Int64
 }
 
 // ProbeTotals is one measurement window's accumulated cost. Stage
-// seconds are CPU-seconds summed across parallel workers, so they can
-// exceed the wall time of the window.
+// seconds are summed across parallel workers (each worker's wall
+// presence inside the stage, which equals CPU time unless the pool is
+// oversubscribed), so their sum can exceed the wall time of the
+// window; the window's wall time is the true critical path and is
+// measured by the caller.
 type ProbeTotals struct {
-	// Ops is the total number of simulated instructions retired.
+	// Ops is the total work performed: simulated instructions retired
+	// in the measured region for simulation runs, plus work units
+	// declared via CountWork by non-simulating experiments.
 	Ops uint64
 	// SetupSeconds covers machine construction and layout
-	// instrumentation; SimSeconds the workload kernel (heap population
-	// plus the measured steady-state region).
-	SetupSeconds float64
-	SimSeconds   float64
+	// instrumentation. SimSeconds covers direct/scripted kernel
+	// execution that was not captured; CaptureSeconds covers scripted
+	// runs that recorded their op stream; ReplaySeconds covers runs
+	// served from a recording.
+	SetupSeconds   float64
+	SimSeconds     float64
+	CaptureSeconds float64
+	ReplaySeconds  float64
 }
 
 // StartProbe zeroes the counters and enables accumulation.
@@ -36,6 +49,8 @@ func StartProbe() {
 	probe.ops.Store(0)
 	probe.setupNs.Store(0)
 	probe.simNs.Store(0)
+	probe.captureNs.Store(0)
+	probe.replayNs.Store(0)
 	probe.enabled.Store(true)
 }
 
@@ -43,9 +58,29 @@ func StartProbe() {
 func StopProbe() ProbeTotals {
 	probe.enabled.Store(false)
 	return ProbeTotals{
-		Ops:          probe.ops.Load(),
-		SetupSeconds: float64(probe.setupNs.Load()) / 1e9,
-		SimSeconds:   float64(probe.simNs.Load()) / 1e9,
+		Ops:            probe.ops.Load(),
+		SetupSeconds:   float64(probe.setupNs.Load()) / 1e9,
+		SimSeconds:     float64(probe.simNs.Load()) / 1e9,
+		CaptureSeconds: float64(probe.captureNs.Load()) / 1e9,
+		ReplaySeconds:  float64(probe.replayNs.Load()) / 1e9,
+	}
+}
+
+// CountWork adds n work units to the probe window. Experiments that
+// perform no machine simulation (layout corpus generation, VLSI
+// models, the analytic security tables) declare their deterministic
+// work volume through it, so the perf report carries a meaningful,
+// gateable rate for every experiment instead of sim_ops: 0.
+func CountWork(n uint64) {
+	if probe.enabled.Load() {
+		probe.ops.Add(n)
+	}
+}
+
+// probeOps accumulates a finished run's measured-region instructions.
+func probeOps(n uint64) {
+	if probe.enabled.Load() {
+		probe.ops.Add(n)
 	}
 }
 

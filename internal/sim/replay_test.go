@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// configsUnderTest spans the run-configuration space the sweeps use:
+// baseline, hierarchy variant, and each policy with and without CFORM.
+func configsUnderTest() []RunConfig {
+	slow := cache.Westmere()
+	slow.ExtraL2L3 = 1
+	return []RunConfig{
+		{Policy: PolicyNone, Visits: 400},
+		{Policy: PolicyNone, Visits: 400, Hier: &slow},
+		{Policy: PolicyFull, FixedPad: 3, Visits: 400},
+		{Policy: PolicyFull, MinPad: 1, MaxPad: 5, UseCForm: true, Visits: 400},
+		{Policy: PolicyOpportunistic, UseCForm: true, Visits: 400},
+		{Policy: PolicyIntelligent, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: 400},
+	}
+}
+
+// TestRunScriptedMatchesRun: the scripted engine is results-identical
+// to the direct engine for every configuration shape.
+func TestRunScriptedMatchesRun(t *testing.T) {
+	spec, _ := workload.ByName("gobmk")
+	for i, rc := range configsUnderTest() {
+		direct := Run(spec, rc)
+		sc := CaptureScript(spec, rc.Visits)
+		scripted := RunScripted(spec, rc, sc, nil)
+		if direct != scripted {
+			t.Errorf("config %d: scripted result diverges\ndirect:   %+v\nscripted: %+v", i, direct, scripted)
+		}
+	}
+}
+
+// TestRunReplayedMatchesCapture: a recording captured by RunScripted
+// replays into a fresh machine with a byte-identical Result.
+func TestRunReplayedMatchesCapture(t *testing.T) {
+	spec, _ := workload.ByName("sjeng")
+	for i, rc := range configsUnderTest() {
+		sc := CaptureScript(spec, rc.Visits)
+		rec := trace.NewRecording(0)
+		captured := RunScripted(spec, rc, sc, rec)
+		replayed := RunReplayed(spec.Name, rc, rec)
+		if captured != replayed {
+			t.Errorf("config %d: replayed result diverges\ncaptured: %+v\nreplayed: %+v", i, captured, replayed)
+		}
+	}
+}
+
+// TestRunFanoutMatchesIndependentRuns: a fan-out group over
+// stream-equal configurations produces exactly the per-cell results of
+// independent runs — the property Matrix.Run's grouping rests on.
+func TestRunFanoutMatchesIndependentRuns(t *testing.T) {
+	spec, _ := workload.ByName("astar")
+	slow := cache.Westmere()
+	slow.ExtraL2L3 = 1
+	tiny := cache.Westmere()
+	tiny.L1.Size = 16 << 10
+	rcs := []RunConfig{
+		{Policy: PolicyNone, Visits: 500},
+		{Policy: PolicyNone, Visits: 500, Hier: &slow},
+		{Policy: PolicyNone, Visits: 500, Hier: &tiny},
+	}
+	sc := CaptureScript(spec, 500)
+	group := RunFanout(spec, rcs, sc)
+	if len(group) != len(rcs) {
+		t.Fatalf("got %d results, want %d", len(group), len(rcs))
+	}
+	for i, rc := range rcs {
+		independent := Run(spec, rc)
+		if group[i] != independent {
+			t.Errorf("config %d: fan-out result diverges\nindependent: %+v\nfan-out:     %+v", i, independent, group[i])
+		}
+	}
+	// The variants must actually differ from each other — otherwise
+	// the test could pass with the multicast feeding one machine.
+	if group[0].Cycles == group[1].Cycles || group[0].L1MissRate == group[2].L1MissRate {
+		t.Fatalf("sibling machines look identical; multicast is not feeding them independently: %+v", group)
+	}
+}

@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/cache"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/layout"
 	"repro/internal/mem"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -103,10 +105,14 @@ func (r Result) IPC() float64 {
 	return float64(r.Instructions) / r.Cycles
 }
 
-// Run executes one workload under one configuration on a fresh
-// machine and returns its metrics. Runs are deterministic.
-func Run(spec workload.Spec, rc RunConfig) Result {
-	t := probeStart()
+// machine bundles one freshly built simulated machine.
+type machine struct {
+	hier *cache.Hierarchy
+	core *cpu.Core
+}
+
+// buildMachine constructs the hierarchy and core of one run.
+func buildMachine(rc RunConfig) machine {
 	hierCfg := cache.Westmere()
 	if rc.Hier != nil {
 		hierCfg = *rc.Hier
@@ -116,8 +122,11 @@ func Run(spec workload.Spec, rc RunConfig) Result {
 		coreCfg = *rc.Core
 	}
 	hier := cache.New(hierCfg, mem.New())
-	core := cpu.New(coreCfg, hier)
+	return machine{hier: hier, core: cpu.New(coreCfg, hier)}
+}
 
+// buildHeap constructs the run's allocator over the given op sink.
+func buildHeap(rc RunConfig, sink trace.Sink) *alloc.Heap {
 	heapCfg := alloc.DefaultConfig()
 	heapCfg.UseCForm = rc.UseCForm && rc.Policy != PolicyNone
 	// Performance experiments use the dirty-before-use protocol: it
@@ -129,8 +138,11 @@ func Run(spec workload.Spec, rc RunConfig) Result {
 	if rc.Heap != nil {
 		heapCfg = *rc.Heap
 	}
-	heap := alloc.New(heapCfg, core)
+	return alloc.New(heapCfg, sink)
+}
 
+// instrument builds the run's instrumented type layouts.
+func instrument(spec workload.Spec, rc RunConfig) []*compiler.Instrumented {
 	defs := spec.Types()
 	ins := make([]*compiler.Instrumented, len(defs))
 	lr := rand.New(rand.NewSource(rc.LayoutSeed ^ spec.Seed))
@@ -142,8 +154,36 @@ func Run(spec workload.Spec, rc RunConfig) Result {
 		cfg := layout.PolicyConfig{MinPad: rc.MinPad, MaxPad: rc.MaxPad, FixedPad: rc.FixedPad, Rand: lr}
 		ins[i] = compiler.Instrument(defs[i], rc.Policy.layoutPolicy(), cfg)
 	}
+	return ins
+}
 
-	env := &workload.Env{Core: core, Heap: heap, Ins: ins}
+// result folds a finished machine (and the run's heap footprint) into
+// the exported record.
+func (m machine) result(name string, heapBytes uint64) Result {
+	return Result{
+		Benchmark:    name,
+		Cycles:       m.core.Cycles(),
+		Instructions: m.core.Stats.Instructions,
+		CForms:       m.core.Stats.CForms,
+		HeapBytes:    heapBytes,
+		L1MissRate:   m.hier.L1Stats().MissRate(),
+		L2MissRate:   m.hier.L2Stats().MissRate(),
+		L3MissRate:   m.hier.L3Stats().MissRate(),
+		Exceptions:   m.core.Stats.Delivered,
+		Suppressed:   m.core.Stats.Suppressed,
+		Spills:       m.hier.Stats.Spills,
+		Fills:        m.hier.Stats.Fills,
+	}
+}
+
+// Run executes one workload under one configuration on a fresh
+// machine and returns its metrics. Runs are deterministic.
+func Run(spec workload.Spec, rc RunConfig) Result {
+	t := probeStart()
+	m := buildMachine(rc)
+	heap := buildHeap(rc, m.core)
+	ins := instrument(spec, rc)
+	env := &workload.Env{Core: m.core, Heap: heap, Ins: ins}
 	visits := rc.Visits
 	if visits <= 0 {
 		visits = 100_000
@@ -151,22 +191,144 @@ func Run(spec workload.Spec, rc RunConfig) Result {
 	t = probeStage(t, &probe.setupNs)
 	spec.Run(env, visits)
 	probeStage(t, &probe.simNs)
-	if probe.enabled.Load() {
-		probe.ops.Add(core.Stats.Instructions)
-	}
+	probeOps(m.core.Stats.Instructions)
+	r := m.result(spec.Name, heap.Footprint())
+	m.hier.Release()
+	return r
+}
 
-	return Result{
-		Benchmark:    spec.Name,
-		Cycles:       core.Cycles(),
-		Instructions: core.Stats.Instructions,
-		CForms:       core.Stats.CForms,
-		HeapBytes:    heap.Footprint(),
-		L1MissRate:   hier.L1Stats().MissRate(),
-		L2MissRate:   hier.L2Stats().MissRate(),
-		L3MissRate:   hier.L3Stats().MissRate(),
-		Exceptions:   core.Stats.Delivered,
-		Suppressed:   core.Stats.Suppressed,
-		Spills:       hier.Stats.Spills,
-		Fills:        hier.Stats.Fills,
+// CaptureScript resolves a benchmark's kernel decision stream for the
+// given visit count (see workload.Script), charging the cost to the
+// probe's capture stage. The harness captures one script per benchmark
+// per sweep and shares it across every configuration cell.
+func CaptureScript(spec workload.Spec, visits int) *workload.Script {
+	t := probeStart()
+	sc := spec.CaptureScript(visits)
+	probeStage(t, &probe.captureNs)
+	return sc
+}
+
+// RunScripted executes one workload cell from a pre-captured decision
+// script (see workload.Script): machine setup and layouts are built
+// from rc exactly as Run does, but the kernel replays the script
+// instead of re-drawing its decisions. When rec is non-nil the full op
+// stream — kernel and allocator ops in program order — is captured
+// into it along with the measurement boundary and heap footprint, so
+// sibling configurations with an identical stream can be served by
+// RunReplayed. Results are identical to Run for the same (spec, rc).
+func RunScripted(spec workload.Spec, rc RunConfig, sc *workload.Script, rec *trace.Recording) Result {
+	t := probeStart()
+	m := buildMachine(rc)
+	env := &workload.Env{Core: m.core, Ins: instrument(spec, rc)}
+	if rec != nil {
+		env.Sink = rec.Record(m.core)
+		env.ResetHook = rec.MarkReset
 	}
+	env.Heap = buildHeap(rc, env.SinkOrCore())
+	t = probeStage(t, &probe.setupNs)
+	spec.RunScripted(env, sc)
+	if rec != nil {
+		rec.SetHeapBytes(env.Heap.Footprint())
+		probeStage(t, &probe.captureNs)
+	} else {
+		probeStage(t, &probe.simNs)
+	}
+	probeOps(m.core.Stats.Instructions)
+	r := m.result(spec.Name, env.Heap.Footprint())
+	m.hier.Release()
+	return r
+}
+
+// RunFanout executes a whole trace-key group — sibling configurations
+// whose op streams provably coincide — in a single pass: the script
+// drives one kernel and one allocator, and every flushed batch is
+// multicast to each sibling's fresh machine in order. Semantically
+// each machine consumes exactly the op stream an independent run
+// would have fed it, so per-cell results are byte-identical to Run;
+// mechanically the kernel, the allocator and the batch construction
+// are paid once for N machines. rcs[0] is the capture configuration
+// (it also parameterizes the shared heap; stream-equal siblings have
+// equal heap configurations by definition of the trace key).
+func RunFanout(spec workload.Spec, rcs []RunConfig, sc *workload.Script) []Result {
+	t := probeStart()
+	machines := make([]machine, len(rcs))
+	sinks := make([]trace.BatchSink, len(rcs))
+	for i, rc := range rcs {
+		machines[i] = buildMachine(rc)
+		sinks[i] = machines[i].core
+	}
+	mc := trace.NewMulticast(probe.enabled.Load(), sinks...)
+	env := &workload.Env{
+		Core: machines[0].core,
+		Heap: buildHeap(rcs[0], mc),
+		Ins:  instrument(spec, rcs[0]),
+		Sink: mc,
+		// The kernel resets the primary machine at the measurement
+		// boundary; the hook extends the reset to every sibling.
+		ResetHook: func() {
+			for _, m := range machines[1:] {
+				m.core.ResetTiming()
+				m.hier.ResetStats()
+			}
+		},
+	}
+	t = probeStage(t, &probe.setupNs)
+	spec.RunScripted(env, sc)
+	if !t.IsZero() {
+		// The fan-out pass generates once and feeds N machines; the
+		// siblings' dispatch share is replay cost, the rest (kernel,
+		// allocator, primary machine) is capture cost.
+		sib := int64(mc.SiblingSeconds() * 1e9)
+		probe.replayNs.Add(sib)
+		passNs := int64(time.Since(t))
+		if passNs > sib {
+			probe.captureNs.Add(passNs - sib)
+		}
+	}
+	out := make([]Result, len(rcs))
+	for i, m := range machines {
+		out[i] = m.result(spec.Name, env.Heap.Footprint())
+		m.hier.Release()
+	}
+	probeOps(totalOps(out))
+	return out
+}
+
+// totalOps sums the measured-region instruction counts of a fan-out
+// group's results.
+func totalOps(rs []Result) uint64 {
+	var n uint64
+	for _, r := range rs {
+		n += r.Instructions
+	}
+	return n
+}
+
+// RunReplayed executes one workload cell purely from a recorded op
+// stream: the machine is built from rc (hierarchy and core overrides
+// apply), the recording is streamed through the batched dispatch path,
+// and timing resets at the recorded measurement boundary. Neither the
+// kernel nor the allocator runs. For any configuration whose op
+// stream matches the capture run's, the returned Result is
+// byte-identical to a direct Run.
+func RunReplayed(name string, rc RunConfig, rec *trace.Recording) Result {
+	t := probeStart()
+	m := buildMachine(rc)
+	b := trace.NewBatch(trace.DefaultBatchCap)
+	t = probeStage(t, &probe.setupNs)
+	boundary := rec.ResetAt()
+	if boundary < 0 {
+		boundary = rec.Len()
+	}
+	rec.ReplayRange(m.core, b, 0, boundary)
+	if rec.ResetAt() >= 0 {
+		m.core.ResetTiming()
+		m.hier.ResetStats()
+	}
+	rec.ReplayRange(m.core, b, boundary, rec.Len())
+	probeStage(t, &probe.replayNs)
+	probeOps(m.core.Stats.Instructions)
+	r := m.result(name, rec.HeapBytes())
+	m.hier.Release()
+	return r
 }

@@ -48,33 +48,63 @@ func (b *Batch) Ops() []Op { return b.ops }
 // Append adds a raw op.
 func (b *Batch) Append(o Op) { b.ops = append(b.ops, o) }
 
+// next extends the batch by one recycled slot and returns it. Within
+// capacity this is a length bump — no zeroing, no copy — so appenders
+// write only the fields their op kind defines; stale fields of other
+// kinds remain, which is why Op consumers read kind-directed.
+func (b *Batch) next() *Op {
+	n := len(b.ops)
+	if n < cap(b.ops) {
+		b.ops = b.ops[:n+1]
+	} else {
+		b.ops = append(b.ops, Op{})
+	}
+	return &b.ops[n]
+}
+
 // The appenders below make *Batch a buffering trace.Sink, so any
 // op producer written against Sink can transparently emit into a
 // batch instead.
 
 // NonMem buffers n non-memory instructions.
-func (b *Batch) NonMem(n uint32) { b.ops = append(b.ops, Op{Kind: NonMem, Count: n}) }
+func (b *Batch) NonMem(n uint32) {
+	o := b.next()
+	o.Kind = NonMem
+	o.Count = n
+}
 
 // Load buffers a load op.
 func (b *Batch) Load(addr uint64, size int, dependent bool) {
-	b.ops = append(b.ops, Op{Kind: Load, Addr: addr, Size: uint16(size), Dependent: dependent})
+	o := b.next()
+	o.Kind = Load
+	o.Addr = addr
+	o.Size = uint16(size)
+	o.Dependent = dependent
 }
 
 // Store buffers a store op.
 func (b *Batch) Store(addr uint64, size int) {
-	b.ops = append(b.ops, Op{Kind: Store, Addr: addr, Size: uint16(size)})
+	o := b.next()
+	o.Kind = Store
+	o.Addr = addr
+	o.Size = uint16(size)
 }
 
 // CForm buffers a CFORM op.
 func (b *Batch) CForm(cf isa.CFORM) {
-	b.ops = append(b.ops, Op{Kind: CForm, Addr: cf.Base, Attrs: cf.Attrs, Mask: cf.Mask, NT: cf.NonTemporal})
+	o := b.next()
+	o.Kind = CForm
+	o.Addr = cf.Base
+	o.Attrs = cf.Attrs
+	o.Mask = cf.Mask
+	o.NT = cf.NonTemporal
 }
 
 // WhitelistEnter buffers a whitelisted-region entry.
-func (b *Batch) WhitelistEnter() { b.ops = append(b.ops, Op{Kind: WhitelistEnter}) }
+func (b *Batch) WhitelistEnter() { b.next().Kind = WhitelistEnter }
 
 // WhitelistExit buffers a whitelisted-region exit.
-func (b *Batch) WhitelistExit() { b.ops = append(b.ops, Op{Kind: WhitelistExit}) }
+func (b *Batch) WhitelistExit() { b.next().Kind = WhitelistExit }
 
 var _ Sink = (*Batch)(nil)
 

@@ -1,0 +1,291 @@
+package trace
+
+import "repro/internal/isa"
+
+// Recording is a compact, append-only capture of an op stream in
+// struct-of-arrays form: a workload's op stream is recorded once
+// (through Record) and can then be fed to any number of fresh
+// machines (through Replay) without re-running the kernel or the
+// allocator that produced it. It is the engine's persistence layer —
+// replay across passes, sim.RunReplayed, and the equivalence
+// referees are built on it — while sibling cells that run inside one
+// sweep pass share their stream live through Multicast instead,
+// which skips the capture and decode work entirely.
+//
+// The encoding is columnar: one tag byte per op (kind plus the
+// Dependent/NT flags), one 64-bit argument per op (the address of a
+// memory op, the count of a NonMem op), and one size byte per op;
+// CFORM attribute/mask words live in side arrays indexed in CFORM
+// order. Steady state is ~10 bytes per op, and appends amortize to
+// zero allocations once the backing arrays have grown to the stream
+// length, so a Recording can be reused across captures via Reset.
+type Recording struct {
+	tags  []uint8
+	args  []uint64
+	sizes []uint8
+	// attrs/masks hold the CForm payloads, consumed positionally.
+	attrs []uint64
+	masks []uint64
+	// resetAt is the op index of the measurement boundary recorded by
+	// MarkReset (-1: none). Ops before it are warmup (heap population);
+	// replayers reset timing and statistics when they reach it.
+	resetAt int
+	// heapBytes carries the capture run's final heap footprint, which a
+	// replayed machine (which has no allocator) reports as its own.
+	heapBytes uint64
+}
+
+// Tag-byte layout: low 3 bits Kind, bit 3 Dependent, bit 4 NT.
+const (
+	tagKindMask  = 0x07
+	tagDependent = 0x08
+	tagNT        = 0x10
+)
+
+// NewRecording returns an empty recording with capacity for n ops
+// (sized in advance when the stream length is roughly known).
+func NewRecording(n int) *Recording {
+	if n < 0 {
+		n = 0
+	}
+	return &Recording{
+		tags:    make([]uint8, 0, n),
+		args:    make([]uint64, 0, n),
+		sizes:   make([]uint8, 0, n),
+		resetAt: -1,
+	}
+}
+
+// Len returns the number of recorded ops.
+func (r *Recording) Len() int { return len(r.tags) }
+
+// Bytes returns the approximate memory footprint of the recorded
+// stream (payload arrays only).
+func (r *Recording) Bytes() int {
+	return len(r.tags) + 8*len(r.args) + len(r.sizes) + 16*len(r.attrs)
+}
+
+// Reset empties the recording for reuse, keeping the backing arrays.
+func (r *Recording) Reset() {
+	r.tags = r.tags[:0]
+	r.args = r.args[:0]
+	r.sizes = r.sizes[:0]
+	r.attrs = r.attrs[:0]
+	r.masks = r.masks[:0]
+	r.resetAt = -1
+	r.heapBytes = 0
+}
+
+// MarkReset records the measurement boundary at the current position:
+// a replayer resets timing and cache statistics after replaying the
+// ops recorded so far, exactly where the capture run did.
+func (r *Recording) MarkReset() { r.resetAt = len(r.tags) }
+
+// ResetAt returns the recorded measurement boundary (-1 if none).
+func (r *Recording) ResetAt() int { return r.resetAt }
+
+// SetHeapBytes stores the capture run's heap footprint.
+func (r *Recording) SetHeapBytes(n uint64) { r.heapBytes = n }
+
+// HeapBytes returns the capture run's heap footprint.
+func (r *Recording) HeapBytes() uint64 { return r.heapBytes }
+
+// The appenders below make *Recording a trace.Sink, so it can sit
+// anywhere a consumer does; the harness instead records through Record
+// so ops reach the timing core and the recording in one pass.
+
+// NonMem records n non-memory instructions.
+func (r *Recording) NonMem(n uint32) {
+	r.tags = append(r.tags, uint8(NonMem))
+	r.args = append(r.args, uint64(n))
+	r.sizes = append(r.sizes, 0)
+}
+
+// Load records a load op.
+func (r *Recording) Load(addr uint64, size int, dependent bool) {
+	t := uint8(Load)
+	if dependent {
+		t |= tagDependent
+	}
+	r.tags = append(r.tags, t)
+	r.args = append(r.args, addr)
+	r.sizes = append(r.sizes, uint8(size))
+}
+
+// Store records a store op.
+func (r *Recording) Store(addr uint64, size int) {
+	r.tags = append(r.tags, uint8(Store))
+	r.args = append(r.args, addr)
+	r.sizes = append(r.sizes, uint8(size))
+}
+
+// CForm records a CFORM op.
+func (r *Recording) CForm(cf isa.CFORM) {
+	t := uint8(CForm)
+	if cf.NonTemporal {
+		t |= tagNT
+	}
+	r.tags = append(r.tags, t)
+	r.args = append(r.args, cf.Base)
+	r.sizes = append(r.sizes, 0)
+	r.attrs = append(r.attrs, cf.Attrs)
+	r.masks = append(r.masks, cf.Mask)
+}
+
+// WhitelistEnter records a whitelisted-region entry.
+func (r *Recording) WhitelistEnter() {
+	r.tags = append(r.tags, uint8(WhitelistEnter))
+	r.args = append(r.args, 0)
+	r.sizes = append(r.sizes, 0)
+}
+
+// WhitelistExit records a whitelisted-region exit.
+func (r *Recording) WhitelistExit() {
+	r.tags = append(r.tags, uint8(WhitelistExit))
+	r.args = append(r.args, 0)
+	r.sizes = append(r.sizes, 0)
+}
+
+// Append records a raw op.
+func (r *Recording) Append(o Op) { r.AppendOps([]Op{o}) }
+
+// AppendOps records a run of raw ops in one column-wise pass — the
+// batched capture path, called once per flushed batch. Fields a kind
+// does not define are recorded as canonical zeros even when the
+// recycled batch slot carries stale values, so two recordings of the
+// same op stream are byte-equal.
+func (r *Recording) AppendOps(ops []Op) {
+	for i := range ops {
+		o := &ops[i]
+		t := uint8(o.Kind)
+		var arg uint64
+		var size uint8
+		switch o.Kind {
+		case NonMem:
+			arg = uint64(o.Count)
+		case Load:
+			arg, size = o.Addr, uint8(o.Size)
+			if o.Dependent {
+				t |= tagDependent
+			}
+		case Store:
+			arg, size = o.Addr, uint8(o.Size)
+		case CForm:
+			arg = o.Addr
+			if o.NT {
+				t |= tagNT
+			}
+			r.attrs = append(r.attrs, o.Attrs)
+			r.masks = append(r.masks, o.Mask)
+		}
+		r.tags = append(r.tags, t)
+		r.args = append(r.args, arg)
+		r.sizes = append(r.sizes, size)
+	}
+}
+
+var _ Sink = (*Recording)(nil)
+
+// tee forwards every op to the wrapped sink while appending it to the
+// recording. It preserves the batched fast path: a flushed batch is
+// appended to the recording in one array pass and handed to the
+// wrapped sink as a whole batch.
+type tee struct {
+	rec  *Recording
+	sink Sink
+}
+
+// Record returns a Sink that captures every op into r while
+// forwarding it to s. If s implements BatchSink the tee does too, so
+// batched producers keep their batched dispatch.
+func (r *Recording) Record(s Sink) Sink {
+	if bs, ok := s.(BatchSink); ok {
+		return &batchTee{tee{rec: r, sink: s}, bs}
+	}
+	return &tee{rec: r, sink: s}
+}
+
+func (t *tee) NonMem(n uint32) { t.rec.NonMem(n); t.sink.NonMem(n) }
+func (t *tee) Load(addr uint64, size int, dependent bool) {
+	t.rec.Load(addr, size, dependent)
+	t.sink.Load(addr, size, dependent)
+}
+func (t *tee) Store(addr uint64, size int) { t.rec.Store(addr, size); t.sink.Store(addr, size) }
+func (t *tee) CForm(cf isa.CFORM)          { t.rec.CForm(cf); t.sink.CForm(cf) }
+func (t *tee) WhitelistEnter()             { t.rec.WhitelistEnter(); t.sink.WhitelistEnter() }
+func (t *tee) WhitelistExit()              { t.rec.WhitelistExit(); t.sink.WhitelistExit() }
+
+type batchTee struct {
+	tee
+	bs BatchSink
+}
+
+// RunBatch appends the whole batch to the recording, then forwards it
+// for batched dispatch.
+func (t *batchTee) RunBatch(b *Batch) {
+	t.rec.AppendOps(b.Ops())
+	t.bs.RunBatch(b)
+}
+
+var (
+	_ Sink      = (*tee)(nil)
+	_ BatchSink = (*batchTee)(nil)
+)
+
+// ReplayRange streams the recorded ops [lo, hi) to s through the
+// batched dispatch path, refilling b (a caller-provided scratch batch,
+// allocated here when nil) in capacity-sized chunks and flushing each.
+// The replay loop allocates nothing when b is reused across calls.
+func (r *Recording) ReplayRange(s BatchSink, b *Batch, lo, hi int) {
+	if b == nil {
+		b = NewBatch(DefaultBatchCap)
+	}
+	// cfi is the running CFORM side-array cursor; count the CForms
+	// before lo so a split replay stays aligned.
+	cfi := 0
+	for i := 0; i < lo; i++ {
+		if Kind(r.tags[i]&tagKindMask) == CForm {
+			cfi++
+		}
+	}
+	for i := lo; i < hi; {
+		end := i + (b.Cap() - b.Len())
+		if end > hi {
+			end = hi
+		}
+		for ; i < end; i++ {
+			t := r.tags[i]
+			o := b.next()
+			switch Kind(t & tagKindMask) {
+			case NonMem:
+				o.Kind = NonMem
+				o.Count = uint32(r.args[i])
+			case Load:
+				o.Kind = Load
+				o.Addr = r.args[i]
+				o.Size = uint16(r.sizes[i])
+				o.Dependent = t&tagDependent != 0
+			case Store:
+				o.Kind = Store
+				o.Addr = r.args[i]
+				o.Size = uint16(r.sizes[i])
+			case CForm:
+				o.Kind = CForm
+				o.Addr = r.args[i]
+				o.Attrs = r.attrs[cfi]
+				o.Mask = r.masks[cfi]
+				o.NT = t&tagNT != 0
+				cfi++
+			case WhitelistEnter:
+				o.Kind = WhitelistEnter
+			case WhitelistExit:
+				o.Kind = WhitelistExit
+			}
+		}
+		Flush(b, s)
+	}
+}
+
+// Replay streams the whole recorded op stream to s. Callers that need
+// the measurement boundary use ResetAt and ReplayRange directly.
+func (r *Recording) Replay(s BatchSink) { r.ReplayRange(s, nil, 0, r.Len()) }

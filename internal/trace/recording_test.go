@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// recLog records dispatched ops for comparison.
+type recLog struct {
+	ops []Op
+}
+
+func (l *recLog) NonMem(n uint32) { l.ops = append(l.ops, Op{Kind: NonMem, Count: n}) }
+func (l *recLog) Load(addr uint64, size int, dependent bool) {
+	l.ops = append(l.ops, Op{Kind: Load, Addr: addr, Size: uint16(size), Dependent: dependent})
+}
+func (l *recLog) Store(addr uint64, size int) {
+	l.ops = append(l.ops, Op{Kind: Store, Addr: addr, Size: uint16(size)})
+}
+func (l *recLog) CForm(cf isa.CFORM) {
+	l.ops = append(l.ops, Op{Kind: CForm, Addr: cf.Base, Attrs: cf.Attrs, Mask: cf.Mask, NT: cf.NonTemporal})
+}
+func (l *recLog) WhitelistEnter() { l.ops = append(l.ops, Op{Kind: WhitelistEnter}) }
+func (l *recLog) WhitelistExit()  { l.ops = append(l.ops, Op{Kind: WhitelistExit}) }
+
+// recBatchLog is recLog with a batched path, counting batch deliveries.
+type recBatchLog struct {
+	recLog
+	batches int
+}
+
+func (l *recBatchLog) RunBatch(b *Batch) {
+	l.batches++
+	Replay(b.Ops(), &l.recLog)
+}
+
+// emit drives a sink through one op of every kind, twice.
+func emit(s Sink) {
+	for i := 0; i < 2; i++ {
+		s.NonMem(7)
+		s.Load(0x1000, 8, false)
+		s.Load(0x2040, 4, true)
+		s.Store(0x3000, 2)
+		s.CForm(isa.CFORM{Base: 0x4000, Attrs: 0xff, Mask: 0xf0f0, NonTemporal: i == 1})
+		s.WhitelistEnter()
+		s.WhitelistExit()
+	}
+}
+
+// TestRecordingRoundTrip: ops recorded through the tee replay exactly,
+// and the tee forwards them unchanged to the wrapped sink.
+func TestRecordingRoundTrip(t *testing.T) {
+	var direct recLog
+	emit(&direct)
+
+	rec := NewRecording(0)
+	var forwarded recLog
+	emit(rec.Record(&forwarded))
+
+	if !reflect.DeepEqual(forwarded.ops, direct.ops) {
+		t.Fatalf("tee altered the forwarded stream:\n%v\nwant\n%v", forwarded.ops, direct.ops)
+	}
+	if rec.Len() != len(direct.ops) {
+		t.Fatalf("recorded %d ops, want %d", rec.Len(), len(direct.ops))
+	}
+
+	var replayed recBatchLog
+	rec.Replay(&replayed)
+	if !reflect.DeepEqual(replayed.ops, direct.ops) {
+		t.Fatalf("replay diverges:\n%v\nwant\n%v", replayed.ops, direct.ops)
+	}
+}
+
+// TestRecordingBatchedCapture: a batched producer teeing through
+// Record yields the same recording as per-op capture, and the tee
+// preserves the batched fast path.
+func TestRecordingBatchedCapture(t *testing.T) {
+	perOp := NewRecording(0)
+	emit(perOp)
+
+	batched := NewRecording(0)
+	var sink recBatchLog
+	tee := batched.Record(&sink)
+	b := NewBatch(4)
+	emit(b) // 14 ops through a capacity-4 batch (appending past Full grows it)
+	Flush(b, tee)
+	if sink.batches == 0 {
+		t.Fatal("tee must preserve the batched dispatch path")
+	}
+	var a, c recBatchLog
+	perOp.Replay(&a)
+	batched.Replay(&c)
+	if !reflect.DeepEqual(a.ops, c.ops) {
+		t.Fatalf("batched capture diverges from per-op capture:\n%v\nwant\n%v", c.ops, a.ops)
+	}
+}
+
+// TestRecordingSplitReplay: ReplayRange around the reset boundary
+// covers the stream exactly once, with CFORM side arrays staying
+// aligned across the split.
+func TestRecordingSplitReplay(t *testing.T) {
+	rec := NewRecording(0)
+	emit(rec)
+	rec.MarkReset()
+	emit(rec)
+
+	var whole, split recBatchLog
+	rec.Replay(&whole)
+	b := NewBatch(0)
+	rec.ReplayRange(&split, b, 0, rec.ResetAt())
+	rec.ReplayRange(&split, b, rec.ResetAt(), rec.Len())
+	if !reflect.DeepEqual(split.ops, whole.ops) {
+		t.Fatalf("split replay diverges:\n%v\nwant\n%v", split.ops, whole.ops)
+	}
+	if rec.ResetAt() != rec.Len()/2 {
+		t.Fatalf("reset boundary %d, want %d", rec.ResetAt(), rec.Len()/2)
+	}
+}
+
+// TestRecordingReset: a reused recording carries nothing over.
+func TestRecordingReset(t *testing.T) {
+	rec := NewRecording(0)
+	emit(rec)
+	rec.MarkReset()
+	rec.SetHeapBytes(12345)
+	rec.Reset()
+	if rec.Len() != 0 || rec.ResetAt() != -1 || rec.HeapBytes() != 0 {
+		t.Fatalf("reset left state behind: len=%d resetAt=%d heap=%d", rec.Len(), rec.ResetAt(), rec.HeapBytes())
+	}
+	rec.Store(0x10, 8)
+	var l recBatchLog
+	rec.Replay(&l)
+	if len(l.ops) != 1 || l.ops[0].Kind != Store {
+		t.Fatalf("reused recording replays wrong stream: %v", l.ops)
+	}
+}
+
+// discard is a BatchSink that consumes batches with no side effects,
+// so benchmarks measure only the recording paths.
+type discard struct{ n int }
+
+func (d *discard) NonMem(uint32)          { d.n++ }
+func (d *discard) Load(uint64, int, bool) { d.n++ }
+func (d *discard) Store(uint64, int)      { d.n++ }
+func (d *discard) CForm(isa.CFORM)        { d.n++ }
+func (d *discard) WhitelistEnter()        { d.n++ }
+func (d *discard) WhitelistExit()         { d.n++ }
+func (d *discard) RunBatch(b *Batch)      { d.n += b.Len() }
+
+// BenchmarkRecordingAppend measures the steady-state capture path:
+// appending a mixed op stream to a warmed recording. It must not
+// allocate.
+func BenchmarkRecordingAppend(b *testing.B) {
+	rec := NewRecording(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Reset()
+		for j := 0; j < 1024; j++ {
+			rec.Store(uint64(j)<<6, 8)
+			rec.NonMem(4)
+			rec.Load(uint64(j)<<6, 8, false)
+		}
+	}
+	if a := testing.AllocsPerRun(10, func() {
+		rec.Reset()
+		rec.Store(0x40, 8)
+		rec.NonMem(4)
+	}); a != 0 {
+		b.Fatalf("steady-state append allocates %v times per run", a)
+	}
+}
+
+// BenchmarkRecordingReplay measures the replay path: streaming a
+// recorded op stream through the batched dispatch into a sink. With a
+// reused scratch batch it must not allocate.
+func BenchmarkRecordingReplay(b *testing.B) {
+	rec := NewRecording(0)
+	for j := 0; j < 4096; j++ {
+		rec.Store(uint64(j)<<6, 8)
+		rec.NonMem(4)
+		rec.Load(uint64(j)<<6, 8, true)
+	}
+	var sink discard
+	scratch := NewBatch(0)
+	b.ReportAllocs()
+	b.SetBytes(int64(rec.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.ReplayRange(&sink, scratch, 0, rec.Len())
+	}
+	b.StopTimer()
+	if a := testing.AllocsPerRun(10, func() {
+		rec.ReplayRange(&sink, scratch, 0, rec.Len())
+	}); a != 0 {
+		b.Fatalf("replay with a reused scratch batch allocates %v times per run", a)
+	}
+}

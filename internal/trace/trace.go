@@ -27,16 +27,21 @@ const (
 	WhitelistExit
 )
 
-// Op is one trace record.
+// Op is one trace record. Fields other than Kind are meaningful only
+// for the kinds annotated below; consumers must read fields
+// kind-directed (batch buffers recycle op slots and leave fields of
+// other kinds stale rather than paying a full-struct clear per
+// append). The field order packs the struct tightly — it is on the
+// hot path of every batched producer.
 type Op struct {
-	Kind      Kind
 	Addr      uint64
-	Size      uint16
-	Count     uint32 // NonMem only
-	Dependent bool   // Load only
 	Attrs     uint64 // CForm only
 	Mask      uint64 // CForm only
-	NT        bool   // CForm only: non-temporal variant
+	Count     uint32 // NonMem only
+	Size      uint16
+	Kind      Kind
+	Dependent bool // Load only
+	NT        bool // CForm only: non-temporal variant
 }
 
 // CFORM converts a CForm op into its architectural form.

@@ -131,6 +131,23 @@ type Env struct {
 	// steady-state region (the paper's SimPoint methodology); the
 	// caches stay warm across the boundary.
 	MeasureSetup bool
+	// Sink, when set, receives the kernel's op stream instead of Core.
+	// The capture/replay engine points it at a recording tee wrapped
+	// around the core; the heap must be built over the same sink so
+	// allocator ops are captured in program order.
+	Sink trace.Sink
+	// ResetHook, when set, is invoked at the steady-state measurement
+	// boundary, right after timing and cache statistics reset. The
+	// capture engine uses it to mark the boundary in the recording.
+	ResetHook func()
+}
+
+// SinkOrCore returns the op destination: Sink when set, else the core.
+func (e *Env) SinkOrCore() trace.Sink {
+	if e.Sink != nil {
+		return e.Sink
+	}
+	return e.Core
 }
 
 // Run executes `visits` object visits of the kernel on env. The same
