@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	califorms-bench -exp fig3|fig4|fig10|fig11|fig12|table1..table7|security|ablations|all
+//	califorms-bench -exp fig3|fig4|fig10|fig11|fig12|table1..table7|security|ablations|
+//	                     mix2|mix4|rate4|rate8|all — or a comma list with globs,
+//	                     e.g. -exp 'fig4,mix*' (mix sweeps alongside figures in one run)
 //	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv] [-list]
 //	califorms-bench -perf [-exp ...] [-perf-out BENCH_califorms.json]
 //	                [-perf-baseline BENCH_califorms.json] [-perf-gate 15]
@@ -37,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path"
 	"strings"
 	"time"
 
@@ -44,22 +47,58 @@ import (
 	"repro/internal/perf"
 )
 
+// expNames resolves the -exp flag: a comma-separated list of registry
+// names, globs (path.Match syntax, e.g. 'mix*' or 'fig1?') and the
+// word "all", expanded in the order given — globs and "all" in
+// canonical registry order — with duplicates dropped.
 func expNames(exp string) ([]string, error) {
-	if exp == "all" {
-		var names []string
-		for _, e := range harness.Experiments() {
-			names = append(names, e.Name)
+	var names []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
 		}
-		return names, nil
 	}
-	if _, ok := harness.Get(exp); !ok {
-		return nil, fmt.Errorf("unknown experiment %q (have: %s, all)", exp, strings.Join(harness.Names(), ", "))
+	for _, pat := range strings.Split(exp, ",") {
+		pat = strings.TrimSpace(pat)
+		switch {
+		case pat == "":
+			continue
+		case pat == "all":
+			for _, e := range harness.Experiments() {
+				add(e.Name)
+			}
+		case strings.ContainsAny(pat, "*?["):
+			matched := false
+			for _, e := range harness.Experiments() {
+				ok, err := path.Match(pat, e.Name)
+				if err != nil {
+					return nil, fmt.Errorf("bad -exp pattern %q: %v", pat, err)
+				}
+				if ok {
+					add(e.Name)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("-exp pattern %q matches no experiment (have: %s)", pat, strings.Join(harness.Names(), ", "))
+			}
+		default:
+			if _, ok := harness.Get(pat); !ok {
+				return nil, fmt.Errorf("unknown experiment %q (have: %s, all)", pat, strings.Join(harness.Names(), ", "))
+			}
+			add(pat)
+		}
 	}
-	return []string{exp}, nil
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-exp %q selects no experiments", exp)
+	}
+	return names, nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (see -list, or 'all')")
+	exp := flag.String("exp", "all", "experiments to run: comma list of names and globs (see -list), or 'all'")
 	visits := flag.Int("visits", 30000, "steady-state object visits per benchmark run")
 	seeds := flag.Int("seeds", 1, "layout randomizations averaged per configuration (paper: 3)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")

@@ -64,42 +64,74 @@ type HierStats struct {
 	Violations uint64
 }
 
-// Hierarchy is the three-level cache model in front of main memory.
-// It is single-core and not safe for concurrent use, matching the
-// paper's single-threaded SPEC evaluation.
+// Hierarchy is the cache model of one core in front of main memory:
+// a private L1 and L2, plus an L3 that is either private (cache.New,
+// the paper's single-threaded SPEC evaluation) or shared with other
+// cores (NewShared, the multicore model). Not safe for concurrent
+// use; a shared L3's cores must be advanced on one goroutine.
 type Hierarchy struct {
 	cfg Config
 	l1  *level[cacheline.Bitvector]
 	l2  *level[cacheline.Sentinel]
-	l3  *level[cacheline.Sentinel]
-	mem *mem.Memory
+	// l3 and mem alias shared's level and memory: the hot paths below
+	// read them without an indirection through the SharedL3.
+	l3     *level[cacheline.Sentinel]
+	mem    *mem.Memory
+	shared *SharedL3
+	ownL3  bool
+	coreID int
+	// l3pc points at this core's accounting slot in the shared L3.
+	l3pc *LevelStats
 
 	Stats HierStats
 }
 
-// New builds a hierarchy over the given memory. Level backing arrays
-// come from a recycling pool; short-lived hierarchies (one per sweep
-// unit) should hand them back with Release once their statistics have
-// been read.
+// New builds a single-core hierarchy over the given memory, with a
+// private L3. Level backing arrays come from a recycling pool;
+// short-lived hierarchies (one per sweep unit) should hand them back
+// with Release once their statistics have been read.
 func New(cfg Config, m *mem.Memory) *Hierarchy {
+	h := NewShared(cfg, NewSharedL3(cfg.L3, m, 1), 0)
+	h.ownL3 = true
+	return h
+}
+
+// NewShared builds one core's private L1/L2 hierarchy attached to an
+// existing shared L3 (which also supplies the main memory). coreID
+// selects the core's accounting slot in the shared L3; the L3
+// geometry of cfg is ignored in favor of the shared level's.
+func NewShared(cfg Config, l3 *SharedL3, coreID int) *Hierarchy {
 	return &Hierarchy{
-		cfg: cfg,
-		l1:  newLevel(cfg.L1, &bitvectorArrays),
-		l2:  newLevel(cfg.L2, &sentinelArrays),
-		l3:  newLevel(cfg.L3, &sentinelArrays),
-		mem: m,
+		cfg:    cfg,
+		l1:     newLevel(cfg.L1, &bitvectorArrays),
+		l2:     newLevel(cfg.L2, &sentinelArrays),
+		l3:     l3.l3,
+		mem:    l3.mem,
+		shared: l3,
+		coreID: coreID,
+		l3pc:   &l3.perCore[coreID],
 	}
 }
 
 // Release returns the hierarchy's level arrays to the recycling pool.
-// The hierarchy must not be used afterwards; callers that keep
+// A private L3 (cache.New) is released along with L1/L2; a shared L3
+// is left alone — its owner releases it once every attached core is
+// done. The hierarchy must not be used afterwards; callers that keep
 // machines alive (examples, interactive tools) simply never call it.
 func (h *Hierarchy) Release() {
 	bitvectorArrays.put(h.l1)
 	sentinelArrays.put(h.l2)
-	sentinelArrays.put(h.l3)
+	if h.ownL3 {
+		h.shared.Release()
+	}
 	h.l1, h.l2, h.l3 = nil, nil, nil
 }
+
+// SharedL3 returns the (possibly shared) last-level cache.
+func (h *Hierarchy) SharedL3() *SharedL3 { return h.shared }
+
+// CoreID returns this hierarchy's slot in the shared L3 accounting.
+func (h *Hierarchy) CoreID() int { return h.coreID }
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
@@ -107,10 +139,16 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // Memory returns the backing memory.
 func (h *Hierarchy) Memory() *mem.Memory { return h.mem }
 
-// L1Stats, L2Stats, L3Stats expose per-level counters.
+// L1Stats, L2Stats, L3Stats expose per-level counters. L3Stats is the
+// aggregate over every core sharing the L3 (for a private L3 the two
+// views coincide).
 func (h *Hierarchy) L1Stats() LevelStats { return h.l1.Stats }
 func (h *Hierarchy) L2Stats() LevelStats { return h.l2.Stats }
 func (h *Hierarchy) L3Stats() LevelStats { return h.l3.Stats }
+
+// L3CoreStats returns this core's own share of the L3 traffic (hits,
+// misses and writebacks; evictions are aggregate-only, see SharedL3).
+func (h *Hierarchy) L3CoreStats() LevelStats { return *h.l3pc }
 
 // zeroSentinel is the canonical zero line, passed (read-only) where a
 // zero-flagged writeback needs a value for the non-optimized paths.
@@ -185,6 +223,7 @@ func (h *Hierarchy) placeL3(slot int, hd *setHdr, way int, evicted bool, lineIdx
 	bit := uint16(1) << uint(way)
 	if evicted && hd.dirty&bit != 0 {
 		h.l3.Stats.Writebacks++
+		h.l3pc.Writebacks++
 		if hd.zero&bit != 0 {
 			h.mem.WriteZeroLine(h.l3.tags[slot])
 		} else {
@@ -226,6 +265,7 @@ func (h *Hierarchy) fetchSentinel(lineIdx uint64) (*cacheline.Sentinel, bool, in
 	l3slot, l3hd, l3way, hit3, l3evict := h.l3.acquireHdr(lineIdx)
 	if hit3 {
 		h.l3.Stats.Hits++
+		h.l3pc.Hits++
 		if l3hd.zero&(1<<uint(l3way)) != 0 {
 			h.placeL2(l2slot, l2hd, l2way, l2evict, lineIdx, &zeroSentinel, true, false)
 			return &zeroSentinel, true, lat, LvlL3
@@ -237,6 +277,7 @@ func (h *Hierarchy) fetchSentinel(lineIdx uint64) (*cacheline.Sentinel, bool, in
 		return &h.l2.lines[l2slot], false, lat, LvlL3
 	}
 	h.l3.Stats.Misses++
+	h.l3pc.Misses++
 	lat += h.cfg.MemLatency
 	s, resident := h.mem.ReadLineSparse(lineIdx)
 	if !resident {
@@ -665,11 +706,15 @@ func (h *Hierarchy) SecMaskAt(addr uint64) cacheline.SecMask {
 
 // ResetStats zeroes all per-level and hierarchy counters without
 // touching cache contents. Used at steady-state measurement
-// boundaries.
+// boundaries. For a shared L3 it resets the aggregate counters and
+// this core's own slot; the multicore engine resets every core at its
+// barrier (SharedL3.ResetStats), so the per-core/aggregate sum
+// property is preserved there too.
 func (h *Hierarchy) ResetStats() {
 	h.l1.Stats = LevelStats{}
 	h.l2.Stats = LevelStats{}
 	h.l3.Stats = LevelStats{}
+	*h.l3pc = LevelStats{}
 	h.Stats = HierStats{}
 }
 

@@ -1,0 +1,102 @@
+package cache
+
+import (
+	"repro/internal/cacheline"
+	"repro/internal/mem"
+)
+
+// SharedL3 is the last-level cache of a machine, detachable from the
+// per-core hierarchy so several cores can share it: it owns the L3
+// level arrays, the backing main memory, and one LevelStats record per
+// attached core. A single-core Hierarchy (cache.New) builds a private
+// SharedL3 with one core; a multiprocessor builds one SharedL3 and
+// attaches N hierarchies to it with NewShared.
+//
+// Per-core accounting covers hits, misses and writebacks — the events
+// the hierarchy attributes at access time. Evictions are counted by
+// the replacement scan, which has no requester identity, and appear
+// only in the aggregate TotalStats. The sum of the per-core hit, miss
+// and writeback counters always equals the aggregate counters (the
+// referee property multicore tests enforce).
+//
+// Like the rest of the cache model, a SharedL3 is not safe for
+// concurrent use: the multicore interleaver advances its cores
+// round-robin on one goroutine, matching the deterministic simulation
+// contract.
+type SharedL3 struct {
+	l3      *level[cacheline.Sentinel]
+	mem     *mem.Memory
+	perCore []LevelStats
+}
+
+// NewSharedL3 builds a shareable L3 of the given geometry over m, with
+// per-core accounting slots for the given number of cores.
+func NewSharedL3(cfg LevelConfig, m *mem.Memory, cores int) *SharedL3 {
+	if cores < 1 {
+		cores = 1
+	}
+	return &SharedL3{
+		l3:      newLevel(cfg, &sentinelArrays),
+		mem:     m,
+		perCore: make([]LevelStats, cores),
+	}
+}
+
+// Cores returns the number of accounting slots.
+func (s *SharedL3) Cores() int { return len(s.perCore) }
+
+// Memory returns the backing main memory.
+func (s *SharedL3) Memory() *mem.Memory { return s.mem }
+
+// TotalStats returns the aggregate L3 counters across all cores.
+func (s *SharedL3) TotalStats() LevelStats { return s.l3.Stats }
+
+// CoreStats returns the given core's share of the L3 traffic.
+func (s *SharedL3) CoreStats(core int) LevelStats { return s.perCore[core] }
+
+// ResetStats zeroes the aggregate and every per-core counter without
+// touching cache contents. The multicore engine calls it at the
+// measurement barrier so the per-core/aggregate sum property holds
+// over the measured region.
+func (s *SharedL3) ResetStats() {
+	s.l3.Stats = LevelStats{}
+	for i := range s.perCore {
+		s.perCore[i] = LevelStats{}
+	}
+}
+
+// Release returns the L3 level arrays to the recycling pool. The
+// SharedL3 must not be used afterwards; every attached hierarchy must
+// already have been released.
+func (s *SharedL3) Release() {
+	sentinelArrays.put(s.l3)
+	s.l3 = nil
+}
+
+// Occupancy counts the valid L3 lines owned by each core, attributing
+// a line to the core whose address space it belongs to: owner =
+// lineIdx >> lineShift (the multicore engine rebases core i's
+// addresses by i << AddrSpaceShift, so lineShift is AddrSpaceShift-6).
+// Lines whose computed owner is out of range — possible only for
+// traffic outside any core's address space — are attributed to the
+// last core. The scan is read-only and used for end-of-run occupancy
+// reporting, never on the access path.
+func (s *SharedL3) Occupancy(lineShift uint) []int {
+	occ := make([]int, len(s.perCore))
+	l := s.l3
+	for set := 0; set < l.nsets; set++ {
+		valid := l.hdrs[set].valid
+		base := set * l.ways
+		for w := 0; w < l.ways; w++ {
+			if valid&(1<<uint(w)) == 0 {
+				continue
+			}
+			owner := int(l.tags[base+w] >> lineShift)
+			if owner >= len(occ) {
+				owner = len(occ) - 1
+			}
+			occ[owner]++
+		}
+	}
+	return occ
+}

@@ -1,0 +1,141 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// driveCore issues a deterministic store/load pattern through one
+// hierarchy inside the given address space, sized to overflow its L2
+// so the shared L3 sees real traffic.
+func driveCore(h *Hierarchy, base uint64) {
+	span := uint64(h.cfg.L2.Size * 4)
+	for pass := 0; pass < 2; pass++ {
+		for off := uint64(0); off < span; off += 64 {
+			if off%192 == 0 {
+				h.StoreTouch(base+off, 8)
+			} else {
+				h.LoadTouch(base+off, 8)
+			}
+		}
+	}
+}
+
+// TestSharedL3PerCoreSumsToAggregate is the referee for the shared-L3
+// accounting: with N cores driving disjoint address spaces through one
+// L3, the per-core hit/miss/writeback counters must sum exactly to the
+// aggregate level counters.
+func TestSharedL3PerCoreSumsToAggregate(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		cfg := Westmere()
+		shared := NewSharedL3(cfg.L3, mem.New(), cores)
+		hs := make([]*Hierarchy, cores)
+		for i := range hs {
+			hs[i] = NewShared(cfg, shared, i)
+		}
+		// Interleave the cores coarsely so their L3 traffic interleaves
+		// too (round-robin over chunks, like the multicore engine).
+		for chunk := 0; chunk < 4; chunk++ {
+			for i, h := range hs {
+				driveCore(h, uint64(i)<<44|uint64(chunk)<<24)
+			}
+		}
+		var sum LevelStats
+		for i := 0; i < cores; i++ {
+			cs := shared.CoreStats(i)
+			sum.Hits += cs.Hits
+			sum.Misses += cs.Misses
+			sum.Writebacks += cs.Writebacks
+		}
+		total := shared.TotalStats()
+		if sum.Hits != total.Hits || sum.Misses != total.Misses || sum.Writebacks != total.Writebacks {
+			t.Errorf("cores=%d: per-core sum {hits %d misses %d wb %d} != aggregate {hits %d misses %d wb %d}",
+				cores, sum.Hits, sum.Misses, sum.Writebacks, total.Hits, total.Misses, total.Writebacks)
+		}
+		if total.Hits+total.Misses == 0 {
+			t.Errorf("cores=%d: workload produced no L3 traffic", cores)
+		}
+		// Per-hierarchy views agree with the shared accounting.
+		for i, h := range hs {
+			if h.L3CoreStats() != shared.CoreStats(i) {
+				t.Errorf("cores=%d: core %d L3CoreStats diverges from SharedL3.CoreStats", cores, i)
+			}
+			if h.L3Stats() != total {
+				t.Errorf("cores=%d: core %d aggregate view diverges", cores, i)
+			}
+		}
+		// Occupancy attributes every valid line to the core that owns
+		// its address space (the test keeps spaces disjoint at bit 44).
+		// The bulk traffic above overflows the L3, so the early cores'
+		// lines may all be evicted; give each core a small resident
+		// region last so every core provably owns lines.
+		for i, h := range hs {
+			for off := uint64(0); off < 16<<10; off += 64 {
+				h.LoadTouch(uint64(i)<<44|0x0900_0000+off, 8)
+			}
+		}
+		occ := shared.Occupancy(44 - 6)
+		lines := 0
+		for i, n := range occ {
+			if n == 0 {
+				t.Errorf("cores=%d: core %d owns no L3 lines", cores, i)
+			}
+			lines += n
+		}
+		if max := cfg.L3.Sets() * cfg.L3.Ways; lines > max {
+			t.Errorf("cores=%d: occupancy %d exceeds capacity %d", cores, lines, max)
+		}
+		for _, h := range hs {
+			h.Release()
+		}
+		shared.Release()
+	}
+}
+
+// TestSharedSingleCoreMatchesPrivate: a one-core shared hierarchy is
+// behaviorally identical to the classic private construction.
+func TestSharedSingleCoreMatchesPrivate(t *testing.T) {
+	cfg := Westmere()
+	priv := New(cfg, mem.New())
+	shared := NewSharedL3(cfg.L3, mem.New(), 1)
+	att := NewShared(cfg, shared, 0)
+	driveCore(priv, 0)
+	driveCore(att, 0)
+	if priv.L1Stats() != att.L1Stats() || priv.L2Stats() != att.L2Stats() || priv.L3Stats() != att.L3Stats() {
+		t.Errorf("shared(1) stats diverge from private hierarchy:\npriv L3 %+v\natt  L3 %+v", priv.L3Stats(), att.L3Stats())
+	}
+	if priv.L3CoreStats() != att.L3CoreStats() {
+		t.Errorf("per-core view diverges on single core")
+	}
+	priv.Release()
+	att.Release()
+	shared.Release()
+}
+
+// TestSharedL3ResetStats: the barrier reset zeroes aggregate and every
+// per-core slot while cache contents stay warm.
+func TestSharedL3ResetStats(t *testing.T) {
+	cfg := Westmere()
+	shared := NewSharedL3(cfg.L3, mem.New(), 2)
+	h0, h1 := NewShared(cfg, shared, 0), NewShared(cfg, shared, 1)
+	driveCore(h0, 0)
+	driveCore(h1, 1<<44)
+	shared.ResetStats()
+	if shared.TotalStats() != (LevelStats{}) {
+		t.Errorf("aggregate not zeroed: %+v", shared.TotalStats())
+	}
+	for i := 0; i < 2; i++ {
+		if shared.CoreStats(i) != (LevelStats{}) {
+			t.Errorf("core %d not zeroed: %+v", i, shared.CoreStats(i))
+		}
+	}
+	// Warmth survives: re-touching the same lines hits.
+	h0.LoadTouch(0, 8)
+	if shared.TotalStats().Misses != 0 && shared.TotalStats().Hits == 0 {
+		t.Errorf("reset flushed contents: %+v", shared.TotalStats())
+	}
+	h0.Release()
+	h1.Release()
+	shared.Release()
+}

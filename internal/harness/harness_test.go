@@ -21,7 +21,8 @@ func simExtraL2L3() *cache.Config {
 
 func TestRegistryCanonicalOrder(t *testing.T) {
 	want := []string{"fig3", "fig4", "table1", "table2", "table3", "fig10", "fig11",
-		"fig12", "table4", "table5", "table6", "table7", "security", "ablations"}
+		"fig12", "table4", "table5", "table6", "table7", "security", "ablations",
+		"mix2", "mix4", "rate4", "rate8"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry holds %d experiments, want %d", len(got), len(want))
@@ -248,6 +249,7 @@ func TestRegistryExperimentShapes(t *testing.T) {
 		"fig3": 2, "fig4": 1, "table1": 1, "table2": 2, "table3": 1,
 		"fig10": 1, "fig11": 1, "fig12": 1, "table4": 1, "table5": 1,
 		"table6": 1, "table7": 1, "security": 3, "ablations": 5,
+		"mix2": 2, "mix4": 2, "rate4": 1, "rate8": 1,
 	}
 	for _, e := range Experiments() {
 		rs := Run(e, p, pool)

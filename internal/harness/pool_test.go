@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolStealPathDeterminism drives the work-stealing scheduler off
+// its happy path — a deliberately imbalanced task set where one shard
+// is much slower than the rest, forcing idle workers onto the
+// FIFO-steal path and spawned tasks to migrate — and checks the
+// determinism contract survives: every unit runs exactly once, its
+// result lands in its own slot, and the folded output is identical at
+// every worker count and across repetitions. Runs under -race in CI
+// (it is not skipped in -short mode): the interesting failure mode is
+// a data race or a lost/duplicated task under stealing pressure.
+func TestPoolStealPathDeterminism(t *testing.T) {
+	const roots = 24
+	const children = 16
+	compute := func(i int) int64 { return int64(i)*2654435761 ^ int64(i)<<7 }
+
+	run := func(workers int) []int64 {
+		out := make([]int64, roots*children)
+		var ran atomic.Int64
+		tasks := make([]Task, roots)
+		for i := 0; i < roots; i++ {
+			i := i
+			tasks[i] = func(spawn func(Task)) {
+				if i == 0 {
+					// The slow shard: parks its worker long enough that
+					// the other deques drain and thieves must steal the
+					// children spawned below.
+					time.Sleep(2 * time.Millisecond)
+				}
+				for j := 0; j < children; j++ {
+					j := j
+					spawn(func(spawn2 func(Task)) {
+						// Jitter makes interleavings vary run to run, so a
+						// scheduling-order dependence would show up as
+						// cross-run divergence.
+						if j%5 == 0 {
+							runtime.Gosched()
+						}
+						out[i*children+j] = compute(i*children + j)
+						ran.Add(1)
+					})
+				}
+			}
+		}
+		NewPool(workers).Run(tasks)
+		if got := ran.Load(); got != roots*children {
+			t.Fatalf("workers=%d: %d spawned units ran, want %d", workers, got, roots*children)
+		}
+		return out
+	}
+
+	want := run(1)
+	for rep := 0; rep < 3; rep++ {
+		for _, workers := range []int{2, 4, 16} {
+			got := run(workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d rep=%d: slot %d = %d, want %d", workers, rep, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPoolStealSpawnChains exercises deep spawn-from-spawned chains
+// (each stolen task spawns its successor) with randomized task costs:
+// the termination protocol must not declare the run finished while
+// chain tails are still being produced.
+func TestPoolStealSpawnChains(t *testing.T) {
+	const chains = 8
+	const depth = 50
+	var hops atomic.Int64
+	r := rand.New(rand.NewSource(1))
+	costs := make([]int, chains*depth)
+	for i := range costs {
+		costs[i] = r.Intn(3)
+	}
+	var tasks []Task
+	var link func(c, d int) Task
+	link = func(c, d int) Task {
+		return func(spawn func(Task)) {
+			for k := 0; k < costs[c*depth+d]; k++ {
+				runtime.Gosched()
+			}
+			hops.Add(1)
+			if d+1 < depth {
+				spawn(link(c, d+1))
+			}
+		}
+	}
+	for c := 0; c < chains; c++ {
+		tasks = append(tasks, link(c, 0))
+	}
+	NewPool(8).Run(tasks)
+	if got := hops.Load(); got != chains*depth {
+		t.Fatalf("%d chain hops ran, want %d", got, chains*depth)
+	}
+}

@@ -1,0 +1,126 @@
+package multicore
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// capture records one benchmark's op stream under a configuration,
+// returning the capture run's Result alongside.
+func capture(t *testing.T, name string, rc sim.RunConfig) (Stream, sim.Result) {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	sc := sim.CaptureScript(spec, rc.Visits)
+	rec := trace.NewRecording(0)
+	solo := sim.RunScripted(spec, rc, sc, rec)
+	return Stream{Name: name, Rec: rec}, solo
+}
+
+var protCfg = sim.RunConfig{Policy: sim.PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: 400}
+
+// TestSingleCoreMatchesRunReplayed: a one-core machine is the
+// degenerate multiprocessor — its result must be bit-identical to
+// sim.RunReplayed of the same recording, at any quantum.
+func TestSingleCoreMatchesRunReplayed(t *testing.T) {
+	for _, bench := range []string{"gobmk", "hmmer"} {
+		for _, rc := range []sim.RunConfig{{Policy: sim.PolicyNone, Visits: 400}, protCfg} {
+			st, _ := capture(t, bench, rc)
+			want := sim.RunReplayed(bench, rc, st.Rec)
+			for _, quantum := range []int{1, 77, DefaultQuantum, 1 << 20} {
+				got := Run(Config{Quantum: quantum}, []Stream{st})
+				if got.Cores[0] != want {
+					t.Errorf("%s quantum=%d: one-core result diverges from RunReplayed\ngot:  %+v\nwant: %+v",
+						bench, quantum, got.Cores[0], want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDeterminism: identical inputs produce identical RunResults,
+// and per-core L3 accounting sums to the aggregate (the referee
+// property of the shared-L3 design).
+func TestRunDeterminism(t *testing.T) {
+	s0, _ := capture(t, "sjeng", protCfg)
+	s1, _ := capture(t, "gobmk", protCfg)
+	s2, _ := capture(t, "hmmer", sim.RunConfig{Policy: sim.PolicyNone, Visits: 400})
+	s3, _ := capture(t, "povray", protCfg)
+	streams := []Stream{s0, s1, s2, s3}
+	a := Run(Config{}, streams)
+	b := Run(Config{}, streams)
+	for i := range a.Cores {
+		if a.Cores[i] != b.Cores[i] {
+			t.Errorf("core %d: repeated run diverges\na: %+v\nb: %+v", i, a.Cores[i], b.Cores[i])
+		}
+	}
+	if a.L3 != b.L3 {
+		t.Errorf("aggregate L3 diverges across repeats: %+v vs %+v", a.L3, b.L3)
+	}
+
+	var sum cache.LevelStats
+	for _, cs := range a.L3PerCore {
+		sum.Hits += cs.Hits
+		sum.Misses += cs.Misses
+		sum.Writebacks += cs.Writebacks
+	}
+	if sum.Hits != a.L3.Hits || sum.Misses != a.L3.Misses || sum.Writebacks != a.L3.Writebacks {
+		t.Errorf("per-core L3 sum {%d %d %d} != aggregate {%d %d %d}",
+			sum.Hits, sum.Misses, sum.Writebacks, a.L3.Hits, a.L3.Misses, a.L3.Writebacks)
+	}
+	if len(a.L3Occupancy) != len(streams) {
+		t.Fatalf("occupancy has %d slots, want %d", len(a.L3Occupancy), len(streams))
+	}
+}
+
+// TestContentionIsVisible: sharing the L3 with an LLC-pressuring
+// co-runner must change a benchmark's behavior versus running solo —
+// the whole point of the subsystem — while cache-resident co-runners
+// barely register.
+func TestContentionIsVisible(t *testing.T) {
+	victim, solo := capture(t, "perlbench", protCfg)
+	bully, _ := capture(t, "mcf", sim.RunConfig{Policy: sim.PolicyNone, Visits: 400})
+	mix := Run(Config{}, []Stream{victim, bully})
+	got := mix.Cores[0]
+	if got.Instructions != solo.Instructions {
+		t.Fatalf("contention changed the victim's instruction stream: %d vs %d", got.Instructions, solo.Instructions)
+	}
+	if got.Cycles <= solo.Cycles {
+		t.Errorf("no contention: mix cycles %.0f <= solo cycles %.0f", got.Cycles, solo.Cycles)
+	}
+	if got.L3MissRate < solo.L3MissRate {
+		t.Errorf("shared-L3 miss rate fell under contention: %.4f vs solo %.4f", got.L3MissRate, solo.L3MissRate)
+	}
+}
+
+// TestEmptyStreams: metadata-only recordings produce well-formed zero
+// results on any machine width (the empty-recording regression, at
+// the multicore layer).
+func TestEmptyStreams(t *testing.T) {
+	empty := trace.NewRecording(0)
+	empty.MarkReset()
+	empty.SetHeapBytes(64)
+	real, _ := capture(t, "hmmer", sim.RunConfig{Policy: sim.PolicyNone, Visits: 200})
+
+	all := Run(Config{}, []Stream{{Name: "e0", Rec: empty}, {Name: "e1", Rec: empty}})
+	for i, r := range all.Cores {
+		want := sim.Result{Benchmark: []string{"e0", "e1"}[i], HeapBytes: 64}
+		if r != want {
+			t.Errorf("core %d: got %+v, want %+v", i, r, want)
+		}
+	}
+
+	mixed := Run(Config{}, []Stream{{Name: "e0", Rec: empty}, real})
+	if want := (sim.Result{Benchmark: "e0", HeapBytes: 64}); mixed.Cores[0] != want {
+		t.Errorf("mixed empty core: got %+v, want %+v", mixed.Cores[0], want)
+	}
+	if solo := sim.RunReplayed("hmmer", sim.RunConfig{}, real.Rec); mixed.Cores[1] != solo {
+		t.Errorf("real core next to an empty one diverges from solo replay\ngot:  %+v\nwant: %+v", mixed.Cores[1], solo)
+	}
+}

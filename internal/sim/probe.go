@@ -84,6 +84,26 @@ func probeOps(n uint64) {
 	}
 }
 
+// ProbeReplayStart returns the timestamp opening an externally timed
+// stage window (zero when the probe is disabled). The multicore
+// engine's interleaved replay runs outside sim's own entry points, so
+// it brackets its pass with ProbeReplayStart / ProbeSetupDone /
+// ProbeReplayed to land in the same accounting Run and RunReplayed
+// use.
+func ProbeReplayStart() time.Time { return probeStart() }
+
+// ProbeSetupDone charges the elapsed time since t0 to the setup stage
+// (machine construction) and returns the following stage's timestamp.
+func ProbeSetupDone(t0 time.Time) time.Time { return probeStage(t0, &probe.setupNs) }
+
+// ProbeReplayed closes an externally timed replay stage: the elapsed
+// time since t0 is charged to the replay stage and n simulated ops to
+// the window. No-op when t0 is zero (probe disabled at start).
+func ProbeReplayed(t0 time.Time, n uint64) {
+	probeStage(t0, &probe.replayNs)
+	probeOps(n)
+}
+
 // probeStart returns the stage timestamp, zero when disabled.
 func probeStart() time.Time {
 	if !probe.enabled.Load() {

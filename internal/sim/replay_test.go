@@ -83,3 +83,26 @@ func TestRunFanoutMatchesIndependentRuns(t *testing.T) {
 		t.Fatalf("sibling machines look identical; multicast is not feeding them independently: %+v", group)
 	}
 }
+
+// TestRunReplayedEmptyRecording: a recording with zero ops and only
+// reset-boundary metadata replays to a well-formed zero Result —
+// named, carrying the recorded heap footprint, and all-zero metrics —
+// without callers having to special-case it (regression: the shape
+// reaches RunReplayed through multicore mixes of trivial streams).
+func TestRunReplayedEmptyRecording(t *testing.T) {
+	for _, mark := range []bool{false, true} {
+		rec := trace.NewRecording(0)
+		if mark {
+			rec.MarkReset()
+		}
+		rec.SetHeapBytes(4096)
+		got := RunReplayed("empty", RunConfig{Policy: PolicyNone, Visits: 100}, rec)
+		want := Result{Benchmark: "empty", HeapBytes: 4096}
+		if got != want {
+			t.Errorf("mark=%v: got %+v, want %+v", mark, got, want)
+		}
+		if got.IPC() != 0 {
+			t.Errorf("mark=%v: IPC on zero result = %v", mark, got.IPC())
+		}
+	}
+}

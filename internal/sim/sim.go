@@ -157,23 +157,32 @@ func instrument(spec workload.Spec, rc RunConfig) []*compiler.Instrumented {
 	return ins
 }
 
+// CoreResult folds one finished core and its hierarchy into a Result
+// record. The L3 miss rate is the core's own share of the (possibly
+// shared) L3 traffic — identical to the aggregate for a private L3,
+// and the per-core contention view on a multicore machine, which is
+// why internal/multicore folds its per-core snapshots through this.
+func CoreResult(name string, core *cpu.Core, hier *cache.Hierarchy, heapBytes uint64) Result {
+	return Result{
+		Benchmark:    name,
+		Cycles:       core.Cycles(),
+		Instructions: core.Stats.Instructions,
+		CForms:       core.Stats.CForms,
+		HeapBytes:    heapBytes,
+		L1MissRate:   hier.L1Stats().MissRate(),
+		L2MissRate:   hier.L2Stats().MissRate(),
+		L3MissRate:   hier.L3CoreStats().MissRate(),
+		Exceptions:   core.Stats.Delivered,
+		Suppressed:   core.Stats.Suppressed,
+		Spills:       hier.Stats.Spills,
+		Fills:        hier.Stats.Fills,
+	}
+}
+
 // result folds a finished machine (and the run's heap footprint) into
 // the exported record.
 func (m machine) result(name string, heapBytes uint64) Result {
-	return Result{
-		Benchmark:    name,
-		Cycles:       m.core.Cycles(),
-		Instructions: m.core.Stats.Instructions,
-		CForms:       m.core.Stats.CForms,
-		HeapBytes:    heapBytes,
-		L1MissRate:   m.hier.L1Stats().MissRate(),
-		L2MissRate:   m.hier.L2Stats().MissRate(),
-		L3MissRate:   m.hier.L3Stats().MissRate(),
-		Exceptions:   m.core.Stats.Delivered,
-		Suppressed:   m.core.Stats.Suppressed,
-		Spills:       m.hier.Stats.Spills,
-		Fills:        m.hier.Stats.Fills,
-	}
+	return CoreResult(name, m.core, m.hier, heapBytes)
 }
 
 // Run executes one workload under one configuration on a fresh
@@ -312,6 +321,12 @@ func totalOps(rs []Result) uint64 {
 // stream matches the capture run's, the returned Result is
 // byte-identical to a direct Run.
 func RunReplayed(name string, rc RunConfig, rec *trace.Recording) Result {
+	if rec.Len() == 0 {
+		// A recording holding only metadata (a reset boundary, a heap
+		// footprint) replays to a well-formed zero result — no machine
+		// is built, and no caller has to special-case the shape.
+		return Result{Benchmark: name, HeapBytes: rec.HeapBytes()}
+	}
 	t := probeStart()
 	m := buildMachine(rc)
 	b := trace.NewBatch(trace.DefaultBatchCap)

@@ -1,0 +1,125 @@
+package trace
+
+// ReplayCursor streams a Recording to a sink incrementally — the
+// multicore interleaver's primitive: each core holds one cursor over
+// its recording and is advanced a quantum of ops at a time, round
+// robin. The cursor keeps the CFORM side-array position alongside the
+// op position, so advancing by N ops costs O(N) regardless of where
+// in the recording the cursor stands (ReplayRange's stateless form
+// re-derives that position by scanning from the start on every call).
+//
+// base is an address-space rebase added to the address of every
+// memory op (loads, stores, CFORMs; NonMem counts are left alone):
+// core i of a multiprocessor replays with base = i<<AddrSpaceShift so
+// per-program address spaces stay disjoint in the shared cache, while
+// base 0 reproduces the recorded stream byte-for-byte. The rebase
+// preserves 64B alignment as long as base is line-aligned.
+//
+// Cursors only read the recording, so any number of them (across
+// goroutines) may traverse one Recording concurrently.
+type ReplayCursor struct {
+	rec  *Recording
+	base uint64
+	pos  int
+	cfi  int
+	// markPos/markCfi checkpoint one position (the measurement
+	// boundary, for wrap-around replay) so Rewind is O(1).
+	markPos int
+	markCfi int
+}
+
+// NewReplayCursor returns a cursor at position 0 with the given
+// address rebase (0 replays the stream as recorded).
+func NewReplayCursor(rec *Recording, base uint64) *ReplayCursor {
+	return &ReplayCursor{rec: rec, base: base}
+}
+
+// Pos returns the cursor's op position.
+func (c *ReplayCursor) Pos() int { return c.pos }
+
+// Len returns the recording's op count.
+func (c *ReplayCursor) Len() int { return c.rec.Len() }
+
+// Seek positions the cursor at pos, recounting the CFORM side-array
+// cursor from the nearest known position (the start, or the current
+// position when seeking forward).
+func (c *ReplayCursor) Seek(pos int) {
+	from, cfi := 0, 0
+	if pos >= c.pos {
+		from, cfi = c.pos, c.cfi
+	}
+	r := c.rec
+	for i := from; i < pos; i++ {
+		if Kind(r.tags[i]&tagKindMask) == CForm {
+			cfi++
+		}
+	}
+	c.pos, c.cfi = pos, cfi
+}
+
+// Mark checkpoints the current position for Rewind.
+func (c *ReplayCursor) Mark() { c.markPos, c.markCfi = c.pos, c.cfi }
+
+// Rewind returns the cursor to the marked position (position 0 if
+// Mark was never called) without rescanning.
+func (c *ReplayCursor) Rewind() { c.pos, c.cfi = c.markPos, c.markCfi }
+
+// Replay streams up to n ops from the cursor position to s through
+// the batched dispatch path, refilling b (a caller-provided scratch
+// batch, allocated here when nil) in capacity-sized chunks and
+// flushing each. It stops early at the end of the recording and
+// returns the number of ops replayed. The loop allocates nothing when
+// b is reused across calls.
+func (c *ReplayCursor) Replay(s BatchSink, b *Batch, n int) int {
+	hi := c.pos + n
+	if hi > c.rec.Len() {
+		hi = c.rec.Len()
+	}
+	if hi <= c.pos {
+		return 0
+	}
+	if b == nil {
+		b = NewBatch(DefaultBatchCap)
+	}
+	r, base := c.rec, c.base
+	i, cfi := c.pos, c.cfi
+	for i < hi {
+		end := i + (b.Cap() - b.Len())
+		if end > hi {
+			end = hi
+		}
+		for ; i < end; i++ {
+			t := r.tags[i]
+			o := b.next()
+			switch Kind(t & tagKindMask) {
+			case NonMem:
+				o.Kind = NonMem
+				o.Count = uint32(r.args[i])
+			case Load:
+				o.Kind = Load
+				o.Addr = r.args[i] + base
+				o.Size = uint16(r.sizes[i])
+				o.Dependent = t&tagDependent != 0
+			case Store:
+				o.Kind = Store
+				o.Addr = r.args[i] + base
+				o.Size = uint16(r.sizes[i])
+			case CForm:
+				o.Kind = CForm
+				o.Addr = r.args[i] + base
+				o.Attrs = r.attrs[cfi]
+				o.Mask = r.masks[cfi]
+				o.NT = t&tagNT != 0
+				cfi++
+			case WhitelistEnter:
+				o.Kind = WhitelistEnter
+			case WhitelistExit:
+				o.Kind = WhitelistExit
+			}
+		}
+		Flush(b, s)
+	}
+	replayed := hi - c.pos
+	c.pos, c.cfi = i, cfi
+	return replayed
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// synthRecording builds a recording exercising every op kind,
+// including enough CForms that side-array misalignment would be
+// caught.
+func synthRecording(n int) *Recording {
+	r := NewRecording(n)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			r.NonMem(uint32(i%7 + 1))
+		case 1:
+			r.Load(uint64(i)*64, 8, i%3 == 0)
+		case 2:
+			r.Store(uint64(i)*64+8, 4)
+		case 3:
+			r.CForm(isa.CFORM{Base: uint64(i) &^ 63 << 6, Attrs: uint64(i), Mask: uint64(i) * 3, NonTemporal: i%2 == 0})
+		case 4:
+			if i%2 == 0 {
+				r.WhitelistEnter()
+			} else {
+				r.WhitelistExit()
+			}
+		}
+	}
+	return r
+}
+
+func equalOps(t *testing.T, label string, got, want []Op) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d ops, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: op %d diverges\ngot:  %+v\nwant: %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCursorMatchesReplayRange: chunked cursor replay delivers exactly
+// the stream ReplayRange does, for every chunking.
+func TestCursorMatchesReplayRange(t *testing.T) {
+	rec := synthRecording(997)
+	var whole batchRecorder
+	rec.ReplayRange(&whole, nil, 0, rec.Len())
+	for _, quantum := range []int{1, 3, 64, 100, 4096, 10000} {
+		c := NewReplayCursor(rec, 0)
+		var got batchRecorder
+		b := NewBatch(DefaultBatchCap)
+		for c.Pos() < c.Len() {
+			c.Replay(&got, b, quantum)
+		}
+		equalOps(t, "quantum", got.ops, whole.ops)
+	}
+}
+
+// TestCursorRebase: a rebased cursor shifts every memory-op address by
+// base and nothing else.
+func TestCursorRebase(t *testing.T) {
+	rec := synthRecording(200)
+	const base = uint64(3) << 44
+	var plain, shifted batchRecorder
+	rec.ReplayRange(&plain, nil, 0, rec.Len())
+	c := NewReplayCursor(rec, base)
+	c.Replay(&shifted, nil, rec.Len())
+	want := make([]Op, len(plain.ops))
+	copy(want, plain.ops)
+	for i := range want {
+		switch want[i].Kind {
+		case Load, Store, CForm:
+			want[i].Addr += base
+		}
+	}
+	equalOps(t, "rebase", shifted.ops, want)
+}
+
+// TestCursorSeekMarkRewind: Seek (forward and backward) and
+// Mark/Rewind keep the CFORM side arrays aligned.
+func TestCursorSeekMarkRewind(t *testing.T) {
+	rec := synthRecording(500)
+	var want batchRecorder
+	rec.ReplayRange(&want, nil, 120, rec.Len())
+
+	c := NewReplayCursor(rec, 0)
+	c.Seek(300)
+	c.Seek(120) // backward: recount from 0
+	c.Mark()
+	for round := 0; round < 3; round++ {
+		var got batchRecorder
+		c.Replay(&got, nil, rec.Len())
+		equalOps(t, "rewind round", got.ops, want.ops)
+		c.Rewind()
+	}
+}
+
+// TestCursorEmptyRecording: a recording holding only boundary metadata
+// replays zero ops from any position without touching the sink.
+func TestCursorEmptyRecording(t *testing.T) {
+	rec := NewRecording(0)
+	rec.MarkReset()
+	c := NewReplayCursor(rec, 0)
+	var got batchRecorder
+	if n := c.Replay(&got, nil, 100); n != 0 || len(got.ops) != 0 {
+		t.Fatalf("empty recording replayed %d ops (%d delivered)", n, len(got.ops))
+	}
+	rec.ReplayRange(&got, nil, 0, rec.Len())
+	if len(got.ops) != 0 {
+		t.Fatalf("ReplayRange on empty recording delivered %d ops", len(got.ops))
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+)
+
+// slowRecorder is a batchRecorder whose batched dispatch stalls,
+// standing in for a sibling machine that consumes much slower than
+// the primary (a cold cache, a bigger configuration).
+type slowRecorder struct {
+	batchRecorder
+	delay time.Duration
+}
+
+func (s *slowRecorder) RunBatch(b *Batch) {
+	time.Sleep(s.delay)
+	s.batchRecorder.RunBatch(b)
+}
+
+// panicSink panics after consuming afterOps ops — the only error mode
+// a trace.Sink has. ops counts what it consumed before failing.
+type panicSink struct {
+	afterOps int
+	ops      int
+}
+
+func (p *panicSink) take() {
+	if p.ops >= p.afterOps {
+		panic("panicSink: sink failure")
+	}
+	p.ops++
+}
+
+func (p *panicSink) NonMem(uint32)          { p.take() }
+func (p *panicSink) Load(uint64, int, bool) { p.take() }
+func (p *panicSink) Store(uint64, int)      { p.take() }
+func (p *panicSink) CForm(isa.CFORM)        { p.take() }
+func (p *panicSink) WhitelistEnter()        { p.take() }
+func (p *panicSink) WhitelistExit()         { p.take() }
+func (p *panicSink) RunBatch(b *Batch)      { Replay(b.Ops(), p) }
+
+// TestMulticastSlowSibling: a slow sibling must not perturb what any
+// sink receives — every sink sees the identical full stream, in order
+// — and its dispatch time lands in SiblingSeconds when split timing
+// is on, never on the primary.
+func TestMulticastSlowSibling(t *testing.T) {
+	run := func(timeSplits bool) (*batchRecorder, *slowRecorder, *Multicast) {
+		primary := &batchRecorder{}
+		slow := &slowRecorder{delay: 2 * time.Millisecond}
+		mc := NewMulticast(timeSplits, primary, slow)
+		b := NewBatch(8)
+		for round := 0; round < 3; round++ {
+			emitAll(b)
+			Flush(b, mc)
+		}
+		// Per-op path (allocator-style direct emission) too.
+		mc.Load(0x1000, 8, false)
+		mc.Store(0x1040, 4)
+		return primary, slow, mc
+	}
+
+	primary, slow, mc := run(true)
+	if len(primary.ops) != len(slow.ops) {
+		t.Fatalf("primary got %d ops, slow sibling %d", len(primary.ops), len(slow.ops))
+	}
+	for i := range primary.ops {
+		if primary.ops[i] != slow.ops[i] {
+			t.Fatalf("op %d diverges between primary and slow sibling", i)
+		}
+	}
+	if mc.SiblingSeconds() < 0.006 {
+		t.Errorf("split timing missed the slow sibling: SiblingSeconds=%v", mc.SiblingSeconds())
+	}
+
+	if _, _, mc := run(false); mc.SiblingSeconds() != 0 {
+		t.Errorf("SiblingSeconds accumulated with timeSplits off: %v", mc.SiblingSeconds())
+	}
+}
+
+// TestMulticastErroringSibling: a sibling that fails mid-batch panics
+// through (fan-out has no partial-delivery mode — a sink failure is a
+// programming error and must be loud), and the sinks dispatched before
+// it have already consumed the batch in order.
+func TestMulticastErroringSibling(t *testing.T) {
+	primary := &batchRecorder{}
+	bad := &panicSink{afterOps: 2}
+	tail := &batchRecorder{}
+	mc := NewMulticast(false, primary, bad, tail)
+
+	b := NewBatch(8)
+	emitAll(b)
+	nops := b.Len()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("erroring sibling's panic did not propagate")
+		}
+		if len(primary.ops) != nops {
+			t.Errorf("primary saw %d ops before the failure, want the full batch of %d", len(primary.ops), nops)
+		}
+		if bad.ops != 2 {
+			t.Errorf("failing sink consumed %d ops, want 2", bad.ops)
+		}
+		if len(tail.ops) != 0 {
+			t.Errorf("sink after the failing sibling received %d ops, want 0", len(tail.ops))
+		}
+	}()
+	Flush(b, mc)
+}

@@ -235,55 +235,13 @@ var (
 // ReplayRange streams the recorded ops [lo, hi) to s through the
 // batched dispatch path, refilling b (a caller-provided scratch batch,
 // allocated here when nil) in capacity-sized chunks and flushing each.
-// The replay loop allocates nothing when b is reused across calls.
+// It is the stateless form of ReplayCursor (which callers advancing a
+// recording incrementally should prefer: the CFORM side-array position
+// here is re-derived by scanning [0, lo) on every call).
 func (r *Recording) ReplayRange(s BatchSink, b *Batch, lo, hi int) {
-	if b == nil {
-		b = NewBatch(DefaultBatchCap)
-	}
-	// cfi is the running CFORM side-array cursor; count the CForms
-	// before lo so a split replay stays aligned.
-	cfi := 0
-	for i := 0; i < lo; i++ {
-		if Kind(r.tags[i]&tagKindMask) == CForm {
-			cfi++
-		}
-	}
-	for i := lo; i < hi; {
-		end := i + (b.Cap() - b.Len())
-		if end > hi {
-			end = hi
-		}
-		for ; i < end; i++ {
-			t := r.tags[i]
-			o := b.next()
-			switch Kind(t & tagKindMask) {
-			case NonMem:
-				o.Kind = NonMem
-				o.Count = uint32(r.args[i])
-			case Load:
-				o.Kind = Load
-				o.Addr = r.args[i]
-				o.Size = uint16(r.sizes[i])
-				o.Dependent = t&tagDependent != 0
-			case Store:
-				o.Kind = Store
-				o.Addr = r.args[i]
-				o.Size = uint16(r.sizes[i])
-			case CForm:
-				o.Kind = CForm
-				o.Addr = r.args[i]
-				o.Attrs = r.attrs[cfi]
-				o.Mask = r.masks[cfi]
-				o.NT = t&tagNT != 0
-				cfi++
-			case WhitelistEnter:
-				o.Kind = WhitelistEnter
-			case WhitelistExit:
-				o.Kind = WhitelistExit
-			}
-		}
-		Flush(b, s)
-	}
+	c := ReplayCursor{rec: r}
+	c.Seek(lo)
+	c.Replay(s, b, hi-lo)
 }
 
 // Replay streams the whole recorded op stream to s. Callers that need
