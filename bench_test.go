@@ -16,6 +16,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/layout"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/vlsi"
@@ -106,11 +107,11 @@ func BenchmarkTable7Variants(b *testing.B) {
 // BenchmarkFig10ExtraLatency regenerates the +1-cycle L2/L3 experiment
 // on three kernels spanning the sensitivity range.
 func BenchmarkFig10ExtraLatency(b *testing.B) {
-	slow := cache.Westmere()
-	slow.ExtraL2L3 = 1
+	slow := machine.Default()
+	slow.Hier.ExtraL2L3 = 1
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		avg = matrixAvg(b, sim.RunConfig{Policy: sim.PolicyNone, Hier: &slow},
+		avg = matrixAvg(b, sim.RunConfig{Policy: sim.PolicyNone, Machine: slow},
 			"hmmer", "mcf", "xalancbmk")
 	}
 	b.ReportMetric(avg*100, "%slowdown")

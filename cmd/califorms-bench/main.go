@@ -6,9 +6,10 @@
 // Usage:
 //
 //	califorms-bench -exp fig3|fig4|fig10|fig11|fig12|table1..table7|security|ablations|
-//	                     mix2|mix4|rate4|rate8|all — or a comma list with globs,
-//	                     e.g. -exp 'fig4,mix*' (mix sweeps alongside figures in one run)
-//	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv] [-list]
+//	                     mix2|mix4|rate4|rate8|sens-machine|sens-llc|all — or a comma
+//	                     list with globs, e.g. -exp 'fig4,mix*,sens-*'
+//	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv]
+//	                [-machine westmere|skylake|embedded|server] [-list] [-list-machines]
 //	califorms-bench -perf [-exp ...] [-perf-out BENCH_califorms.json]
 //	                [-perf-baseline BENCH_califorms.json] [-perf-gate 15]
 //	califorms-bench -perf-diff old.json new.json
@@ -17,8 +18,15 @@
 // kernel (default 30000 object visits); -seeds sets how many layout
 // randomizations ("binaries") are averaged for Figures 11/12.
 // -workers sizes the simulation worker pool (default GOMAXPROCS);
-// output is byte-identical at any worker count. Per-experiment timing
-// goes to stderr so stdout stays a clean report.
+// output is byte-identical at any worker count. -machine rebases the
+// sweeps on a registry machine (default: the Table 3 westmere).
+// Three experiment families do not follow it: sens-machine sweeps the
+// whole registry, sens-llc sweeps LLC variants of the selected base,
+// and the ablations stay pinned to the Table 3 machine (they are
+// design-choice sweeps anchored to the paper's configuration).
+// Records measured on a non-default machine carry it as a column in
+// the JSON/CSV output. Per-experiment timing goes to stderr so stdout
+// stays a clean report.
 //
 // -perf switches to measurement mode: instead of emitting the
 // experiment reports, it measures each selected experiment's
@@ -44,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/perf"
 )
 
@@ -104,6 +113,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text, json, csv")
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	machineName := flag.String("machine", "", "base machine for the sweeps (default: westmere; see -list-machines)")
+	listMachines := flag.Bool("list-machines", false, "list registered machines and exit")
 	perfMode := flag.Bool("perf", false, "measure experiment throughput instead of emitting reports")
 	perfOut := flag.String("perf-out", "BENCH_califorms.json", "perf mode: where to write the measurement report")
 	perfBaseline := flag.String("perf-baseline", "", "perf mode: baseline report to gate against (optional)")
@@ -118,7 +129,13 @@ func main() {
 
 	if *list {
 		for _, e := range harness.Experiments() {
-			fmt.Printf("%-10s %-12s %s\n", e.Name, e.Paper, e.Title)
+			fmt.Printf("%-12s %-14s %s\n", e.Name, e.Paper, e.Title)
+		}
+		return
+	}
+	if *listMachines {
+		for _, d := range machine.Machines() {
+			fmt.Printf("%-10s %s\n", d.Name, d.Title)
 		}
 		return
 	}
@@ -130,6 +147,14 @@ func main() {
 	}
 	pool := harness.NewPool(*workers)
 	p := harness.Params{Visits: *visits, Seeds: *seeds}
+	if *machineName != "" {
+		d, ok := machine.Get(*machineName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown machine %q (have: %s)\n", *machineName, strings.Join(machine.Names(), ", "))
+			os.Exit(2)
+		}
+		p.Machine = d
+	}
 
 	if *perfMode {
 		runPerf(names, p, pool, *perfOut, *perfBaseline, *perfGate)

@@ -1,26 +1,30 @@
 // Command califorms-sim runs one benchmark kernel under one
-// protection configuration and prints detailed machine statistics:
-// cycles, IPC, per-level cache behaviour, CFORM traffic and
-// califormed line conversions. It is the inspection tool behind the
-// aggregated figures of califorms-bench.
+// protection configuration on one registry machine and prints
+// detailed machine statistics: cycles, IPC, per-level cache
+// behaviour, CFORM traffic and califormed line conversions. It is the
+// inspection tool behind the aggregated figures of califorms-bench.
 //
 // Usage:
 //
-//	califorms-sim -bench mcf -policy full -maxpad 7 -cform [-visits N] [-extral2l3 1]
+//	califorms-sim -bench mcf -policy full -maxpad 7 -cform
+//	              [-machine westmere|skylake|embedded|server]
+//	              [-visits N] [-extral2l3 1] [-list] [-list-machines]
 //
 // The baseline and configured runs are expanded through the same
 // internal/harness matrix engine that drives califorms-bench, so the
 // numbers here are the exact unit results behind the aggregate
-// figures.
+// figures. The machine comes from the internal/machine registry; its
+// description is validated before anything is simulated.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/cache"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -35,6 +39,8 @@ func main() {
 	fixedPad := flag.Int("fixedpad", 0, "fixed security-span size (overrides min/max)")
 	cform := flag.Bool("cform", false, "issue CFORM instructions at allocation sites")
 	visits := flag.Int("visits", 30000, "steady-state object visits")
+	machineName := flag.String("machine", "westmere", "registry machine to simulate (see -list-machines)")
+	listMachines := flag.Bool("list-machines", false, "list registered machines and exit")
 	extra := flag.Int("extral2l3", 0, "extra cycles on every L2/L3 access (Figure 10 knob)")
 	seed := flag.Int64("seed", 0, "layout randomization seed")
 	flag.Parse()
@@ -44,6 +50,10 @@ func main() {
 			fmt.Printf("%-12s live=%-7d chase=%.2f structFrac=%.2f alloc/1k=%d\n",
 				s.Name, s.LiveObjects, s.ChaseFrac, s.StructFrac, s.AllocPer1K)
 		}
+		return
+	}
+	if *listMachines {
+		printMachines(os.Stdout)
 		return
 	}
 
@@ -68,19 +78,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	hier := cache.Westmere()
-	hier.ExtraL2L3 = *extra
+	desc, ok := machine.Get(*machineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown machine %q (have: %s)\n", *machineName, strings.Join(machine.Names(), ", "))
+		os.Exit(2)
+	}
+	// The Figure 10 knob applies to the configured run only; the
+	// baseline stays on the unmodified machine so the knob's cost
+	// shows up in the slowdown.
+	variant := desc
+	variant.Hier.ExtraL2L3 = *extra
+	if err := variant.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	rc := sim.RunConfig{
 		Policy: pol, MinPad: *minPad, MaxPad: *maxPad, FixedPad: *fixedPad,
-		UseCForm: *cform, LayoutSeed: *seed, Hier: &hier,
+		UseCForm: *cform, LayoutSeed: *seed, Machine: variant,
 	}
 
-	m := harness.Matrix{Benches: []workload.Spec{spec}, Configs: []sim.RunConfig{rc}, Visits: *visits}
+	m := harness.Matrix{Benches: []workload.Spec{spec}, Configs: []sim.RunConfig{rc}, Machine: desc, Visits: *visits}
 	res := m.Run(harness.NewPool(0))
-	base, r := res.Base[0], res.Runs[0][0][0]
+	base, r := res.Base[0][0], res.Runs[0][0][0][0]
 
-	fmt.Printf("benchmark %s, policy %s (cform=%v, pads %d-%d fixed=%d, +L2L3 %d)\n\n",
-		spec.Name, pol, *cform, *minPad, *maxPad, *fixedPad, *extra)
+	fmt.Printf("benchmark %s on %s, policy %s (cform=%v, pads %d-%d fixed=%d, +L2L3 %d)\n\n",
+		spec.Name, desc.Name, pol, *cform, *minPad, *maxPad, *fixedPad, *extra)
 	t := stats.Table{Headers: []string{"metric", "baseline", "configured"}}
 	t.AddRow("cycles", fmt.Sprintf("%.0f", base.Cycles), fmt.Sprintf("%.0f", r.Cycles))
 	t.AddRow("instructions", fmt.Sprint(base.Instructions), fmt.Sprint(r.Instructions))
@@ -95,4 +117,24 @@ func main() {
 	t.AddRow("exceptions", fmt.Sprint(base.Exceptions), fmt.Sprint(r.Exceptions))
 	fmt.Println(t.String())
 	fmt.Printf("slowdown vs baseline: %s\n", stats.Pct(stats.Slowdown(base.Cycles, r.Cycles)))
+}
+
+// printMachines renders the registry as a table: geometry, DRAM
+// latency, core shape, and the multicore core count.
+func printMachines(w *os.File) {
+	t := stats.Table{Headers: []string{"machine", "L1D", "L2", "L3", "DRAM", "core", "cores", "description"}}
+	lvl := func(size, ways, lat int) string {
+		return fmt.Sprintf("%s/%dw/%dcy", machine.SizeString(size), ways, lat)
+	}
+	for _, d := range machine.Machines() {
+		t.AddRow(d.Name,
+			lvl(d.Hier.L1.Size, d.Hier.L1.Ways, d.Hier.L1.Latency),
+			lvl(d.Hier.L2.Size, d.Hier.L2.Ways, d.Hier.L2.Latency),
+			lvl(d.Hier.L3.Size, d.Hier.L3.Ways, d.Hier.L3.Latency),
+			fmt.Sprintf("%dcy", d.Hier.MemLatency),
+			fmt.Sprintf("%d-wide/%d MSHRs", d.Core.IssueWidth, d.Core.MSHRs),
+			fmt.Sprint(d.Cores),
+			d.Title)
+	}
+	fmt.Fprintln(w, t.String())
 }

@@ -25,6 +25,34 @@ type LevelConfig struct {
 // Sets returns the number of sets implied by size and associativity.
 func (c LevelConfig) Sets() int { return c.Size / (cacheline.Size * c.Ways) }
 
+// Validate checks the level geometry and returns a descriptive error:
+// associativity within the packed-header bound, a positive size that
+// divides evenly into sets of whole lines. Non-power-of-two set
+// counts are legal (the set index falls back to a modulo); a zero set
+// count is not. Construction (newLevel) enforces the same rules with
+// a panic, so an invalid geometry that skips Validate still fails
+// before any access is simulated rather than mid-run.
+func (c LevelConfig) Validate() error {
+	if c.Ways < 1 {
+		return fmt.Errorf("cache: %s: %d ways, need >= 1", c.Name, c.Ways)
+	}
+	if c.Ways > maxWays {
+		return fmt.Errorf("cache: %s: %d ways exceeds the supported maximum of %d (the per-set recency state packs one 4-bit index per way)", c.Name, c.Ways, maxWays)
+	}
+	if c.Size <= 0 {
+		return fmt.Errorf("cache: %s: size %d bytes, need > 0", c.Name, c.Size)
+	}
+	if c.Size%(cacheline.Size*c.Ways) != 0 {
+		// This also rules out Sets() == 0: a positive size that divides
+		// evenly holds at least one complete set.
+		return fmt.Errorf("cache: %s: size %d bytes does not divide into %d-way sets of %dB lines", c.Name, c.Size, c.Ways, cacheline.Size)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("cache: %s: negative latency %d", c.Name, c.Latency)
+	}
+	return nil
+}
+
 // LevelStats counts per-level events.
 type LevelStats struct {
 	Hits       uint64
@@ -216,8 +244,13 @@ var (
 )
 
 func newLevel[L any](cfg LevelConfig, pool *levelPool[L]) *level[L] {
-	if cfg.Ways > maxWays {
-		panic(fmt.Sprintf("cache: %s: %d ways exceeds the supported maximum of %d", cfg.Name, cfg.Ways, maxWays))
+	// Validated construction: an invalid geometry fails here, before
+	// any simulation starts, with the descriptive Validate error —
+	// never as a cryptic index or divide fault mid-run. Callers that
+	// want an error instead of a panic (the cmds, the machine
+	// registry) run Validate themselves first.
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	n := cfg.Sets()
 	a := pool.get(n, cfg.Ways)

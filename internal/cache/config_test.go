@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestLevelConfigValidate: the construction-time geometry rules
+// surface as descriptive errors, not mid-run panics.
+func TestLevelConfigValidate(t *testing.T) {
+	good := LevelConfig{Name: "L1D", Size: 32 << 10, Ways: 8, Latency: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Table 3 L1 rejected: %v", err)
+	}
+	// Non-power-of-two set counts are legal (modulo indexing).
+	odd := LevelConfig{Name: "odd", Size: 3 * 64 * 4, Ways: 4, Latency: 1}
+	if err := odd.Validate(); err != nil {
+		t.Fatalf("non-power-of-two sets rejected: %v", err)
+	}
+
+	cases := []struct {
+		cfg  LevelConfig
+		want string
+	}{
+		{LevelConfig{Name: "x", Size: 32 << 10, Ways: 0, Latency: 1}, "need >= 1"},
+		{LevelConfig{Name: "x", Size: 32 << 10, Ways: 17, Latency: 1}, "exceeds the supported maximum"},
+		{LevelConfig{Name: "x", Size: 0, Ways: 4, Latency: 1}, "size 0"},
+		{LevelConfig{Name: "x", Size: 1000, Ways: 4, Latency: 1}, "does not divide"},
+		{LevelConfig{Name: "x", Size: 64, Ways: 4, Latency: 1}, "does not divide"},
+		{LevelConfig{Name: "x", Size: 32 << 10, Ways: 8, Latency: -1}, "negative latency"},
+	}
+	for i, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Fatalf("case %d: invalid geometry accepted", i)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}
+
+// TestConfigValidate covers the hierarchy-wide rules.
+func TestConfigValidate(t *testing.T) {
+	if err := Westmere().Validate(); err != nil {
+		t.Fatalf("Table 3 configuration rejected: %v", err)
+	}
+	bad := Westmere()
+	bad.MemLatency = 0
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "DRAM") {
+		t.Fatalf("zero DRAM latency: %v", err)
+	}
+	bad = Westmere()
+	bad.SpillFillLatency = -1
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "spill/fill") {
+		t.Fatalf("negative spill/fill latency: %v", err)
+	}
+	bad = Westmere()
+	bad.L2.Ways = 17
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad level accepted by Config.Validate")
+	}
+}
+
+// TestConstructionPanicsDescriptively: building hardware from an
+// invalid geometry fails at construction — before any access is
+// simulated — with the Validate message, never with an index or
+// divide fault mid-run.
+func TestConstructionPanicsDescriptively(t *testing.T) {
+	mustPanic := func(label, want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: construction accepted an invalid geometry", label)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+				t.Fatalf("%s: panic %v does not carry the Validate message (%q)", label, r, want)
+			}
+		}()
+		f()
+	}
+	tooWide := Westmere()
+	tooWide.L3.Ways = 32
+	mustPanic("maxWays", "exceeds the supported maximum", func() { New(tooWide, mem.New()) })
+	empty := Westmere()
+	empty.L1.Size = 0
+	mustPanic("zero sets", "size 0", func() { New(empty, mem.New()) })
+}

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"fmt"
+
 	"repro/internal/cacheline"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -19,6 +21,30 @@ type Config struct {
 	// VLSI results show this can be fully hidden (0); it is kept as a
 	// knob for sensitivity studies.
 	SpillFillLatency int
+}
+
+// Validate checks every level's geometry plus the hierarchy-wide
+// knobs, returning the first descriptive error. It is the pre-flight
+// check run by the machine registry and the command-line tools so a
+// bad configuration is reported before any simulation starts;
+// construction itself (New, NewShared, NewSharedL3) enforces the same
+// rules with a panic.
+func (c Config) Validate() error {
+	for _, lvl := range []LevelConfig{c.L1, c.L2, c.L3} {
+		if err := lvl.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MemLatency <= 0 {
+		return fmt.Errorf("cache: DRAM latency %d cycles, need > 0", c.MemLatency)
+	}
+	if c.ExtraL2L3 < 0 {
+		return fmt.Errorf("cache: negative ExtraL2L3 latency %d", c.ExtraL2L3)
+	}
+	if c.SpillFillLatency < 0 {
+		return fmt.Errorf("cache: negative spill/fill latency %d", c.SpillFillLatency)
+	}
+	return nil
 }
 
 // Westmere returns the Table 3 configuration: an Intel Westmere-like

@@ -49,10 +49,20 @@ func (TextEmitter) Emit(w io.Writer, results []Result) error {
 		var body string
 		switch r.Kind {
 		case KindTable:
-			t := stats.Table{Title: r.Title, Headers: r.Headers, Rows: r.Rows}
+			title := r.Title
+			if r.Machine != "" {
+				// Non-default machine: the text report must carry the
+				// provenance a reader needs to compare against the
+				// paper's westmere numbers.
+				title += " [machine: " + r.Machine + "]"
+			}
+			t := stats.Table{Title: title, Headers: r.Headers, Rows: r.Rows}
 			body = t.String()
 		default:
 			body = r.Text
+			if r.Machine != "" {
+				body = "[machine: " + r.Machine + "]\n" + body
+			}
 		}
 		if body != "" && body[len(body)-1] != '\n' {
 			body += "\n"
@@ -75,9 +85,10 @@ func (JSONEmitter) Emit(w io.Writer, results []Result) error {
 }
 
 // CSVEmitter flattens every tabular record (tables and histogram
-// bins) into one CSV stream with leading experiment/title columns; a
-// header record precedes each table's data records. Free-form text
-// records carry no cells and are skipped.
+// bins) into one CSV stream with leading experiment/title columns —
+// plus a machine column for records stamped with a non-default
+// machine; a header record precedes each table's data records.
+// Free-form text records carry no cells and are skipped.
 type CSVEmitter struct{}
 
 func (CSVEmitter) Emit(w io.Writer, results []Result) error {
@@ -86,11 +97,19 @@ func (CSVEmitter) Emit(w io.Writer, results []Result) error {
 		if len(r.Headers) == 0 {
 			continue
 		}
-		if err := cw.Write(append([]string{"experiment", "title"}, r.Headers...)); err != nil {
+		lead := []string{"experiment", "title"}
+		if r.Machine != "" {
+			lead = append(lead, "machine")
+		}
+		if err := cw.Write(append(lead, r.Headers...)); err != nil {
 			return err
 		}
 		for _, row := range r.Rows {
-			if err := cw.Write(append([]string{r.Experiment, r.Title}, row...)); err != nil {
+			cells := []string{r.Experiment, r.Title}
+			if r.Machine != "" {
+				cells = append(cells, r.Machine)
+			}
+			if err := cw.Write(append(cells, row...)); err != nil {
 				return err
 			}
 		}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cache"
 	"repro/internal/layout"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vlsi"
@@ -78,10 +79,11 @@ func fig4Run(p Params, pool *Pool) []Result {
 	for i, pad := range pads {
 		cfgs[i] = sim.RunConfig{Policy: sim.PolicyFull, FixedPad: pad}
 	}
-	m := Matrix{Benches: workload.Fig10Set(), Configs: cfgs, Visits: p.Visits}
+	m := Matrix{Benches: workload.Fig10Set(), Configs: cfgs, Machine: p.Machine, Visits: p.Visits}
 	r := m.Run(pool)
 	t := Result{
 		Kind:    KindTable,
+		Machine: p.MachineLabel(),
 		Title:   "Figure 4: average slowdown with fixed security-byte padding (full insertion, no CFORM)",
 		Headers: []string{"padding", "slowdown", "paper"},
 	}
@@ -136,18 +138,26 @@ func table2Run(_ Params, _ *Pool) []Result {
 	return []Result{t, note}
 }
 
-func table3Run(_ Params, _ *Pool) []Result {
-	cfg := cache.Westmere()
+// levelDesc renders one cache level the way Table 3 writes it.
+func levelDesc(c cache.LevelConfig) string {
+	return fmt.Sprintf("%s, %d-way, %d-cycle latency", machine.SizeString(c.Size), c.Ways, c.Latency)
+}
+
+func table3Run(p Params, _ *Pool) []Result {
+	d := p.Machine.OrDefault()
+	cfg := d.Hier
 	sim.CountWork(5) // configuration rows rendered
 	return []Result{{
 		Kind:    KindTable,
+		Machine: p.MachineLabel(),
 		Title:   "Table 3: simulated system configuration",
 		Headers: []string{"component", "configuration"},
 		Rows: [][]string{
-			{"Core", "x86-64 Westmere-like OoO model: 4-wide issue, 10 MSHRs, 48-cycle ROB window"},
-			{"L1 data cache", fmt.Sprintf("%dKB, %d-way, %d-cycle latency", cfg.L1.Size>>10, cfg.L1.Ways, cfg.L1.Latency)},
-			{"L2 cache", fmt.Sprintf("%dKB, %d-way, %d-cycle latency", cfg.L2.Size>>10, cfg.L2.Ways, cfg.L2.Latency)},
-			{"L3 cache", fmt.Sprintf("%dMB, %d-way, %d-cycle latency", cfg.L3.Size>>20, cfg.L3.Ways, cfg.L3.Latency)},
+			{"Core", fmt.Sprintf("%s: %d-wide issue, %d MSHRs, %.0f-cycle ROB window",
+				d.CoreModel, d.Core.IssueWidth, d.Core.MSHRs, d.Core.ROBWindow)},
+			{"L1 data cache", levelDesc(cfg.L1)},
+			{"L2 cache", levelDesc(cfg.L2)},
+			{"L3 cache", levelDesc(cfg.L3)},
 			{"DRAM", fmt.Sprintf("%d-cycle latency", cfg.MemLatency)},
 		},
 	}}
@@ -156,16 +166,18 @@ func table3Run(_ Params, _ *Pool) []Result {
 // fig10Run measures +1 cycle on every L2/L3 access against the
 // default machine, one unit per benchmark.
 func fig10Run(p Params, pool *Pool) []Result {
-	slow := cache.Westmere()
-	slow.ExtraL2L3 = 1
+	slow := p.Machine.OrDefault()
+	slow.Hier.ExtraL2L3 = 1
 	m := Matrix{
 		Benches: workload.Fig10Set(),
-		Configs: []sim.RunConfig{{Policy: sim.PolicyNone, Hier: &slow}},
+		Configs: []sim.RunConfig{{Policy: sim.PolicyNone, Machine: slow}},
+		Machine: p.Machine,
 		Visits:  p.Visits,
 	}
 	r := m.Run(pool)
 	t := Result{
 		Kind:    KindTable,
+		Machine: p.MachineLabel(),
 		Title:   "Figure 10: slowdown with +1 cycle L2 and L3 latency (paper avg: 0.83%, range 0.24–1.37%)",
 		Headers: []string{"benchmark", "slowdown"},
 	}
@@ -222,7 +234,7 @@ func PolicyMatrix(cfgs []Fig11Config, p Params, pool *Pool) MatrixResult {
 	for i, c := range cfgs {
 		rcs[i] = sim.RunConfig{Policy: c.Policy, MinPad: 1, MaxPad: c.MaxPad, UseCForm: c.UseCForm}
 	}
-	m := Matrix{Benches: workload.Fig11Set(), Configs: rcs, Seeds: p.Seeds, Visits: p.Visits}
+	m := Matrix{Benches: workload.Fig11Set(), Configs: rcs, Machine: p.Machine, Seeds: p.Seeds, Visits: p.Visits}
 	return m.Run(pool)
 }
 
@@ -232,7 +244,7 @@ func policyMatrixResult(title string, cfgs []Fig11Config, paperAvg []string, p P
 	for _, c := range cfgs {
 		headers = append(headers, c.Label)
 	}
-	t := Result{Kind: KindTable, Title: title, Headers: headers}
+	t := Result{Kind: KindTable, Machine: p.MachineLabel(), Title: title, Headers: headers}
 	for b, spec := range r.Matrix.Benches {
 		row := []string{spec.Name}
 		for c := range cfgs {
@@ -384,7 +396,9 @@ func securityRun(_ Params, pool *Pool) []Result {
 }
 
 // ablationsRun runs the five design-choice sweeps of DESIGN.md §4 as
-// independent units.
+// independent units. The sweeps stay pinned to the Table 3 machine
+// regardless of Params.Machine: they are design-choice studies
+// anchored to the paper's configuration, not machine sweeps.
 func ablationsRun(p Params, pool *Pool) []Result {
 	sweeps := sim.AblationSweeps()
 	out := make([]Result, len(sweeps))

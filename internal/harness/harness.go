@@ -20,6 +20,8 @@ package harness
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/machine"
 )
 
 // Params are the experiment-independent knobs of a sweep.
@@ -30,6 +32,24 @@ type Params struct {
 	// Seeds is the number of layout randomizations ("binaries")
 	// averaged per configuration (the paper builds three).
 	Seeds int
+	// Machine is the base machine the sweeps run on (zero: the
+	// default westmere — byte-identical to the pre-machine-axis
+	// harness). Experiments that derive sensitivity variants (fig10's
+	// +1-cycle column) derive them from this base; experiments that
+	// sweep their own machine axis (sens-machine, sens-llc) and the
+	// machine-independent ones ignore it.
+	Machine machine.Desc
+}
+
+// MachineLabel returns the name experiments stamp single-machine
+// records with: empty for the default machine — whether left zero or
+// selected explicitly (-machine westmere), so the two spellings emit
+// byte-identical reports — and the machine name otherwise.
+func (p Params) MachineLabel() string {
+	if p.Machine.IsZero() || p.Machine == machine.Default() {
+		return ""
+	}
+	return p.Machine.Name
 }
 
 // Kind classifies a Result record for the emitters.
@@ -50,12 +70,18 @@ const (
 // results carry Headers/Rows; prose and charts carry prerendered
 // Text. The engine stamps Experiment with the registry name.
 type Result struct {
-	Experiment string     `json:"experiment"`
-	Kind       Kind       `json:"kind"`
-	Title      string     `json:"title,omitempty"`
-	Headers    []string   `json:"headers,omitempty"`
-	Rows       [][]string `json:"rows,omitempty"`
-	Text       string     `json:"text,omitempty"`
+	Experiment string `json:"experiment"`
+	Kind       Kind   `json:"kind"`
+	Title      string `json:"title,omitempty"`
+	// Machine names the machine a single-machine record was measured
+	// on. Empty for the default machine (keeping default output
+	// byte-identical across harness versions) and for multi-machine
+	// records, whose tables carry a machine column in their rows
+	// instead.
+	Machine string     `json:"machine,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Text    string     `json:"text,omitempty"`
 }
 
 // Experiment is one registered table or figure reproduction.

@@ -5,7 +5,7 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/cache"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -13,16 +13,16 @@ import (
 
 // simExtraL2L3 is the Figure 10 machine: +1 cycle on every L2/L3
 // access.
-func simExtraL2L3() *cache.Config {
-	c := cache.Westmere()
-	c.ExtraL2L3 = 1
-	return &c
+func simExtraL2L3() machine.Desc {
+	d := machine.Default()
+	d.Hier.ExtraL2L3 = 1
+	return d
 }
 
 func TestRegistryCanonicalOrder(t *testing.T) {
 	want := []string{"fig3", "fig4", "table1", "table2", "table3", "fig10", "fig11",
 		"fig12", "table4", "table5", "table6", "table7", "security", "ablations",
-		"mix2", "mix4", "rate4", "rate8"}
+		"mix2", "mix4", "rate4", "rate8", "sens-machine", "sens-llc"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry holds %d experiments, want %d", len(got), len(want))
@@ -198,7 +198,7 @@ func TestFig10Band(t *testing.T) {
 	slow := simExtraL2L3()
 	m := Matrix{
 		Benches: workload.Fig10Set(),
-		Configs: []sim.RunConfig{{Policy: sim.PolicyNone, Hier: slow}},
+		Configs: []sim.RunConfig{{Policy: sim.PolicyNone, Machine: slow}},
 		Visits:  8000,
 	}
 	r := m.Run(NewPool(0))
@@ -250,6 +250,7 @@ func TestRegistryExperimentShapes(t *testing.T) {
 		"fig10": 1, "fig11": 1, "fig12": 1, "table4": 1, "table5": 1,
 		"table6": 1, "table7": 1, "security": 3, "ablations": 5,
 		"mix2": 2, "mix4": 2, "rate4": 1, "rate8": 1,
+		"sens-machine": 2, "sens-llc": 1,
 	}
 	for _, e := range Experiments() {
 		rs := Run(e, p, pool)

@@ -3,6 +3,7 @@ package harness
 import (
 	"sync"
 
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -16,23 +17,36 @@ const layoutSeedStride = 7919
 
 // Cell is one run unit's coordinate in a Matrix: which benchmark,
 // which configuration column (-1 is the shared per-benchmark
-// baseline), and which layout-randomization replica.
+// baseline), which layout-randomization replica, and which machine
+// column (0 when the matrix has no machine axis).
 type Cell struct {
-	Bench  int
-	Config int // index into Matrix.Configs; -1 = baseline
-	Seed   int
+	Bench   int
+	Config  int // index into Matrix.Configs; -1 = baseline
+	Seed    int
+	Machine int // index into Matrix.Machines; 0 without a machine axis
 }
 
 // Matrix is the declarative configuration matrix of a performance
-// experiment: benchmark × configuration × seed replica, plus one
-// uninstrumented baseline run per benchmark that every slowdown is
-// measured against.
+// experiment: benchmark × configuration × seed replica × machine,
+// plus one uninstrumented baseline run per benchmark per machine that
+// every slowdown is measured against.
 type Matrix struct {
 	Benches []workload.Spec
 	// Configs are the configuration columns. Visits and the replica
 	// layout seed are filled in per cell; everything else is taken
 	// as-is.
 	Configs []sim.RunConfig
+	// Machine is the base machine of every cell (zero: the default
+	// westmere). Configs whose own Machine field is set keep it —
+	// they are derived variants of the base machine (fig10's +1-cycle
+	// column).
+	Machine machine.Desc
+	// Machines is the machine axis: when non-empty, every cell runs
+	// once per listed machine, overriding Machine and the configs'
+	// own Machine fields. The op streams are machine-independent, so
+	// all machine columns of a cell share one captured trace (the
+	// machine never enters the trace key).
+	Machines []machine.Desc
 	// Seeds is the number of layout replicas per cell (<=1 means one,
 	// with the config's own LayoutSeed unchanged).
 	Seeds int
@@ -47,16 +61,30 @@ func (m Matrix) seeds() int {
 	return m.Seeds
 }
 
+// machines returns the machine-axis width (1 without an axis).
+func (m Matrix) machines() int {
+	if len(m.Machines) == 0 {
+		return 1
+	}
+	return len(m.Machines)
+}
+
 // Cells expands the matrix into its run units in canonical order:
-// for each benchmark, the baseline first, then configs × seeds.
-// Result folding relies on this order, never on completion order.
+// for each benchmark, the baselines (one per machine) first, then
+// configs × seeds × machines. Result folding relies on this order,
+// never on completion order.
 func (m Matrix) Cells() []Cell {
+	nm := m.machines()
 	var out []Cell
 	for b := range m.Benches {
-		out = append(out, Cell{Bench: b, Config: -1})
+		for mi := 0; mi < nm; mi++ {
+			out = append(out, Cell{Bench: b, Config: -1, Machine: mi})
+		}
 		for c := range m.Configs {
 			for s := 0; s < m.seeds(); s++ {
-				out = append(out, Cell{Bench: b, Config: c, Seed: s})
+				for mi := 0; mi < nm; mi++ {
+					out = append(out, Cell{Bench: b, Config: c, Seed: s, Machine: mi})
+				}
 			}
 		}
 	}
@@ -65,23 +93,35 @@ func (m Matrix) Cells() []Cell {
 
 // Config materializes the full RunConfig of one cell.
 func (m Matrix) Config(cell Cell) sim.RunConfig {
+	var rc sim.RunConfig
 	if cell.Config < 0 {
-		return sim.RunConfig{Policy: sim.PolicyNone, Visits: m.Visits}
+		rc = sim.RunConfig{Policy: sim.PolicyNone, Visits: m.Visits, Machine: m.Machine}
+	} else {
+		rc = m.Configs[cell.Config]
+		rc.Visits = m.Visits
+		rc.LayoutSeed += int64(cell.Seed) * layoutSeedStride
+		if rc.Machine.IsZero() {
+			rc.Machine = m.Machine
+		}
 	}
-	rc := m.Configs[cell.Config]
-	rc.Visits = m.Visits
-	rc.LayoutSeed += int64(cell.Seed) * layoutSeedStride
+	if len(m.Machines) > 0 {
+		rc.Machine = m.Machines[cell.Machine]
+	}
 	return rc
 }
 
 // MatrixResult holds every unit result of a sweep, addressable by
-// matrix coordinates.
+// matrix coordinates. The machine axis is the innermost index;
+// single-machine matrices read index 0 (the Slowdown/AvgSlowdown
+// shorthands do).
 type MatrixResult struct {
 	Matrix Matrix
-	// Base[b] is benchmark b's uninstrumented baseline.
-	Base []sim.Result
-	// Runs[b][c][s] is the (bench, config, seed) unit result.
-	Runs [][][]sim.Result
+	// Base[b][mi] is benchmark b's uninstrumented baseline on machine
+	// column mi.
+	Base [][]sim.Result
+	// Runs[b][c][s][mi] is the (bench, config, seed, machine) unit
+	// result.
+	Runs [][][][]sim.Result
 }
 
 // visits returns the effective per-unit visit count, mirroring
@@ -98,11 +138,14 @@ func (m Matrix) visits() int {
 // the benchmark, the instrumented layouts (policy, pad bounds, layout
 // seed) and the heap configuration — and of nothing else. Cells with
 // equal keys emit byte-identical streams; machine configuration
-// (hierarchy latencies, core parameters) consumes the stream without
-// influencing it, so it stays out of the key. Pad and seed fields are
-// normalized to zero for the uninstrumented baseline, whose layouts
-// ignore them — that is what lets a policy-free configuration column
-// (e.g. Figure 10's +1-cycle machine) share the baseline's capture.
+// (hierarchy geometry and latencies, core parameters — the whole
+// machine.Desc, including every column of a Machines axis) consumes
+// the stream without influencing it, so it stays out of the key: a
+// matrix swept over M machines captures each stream once and fans it
+// out to all M. Pad and seed fields are normalized to zero for the
+// uninstrumented baseline, whose layouts ignore them — that is what
+// lets a policy-free configuration column (e.g. Figure 10's +1-cycle
+// machine) share the baseline's capture.
 type traceKey struct {
 	bench                    int
 	policy                   sim.PolicyChoice
@@ -146,20 +189,25 @@ var disableReplay = false
 // results land in coordinate-addressed slots and are bit-identical to
 // independent per-cell runs at any worker count.
 func (m Matrix) Run(pool *Pool) MatrixResult {
-	res := MatrixResult{Matrix: m, Base: make([]sim.Result, len(m.Benches))}
-	res.Runs = make([][][]sim.Result, len(m.Benches))
+	nm := m.machines()
+	res := MatrixResult{Matrix: m, Base: make([][]sim.Result, len(m.Benches))}
+	res.Runs = make([][][][]sim.Result, len(m.Benches))
 	for b := range res.Runs {
-		res.Runs[b] = make([][]sim.Result, len(m.Configs))
+		res.Base[b] = make([]sim.Result, nm)
+		res.Runs[b] = make([][][]sim.Result, len(m.Configs))
 		for c := range res.Runs[b] {
-			res.Runs[b][c] = make([]sim.Result, m.seeds())
+			res.Runs[b][c] = make([][]sim.Result, m.seeds())
+			for s := range res.Runs[b][c] {
+				res.Runs[b][c][s] = make([]sim.Result, nm)
+			}
 		}
 	}
 	cells := m.Cells()
 	store := func(cell Cell, r sim.Result) {
 		if cell.Config < 0 {
-			res.Base[cell.Bench] = r
+			res.Base[cell.Bench][cell.Machine] = r
 		} else {
-			res.Runs[cell.Bench][cell.Config][cell.Seed] = r
+			res.Runs[cell.Bench][cell.Config][cell.Seed][cell.Machine] = r
 		}
 	}
 	if disableReplay {
@@ -221,22 +269,29 @@ func (m Matrix) Run(pool *Pool) MatrixResult {
 	return res
 }
 
-// Slowdown returns benchmark b's slowdown under config c versus its
-// baseline, averaged over the seed replicas.
-func (r MatrixResult) Slowdown(b, c int) float64 {
+// SlowdownAt returns benchmark b's slowdown under config c on
+// machine column mi versus the same machine's baseline, averaged
+// over the seed replicas.
+func (r MatrixResult) SlowdownAt(b, c, mi int) float64 {
 	sum := 0.0
-	for _, run := range r.Runs[b][c] {
-		sum += stats.Slowdown(r.Base[b].Cycles, run.Cycles)
+	for _, runs := range r.Runs[b][c] {
+		sum += stats.Slowdown(r.Base[b][mi].Cycles, runs[mi].Cycles)
 	}
 	return sum / float64(len(r.Runs[b][c]))
 }
 
-// AvgSlowdown returns the arithmetic-mean slowdown of config c across
-// all benchmarks (the paper's AVG bars).
-func (r MatrixResult) AvgSlowdown(c int) float64 {
+// Slowdown is SlowdownAt on the first (or only) machine column.
+func (r MatrixResult) Slowdown(b, c int) float64 { return r.SlowdownAt(b, c, 0) }
+
+// AvgSlowdownAt returns the arithmetic-mean slowdown of config c on
+// machine column mi across all benchmarks (the paper's AVG bars).
+func (r MatrixResult) AvgSlowdownAt(c, mi int) float64 {
 	var col []float64
 	for b := range r.Matrix.Benches {
-		col = append(col, r.Slowdown(b, c))
+		col = append(col, r.SlowdownAt(b, c, mi))
 	}
 	return stats.Mean(col)
 }
+
+// AvgSlowdown is AvgSlowdownAt on the first (or only) machine column.
+func (r MatrixResult) AvgSlowdown(c int) float64 { return r.AvgSlowdownAt(c, 0) }

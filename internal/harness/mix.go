@@ -52,7 +52,8 @@ type Mix struct {
 	// the per-replica layout seed are filled in per cell.
 	Config sim.RunConfig
 	// Cores lists the machine widths to sweep (1 reproduces the
-	// single-core engine exactly).
+	// single-core engine exactly). Empty means one width: the
+	// machine's own nominal core count (machine.Desc.Cores).
 	Cores  []int
 	Seeds  int
 	Visits int
@@ -72,7 +73,7 @@ func (mx Mix) seeds() int {
 // (its layouts ignore pads and seeds), the protected replica k shifts
 // the layout seed by k*layoutSeedStride.
 func (mx Mix) baseConfig() sim.RunConfig {
-	return sim.RunConfig{Policy: sim.PolicyNone, Visits: mx.Visits, Hier: mx.Config.Hier, Core: mx.Config.Core}
+	return sim.RunConfig{Policy: sim.PolicyNone, Visits: mx.Visits, Machine: mx.Config.Machine}
 }
 
 func (mx Mix) protConfig(seed int) sim.RunConfig {
@@ -120,6 +121,12 @@ type MixResult struct {
 // the recordings across every (tuple, core count, variant, seed)
 // machine. Results are deterministic at any worker count.
 func (mx Mix) Run(pool *Pool) MixResult {
+	if len(mx.Cores) == 0 {
+		// No explicit width axis: run the machine at its own nominal
+		// core count. mx is a value; the normalized copy is what lands
+		// in the result's Mix, so the coordinate methods see it too.
+		mx.Cores = []int{mx.Config.Machine.OrDefault().Cores}
+	}
 	seeds := mx.seeds()
 	benches, benchIdx := mx.benches()
 	res := MixResult{
@@ -169,7 +176,7 @@ func (mx Mix) Run(pool *Pool) MixResult {
 	// Stage two: replay the recordings across the mix machines.
 	// Recordings are read-only here (each machine traverses them with
 	// its own cursors), so units share them freely across workers.
-	cfg := multicore.Config{Hier: mx.Config.Hier, Core: mx.Config.Core, Quantum: mx.Quantum}
+	cfg := multicore.Config{Machine: mx.Config.Machine, Quantum: mx.Quantum}
 	per := len(mx.Cores) * variants
 	pool.Map(len(mx.Tuples)*per, func(u int) {
 		t, r := u/per, u%per
@@ -353,14 +360,25 @@ func mixTables(r MixResult) []Result {
 }
 
 func mixNRun(p Params, pool *Pool, cores int, tuples []MixTuple) []Result {
+	cfg := mixProtConfig()
+	cfg.Machine = p.Machine
 	mx := Mix{
 		Tuples: tuples,
-		Config: mixProtConfig(),
+		Config: cfg,
 		Cores:  []int{cores},
 		Seeds:  p.Seeds,
 		Visits: p.Visits,
 	}
-	return mixTables(mx.Run(pool))
+	return stampMachine(mixTables(mx.Run(pool)), p)
+}
+
+// stampMachine labels single-machine records with the sweep's
+// non-default machine (see Result.Machine).
+func stampMachine(rs []Result, p Params) []Result {
+	for i := range rs {
+		rs[i].Machine = p.MachineLabel()
+	}
+	return rs
 }
 
 // mix2Run pairs an LLC-pressuring benchmark with a lighter co-runner:
@@ -390,9 +408,11 @@ func rateRun(p Params, pool *Pool, coreCounts []int, names []string) []Result {
 	for i, n := range names {
 		tuples[i] = mixTuple(n)
 	}
+	cfg := mixProtConfig()
+	cfg.Machine = p.Machine
 	mx := Mix{
 		Tuples: tuples,
-		Config: mixProtConfig(),
+		Config: cfg,
 		Cores:  coreCounts,
 		Seeds:  p.Seeds,
 		Visits: p.Visits,
@@ -435,7 +455,7 @@ func rateRun(p Params, pool *Pool, coreCounts []int, names []string) []Result {
 		avgRow = append(avgRow, stats.Pct(v/float64(len(tuples))))
 	}
 	t.Rows = append(t.Rows, avgRow)
-	return []Result{t}
+	return stampMachine([]Result{t}, p)
 }
 
 func rate4Run(p Params, pool *Pool) []Result {

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"testing"
 
-	"repro/internal/cache"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -12,11 +12,11 @@ import (
 // fig10StyleMatrix mirrors fig10's shape: one machine-only variant
 // column against the default baseline.
 func fig10StyleMatrix() Matrix {
-	slow := cache.Westmere()
-	slow.ExtraL2L3 = 1
+	slow := machine.Default()
+	slow.Hier.ExtraL2L3 = 1
 	return Matrix{
 		Benches: workload.Fig10Set()[:2],
-		Configs: []sim.RunConfig{{Policy: sim.PolicyNone, Hier: &slow}},
+		Configs: []sim.RunConfig{{Policy: sim.PolicyNone, Machine: slow}},
 		Visits:  100,
 	}
 }

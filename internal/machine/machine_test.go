@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+)
+
+// TestRegistryContents: the canonical machines are registered in
+// order, resolvable by name, and all valid.
+func TestRegistryContents(t *testing.T) {
+	want := []string{"westmere", "skylake", "embedded", "server"}
+	got := Machines()
+	if len(got) != len(want) {
+		t.Fatalf("registry holds %d machines, want %d", len(got), len(want))
+	}
+	for i, d := range got {
+		if d.Name != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, d.Name, want[i])
+		}
+		if d.Title == "" || d.CoreModel == "" {
+			t.Fatalf("machine %q is missing Title/CoreModel", d.Name)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("registered machine %q fails validation: %v", d.Name, err)
+		}
+	}
+	if _, ok := Get("nonsense"); ok {
+		t.Fatal("Get accepted an unknown name")
+	}
+}
+
+// TestWestmereIsTheTable3Machine: the registry default is byte-for-
+// byte the hierarchy and core the whole evaluation has always run on,
+// so selecting it (or leaving the machine zero) reproduces historical
+// results exactly.
+func TestWestmereIsTheTable3Machine(t *testing.T) {
+	d := Default()
+	if d.Name != "westmere" {
+		t.Fatalf("default machine is %q", d.Name)
+	}
+	if d.Hier != cache.Westmere() {
+		t.Fatalf("westmere hierarchy diverged from cache.Westmere():\n%+v\n%+v", d.Hier, cache.Westmere())
+	}
+	if d.Core != cpu.DefaultConfig() {
+		t.Fatalf("westmere core diverged from cpu.DefaultConfig():\n%+v\n%+v", d.Core, cpu.DefaultConfig())
+	}
+}
+
+// TestZeroDescResolution: the zero description is the "default"
+// sentinel everywhere.
+func TestZeroDescResolution(t *testing.T) {
+	var zero Desc
+	if !zero.IsZero() {
+		t.Fatal("zero Desc must report IsZero")
+	}
+	if got := zero.OrDefault(); got != Default() {
+		t.Fatalf("zero OrDefault = %q", got.Name)
+	}
+	d := Default()
+	if d.IsZero() {
+		t.Fatal("a real machine must not report IsZero")
+	}
+	if got := d.OrDefault(); got != d {
+		t.Fatal("OrDefault must return a non-zero Desc unchanged")
+	}
+	if err := zero.Validate(); err == nil {
+		t.Fatal("validating the zero sentinel must error (resolve it first)")
+	}
+}
+
+// TestValidateRejectsBadDescriptions: every class of invalid machine
+// gets a descriptive error before any simulation could start.
+func TestValidateRejectsBadDescriptions(t *testing.T) {
+	cases := []struct {
+		label string
+		mut   func(*Desc)
+		want  string
+	}{
+		{"too many ways", func(d *Desc) { d.Hier.L1.Ways = 32 }, "ways exceeds"},
+		{"zero ways", func(d *Desc) { d.Hier.L2.Ways = 0 }, "need >= 1"},
+		{"indivisible size", func(d *Desc) { d.Hier.L3.Size = 3<<20 + 7 }, "does not divide"},
+		{"no complete set", func(d *Desc) { d.Hier.L1.Size = 0 }, "size 0"},
+		{"negative level latency", func(d *Desc) { d.Hier.L2.Latency = -1 }, "negative latency"},
+		{"zero DRAM latency", func(d *Desc) { d.Hier.MemLatency = 0 }, "DRAM latency"},
+		{"negative extra latency", func(d *Desc) { d.Hier.ExtraL2L3 = -1 }, "ExtraL2L3"},
+		{"zero issue width", func(d *Desc) { d.Core.IssueWidth = 0 }, "issue width"},
+		{"zero MSHRs", func(d *Desc) { d.Core.MSHRs = 0 }, "MSHRs"},
+		{"zero ROB window", func(d *Desc) { d.Core.ROBWindow = 0 }, "ROB window"},
+		{"zero LSQ", func(d *Desc) { d.Core.LSQDepth = 0 }, "LSQ depth"},
+		{"zero cores", func(d *Desc) { d.Cores = 0 }, "cores"},
+	}
+	for _, tc := range cases {
+		d := Default()
+		tc.mut(&d)
+		err := d.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate accepted an invalid machine", tc.label)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.label, err, tc.want)
+		}
+	}
+}
+
+// TestWithL3Size: LLC derivation keeps everything but the L3 capacity
+// and renames the variant.
+func TestWithL3Size(t *testing.T) {
+	base := Default()
+	v := base.WithL3Size(8 << 20)
+	if v.Hier.L3.Size != 8<<20 {
+		t.Fatalf("L3 size = %d", v.Hier.L3.Size)
+	}
+	if v.Name != "westmere-llc8M" {
+		t.Fatalf("variant name = %q", v.Name)
+	}
+	if v.Hier.L1 != base.Hier.L1 || v.Hier.L2 != base.Hier.L2 || v.Core != base.Core || v.Cores != base.Cores {
+		t.Fatal("WithL3Size changed more than the L3 capacity")
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatalf("derived variant invalid: %v", err)
+	}
+	if small := base.WithL3Size(512 << 10); small.Name != "westmere-llc512K" {
+		t.Fatalf("sub-MB variant name = %q", small.Name)
+	}
+}

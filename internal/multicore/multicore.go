@@ -38,6 +38,7 @@ package multicore
 import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -62,12 +63,13 @@ type Stream struct {
 	Rec  *trace.Recording
 }
 
-// Config describes the machine. Hier/Core override the Table 3
-// defaults when set (the L1/L2 geometry and core parameters apply
-// per core; the L3 geometry builds the single shared level).
+// Config describes the machine. Machine is the shared-LLC machine
+// description the run derives its hardware from: each core gets the
+// description's private L1/L2 geometry and core parameters, and the
+// description's L3 geometry builds the single shared level. The zero
+// description is the default Table 3 westmere.
 type Config struct {
-	Hier *cache.Config
-	Core *cpu.Config
+	Machine machine.Desc
 	// Quantum is the interleaver slice in ops (<=0: DefaultQuantum).
 	Quantum int
 }
@@ -100,27 +102,21 @@ func Run(cfg Config, streams []Stream) RunResult {
 	if n == 0 {
 		return RunResult{}
 	}
-	hierCfg := cache.Westmere()
-	if cfg.Hier != nil {
-		hierCfg = *cfg.Hier
-	}
-	coreCfg := cpu.DefaultConfig()
-	if cfg.Core != nil {
-		coreCfg = *cfg.Core
-	}
+	d := cfg.Machine.OrDefault()
+	sim.ProbeMachine(d.Name)
 	quantum := cfg.Quantum
 	if quantum <= 0 {
 		quantum = DefaultQuantum
 	}
 
-	shared := cache.NewSharedL3(hierCfg.L3, mem.New(), n)
+	shared := cache.NewSharedL3(d.Hier.L3, mem.New(), n)
 	hiers := make([]*cache.Hierarchy, n)
 	cores := make([]*cpu.Core, n)
 	cursors := make([]*trace.ReplayCursor, n)
 	warm := make([]int, n)
 	for i, st := range streams {
-		hiers[i] = cache.NewShared(hierCfg, shared, i)
-		cores[i] = cpu.New(coreCfg, hiers[i])
+		hiers[i] = cache.NewShared(d.Hier, shared, i)
+		cores[i] = cpu.New(d.Core, hiers[i])
 		cursors[i] = trace.NewReplayCursor(st.Rec, uint64(i)<<AddrSpaceShift)
 		if b := st.Rec.ResetAt(); b >= 0 {
 			warm[i] = b

@@ -3,15 +3,16 @@
 // cost — and reads/writes the BENCH_califorms.json trajectory file
 // the CI perf gate consumes.
 //
-// # BENCH_califorms.json schema (califorms-bench-perf/v2)
+// # BENCH_califorms.json schema (califorms-bench-perf/v3)
 //
 //	{
-//	  "schema":      "califorms-bench-perf/v2",
+//	  "schema":      "califorms-bench-perf/v3",
 //	  "go":          "go1.24.x",            // runtime.Version()
 //	  "generated":   "2026-07-26T12:00:00Z",// RFC 3339 UTC
 //	  "visits":      2000,                  // harness.Params.Visits
 //	  "seeds":       1,                     // harness.Params.Seeds
 //	  "workers":     2,                     // pool width
+//	  "machine":     "skylake",             // -machine override; omitted on default-machine reports
 //	  "experiments": [
 //	    {
 //	      "name":                "fig10",
@@ -22,7 +23,8 @@
 //	      "setup_cpu_seconds":   0.01,  // machine + layout build
 //	      "sim_cpu_seconds":     0.0,   // per-cell scripted/direct kernel runs
 //	      "capture_cpu_seconds": 0.35,  // script capture + stream-generating passes
-//	      "replay_cpu_seconds":  0.16   // sibling machines fed from a captured stream
+//	      "replay_cpu_seconds":  0.16,  // sibling machines fed from a captured stream
+//	      "machines":            ["westmere"] // machine descriptions built (sorted)
 //	    }, ...
 //	  ],
 //	  "total_ops":          ...,  // sum of sim_ops
@@ -38,7 +40,17 @@
 // given (experiment, visits, seeds); wall_seconds and the derived
 // rates are machine-dependent.
 //
-// v2 replaces v1's ambiguous per-stage "seconds" — per-worker sums
+// v3 adds the machine column: the per-experiment "machines" list names
+// every machine description the experiment built — registry names,
+// renaming derivations like westmere-llc8M, or "custom" for anonymous
+// descriptions. An edited copy that keeps its base's name (fig10's
+// +1-cycle column, the ablation variants) reports the base name: the
+// list identifies machine families simulated, not parameter edits.
+// The report-level "machine" field records a global -machine
+// override. Experiments that build no machines (the analytic tables)
+// omit the list.
+//
+// v2 replaced v1's ambiguous per-stage "seconds" — per-worker sums
 // that could silently exceed the wall clock and read like a
 // contradiction — with explicitly labeled *_cpu_seconds plus the
 // cpu_seconds total, and documents the semantics: stage figures are
@@ -61,7 +73,7 @@ import (
 )
 
 // Schema identifies the report format.
-const Schema = "califorms-bench-perf/v2"
+const Schema = "califorms-bench-perf/v3"
 
 // Measurement is one experiment's throughput record.
 type Measurement struct {
@@ -82,16 +94,25 @@ type Measurement struct {
 	SimCPUSeconds     float64 `json:"sim_cpu_seconds"`
 	CaptureCPUSeconds float64 `json:"capture_cpu_seconds"`
 	ReplayCPUSeconds  float64 `json:"replay_cpu_seconds"`
+	// Machines lists (sorted) the machine-description names the
+	// experiment built: registry names, renaming derivations
+	// (westmere-llc8M), or "custom" for anonymous descriptions. An
+	// edited copy keeping its base's name reports the base name.
+	// Empty for experiments that simulate nothing.
+	Machines []string `json:"machines,omitempty"`
 }
 
 // Report is the full BENCH_califorms.json document.
 type Report struct {
-	Schema           string        `json:"schema"`
-	Go               string        `json:"go"`
-	Generated        string        `json:"generated"`
-	Visits           int           `json:"visits"`
-	Seeds            int           `json:"seeds"`
-	Workers          int           `json:"workers"`
+	Schema    string `json:"schema"`
+	Go        string `json:"go"`
+	Generated string `json:"generated"`
+	Visits    int    `json:"visits"`
+	Seeds     int    `json:"seeds"`
+	Workers   int    `json:"workers"`
+	// Machine is the global -machine override the report was measured
+	// under ("" = the default westmere).
+	Machine          string        `json:"machine,omitempty"`
 	Experiments      []Measurement `json:"experiments"`
 	TotalOps         uint64        `json:"total_ops"`
 	TotalWallSeconds float64       `json:"total_wall_seconds"`
@@ -110,6 +131,7 @@ func Measure(names []string, p harness.Params, pool *harness.Pool) (Report, erro
 		Visits:    p.Visits,
 		Seeds:     p.Seeds,
 		Workers:   pool.Workers(),
+		Machine:   p.MachineLabel(),
 	}
 	for _, name := range names {
 		sim.StartProbe()
@@ -128,6 +150,7 @@ func Measure(names []string, p harness.Params, pool *harness.Pool) (Report, erro
 			SimCPUSeconds:     totals.SimSeconds,
 			CaptureCPUSeconds: totals.CaptureSeconds,
 			ReplayCPUSeconds:  totals.ReplaySeconds,
+			Machines:          totals.Machines,
 		}
 		m.CPUSeconds = m.SetupCPUSeconds + m.SimCPUSeconds + m.CaptureCPUSeconds + m.ReplayCPUSeconds
 		if wall > 0 {
@@ -215,10 +238,10 @@ const minGateWallSeconds = 0.25
 // all: that is an error, never a silent pass. Experiments present in
 // only one report are skipped — the registry may grow.
 func Compare(baseline, current Report, tolerancePct float64) ([]Regression, error) {
-	if baseline.Visits != current.Visits || baseline.Seeds != current.Seeds || baseline.Workers != current.Workers {
+	if baseline.Visits != current.Visits || baseline.Seeds != current.Seeds || baseline.Workers != current.Workers || baseline.Machine != current.Machine {
 		return nil, fmt.Errorf(
-			"perf: baseline (visits=%d seeds=%d workers=%d) and current (visits=%d seeds=%d workers=%d) measured different parameters; regenerate the baseline",
-			baseline.Visits, baseline.Seeds, baseline.Workers, current.Visits, current.Seeds, current.Workers)
+			"perf: baseline (visits=%d seeds=%d workers=%d machine=%q) and current (visits=%d seeds=%d workers=%d machine=%q) measured different parameters; regenerate the baseline",
+			baseline.Visits, baseline.Seeds, baseline.Workers, baseline.Machine, current.Visits, current.Seeds, current.Workers, current.Machine)
 	}
 	base := make(map[string]Measurement, len(baseline.Experiments))
 	for _, m := range baseline.Experiments {

@@ -146,6 +146,31 @@ func TestCompareGates(t *testing.T) {
 	if _, err := Compare(base, bad, 20); err == nil {
 		t.Fatal("workers mismatch must error")
 	}
+	bad = mk(100, 100)
+	bad.Machine = "skylake"
+	if _, err := Compare(base, bad, 20); err == nil {
+		t.Fatal("machine mismatch must error")
+	}
+}
+
+// TestMachinesColumn: v3 reports name the machine descriptions each
+// experiment built — the default machine for the standard sweeps, the
+// whole registry for sens-machine, nothing for analytic tables.
+func TestMachinesColumn(t *testing.T) {
+	r, err := Measure([]string{"fig10", "table4"}, harness.Params{Visits: 50, Seeds: 1}, harness.NewPool(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig10, table4 := r.Experiments[0], r.Experiments[1]
+	if len(fig10.Machines) != 1 || fig10.Machines[0] != "westmere" {
+		t.Fatalf("fig10 machines = %v, want [westmere]", fig10.Machines)
+	}
+	if len(table4.Machines) != 0 {
+		t.Fatalf("table4 builds no machines, got %v", table4.Machines)
+	}
+	if r.Machine != "" {
+		t.Fatalf("default report machine = %q, want empty", r.Machine)
+	}
 }
 
 func TestDiffTable(t *testing.T) {

@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/alloc"
-	"repro/internal/cache"
-	"repro/internal/cpu"
+	"repro/internal/machine"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -56,9 +55,9 @@ func AblationSpillFill(visits int) AblationResult {
 	spec, _ := workload.ByName("xalancbmk")
 	out := AblationResult{Name: "L1<->L2 caliform conversion latency (xalancbmk, full 1-7B + CFORM)"}
 	for _, lat := range []int{0, 1, 2, 4} {
-		h := cache.Westmere()
-		h.SpillFillLatency = lat
-		r := Run(spec, RunConfig{Policy: PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: visits, Hier: &h})
+		d := machine.Default()
+		d.Hier.SpillFillLatency = lat
+		r := Run(spec, RunConfig{Policy: PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: visits, Machine: d})
 		out.Rows = append(out.Rows, AblationRow{
 			Label:  fmt.Sprintf("+%d cycles", lat),
 			Cycles: r.Cycles,
@@ -125,9 +124,9 @@ func AblationMLP(visits int) AblationResult {
 	for _, name := range []string{"mcf", "libquantum"} {
 		spec, _ := workload.ByName(name)
 		for _, mshrs := range []int{1, 4, 10} {
-			cfg := cpu.DefaultConfig()
-			cfg.MSHRs = mshrs
-			r := Run(spec, RunConfig{Policy: PolicyNone, Visits: visits, Core: &cfg})
+			d := machine.Default()
+			d.Core.MSHRs = mshrs
+			r := Run(spec, RunConfig{Policy: PolicyNone, Visits: visits, Machine: d})
 			out.Rows = append(out.Rows, AblationRow{
 				Label:  fmt.Sprintf("%s, %d MSHRs", name, mshrs),
 				Cycles: r.Cycles,
@@ -162,9 +161,9 @@ func AblationL1Variant(visits int) AblationResult {
 		{"califorms-1B (5cy L1)", 5},
 		{"califorms-4B (6cy L1)", 6},
 	} {
-		h := cache.Westmere()
-		h.L1.Latency = v.latency
-		r := Run(spec, RunConfig{Policy: PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: visits, Hier: &h})
+		d := machine.Default()
+		d.Hier.L1.Latency = v.latency
+		r := Run(spec, RunConfig{Policy: PolicyFull, MinPad: 1, MaxPad: 7, UseCForm: true, Visits: visits, Machine: d})
 		out.Rows = append(out.Rows, AblationRow{
 			Label:  v.label,
 			Cycles: r.Cycles,

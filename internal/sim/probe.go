@@ -1,9 +1,24 @@
 package sim
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// genPasses counts workload generation passes — runs where the kernel
+// and allocator actually execute (Run, RunScripted, and one per
+// RunFanout group, however many sibling machines it feeds). Replays
+// from a recording do not count. The counter is cumulative and always
+// on (one atomic add per run, nothing per op); tests of the
+// capture-sharing contract snapshot it around a sweep and assert the
+// delta equals the number of distinct op streams, proving a machine
+// axis adds consumers, never generation work.
+var genPasses atomic.Uint64
+
+// GenerationPasses returns the cumulative generation-pass count.
+func GenerationPasses() uint64 { return genPasses.Load() }
 
 // The probe is the measurement hook behind internal/perf: while
 // enabled, every Run/RunScripted/RunReplayed accumulates its
@@ -20,7 +35,31 @@ var probe struct {
 	simNs     atomic.Int64
 	captureNs atomic.Int64
 	replayNs  atomic.Int64
+	// machines collects the names of the machine descriptions built
+	// during the window (the perf report's machine column). Names are
+	// taken as-is from the Desc: an edited copy that keeps its base's
+	// name is reported under the base name. Guarded by mu; touched
+	// once per run, never per op.
+	mu       sync.Mutex
+	machines map[string]bool
 }
+
+// probeMachine records a built machine's name in the window.
+func probeMachine(name string) {
+	if !probe.enabled.Load() {
+		return
+	}
+	if name == "" {
+		name = "custom"
+	}
+	probe.mu.Lock()
+	probe.machines[name] = true
+	probe.mu.Unlock()
+}
+
+// ProbeMachine is probeMachine for engines that build machines outside
+// sim's own entry points (internal/multicore).
+func ProbeMachine(name string) { probeMachine(name) }
 
 // ProbeTotals is one measurement window's accumulated cost. Stage
 // seconds are summed across parallel workers (each worker's wall
@@ -42,6 +81,10 @@ type ProbeTotals struct {
 	SimSeconds     float64
 	CaptureSeconds float64
 	ReplaySeconds  float64
+	// Machines lists (sorted) the machine descriptions built during
+	// the window — registry names, derived-variant names, or "custom"
+	// for anonymous descriptions.
+	Machines []string
 }
 
 // StartProbe zeroes the counters and enables accumulation.
@@ -51,18 +94,29 @@ func StartProbe() {
 	probe.simNs.Store(0)
 	probe.captureNs.Store(0)
 	probe.replayNs.Store(0)
+	probe.mu.Lock()
+	probe.machines = make(map[string]bool)
+	probe.mu.Unlock()
 	probe.enabled.Store(true)
 }
 
 // StopProbe disables accumulation and returns the window's totals.
 func StopProbe() ProbeTotals {
 	probe.enabled.Store(false)
+	probe.mu.Lock()
+	machines := make([]string, 0, len(probe.machines))
+	for name := range probe.machines {
+		machines = append(machines, name)
+	}
+	probe.mu.Unlock()
+	sort.Strings(machines)
 	return ProbeTotals{
 		Ops:            probe.ops.Load(),
 		SetupSeconds:   float64(probe.setupNs.Load()) / 1e9,
 		SimSeconds:     float64(probe.simNs.Load()) / 1e9,
 		CaptureSeconds: float64(probe.captureNs.Load()) / 1e9,
 		ReplaySeconds:  float64(probe.replayNs.Load()) / 1e9,
+		Machines:       machines,
 	}
 }
 

@@ -3,7 +3,7 @@ package sim
 import (
 	"testing"
 
-	"repro/internal/cache"
+	"repro/internal/machine"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -11,11 +11,11 @@ import (
 // configsUnderTest spans the run-configuration space the sweeps use:
 // baseline, hierarchy variant, and each policy with and without CFORM.
 func configsUnderTest() []RunConfig {
-	slow := cache.Westmere()
-	slow.ExtraL2L3 = 1
+	slow := machine.Default()
+	slow.Hier.ExtraL2L3 = 1
 	return []RunConfig{
 		{Policy: PolicyNone, Visits: 400},
-		{Policy: PolicyNone, Visits: 400, Hier: &slow},
+		{Policy: PolicyNone, Visits: 400, Machine: slow},
 		{Policy: PolicyFull, FixedPad: 3, Visits: 400},
 		{Policy: PolicyFull, MinPad: 1, MaxPad: 5, UseCForm: true, Visits: 400},
 		{Policy: PolicyOpportunistic, UseCForm: true, Visits: 400},
@@ -57,14 +57,14 @@ func TestRunReplayedMatchesCapture(t *testing.T) {
 // independent runs — the property Matrix.Run's grouping rests on.
 func TestRunFanoutMatchesIndependentRuns(t *testing.T) {
 	spec, _ := workload.ByName("astar")
-	slow := cache.Westmere()
-	slow.ExtraL2L3 = 1
-	tiny := cache.Westmere()
-	tiny.L1.Size = 16 << 10
+	slow := machine.Default()
+	slow.Hier.ExtraL2L3 = 1
+	tiny := machine.Default()
+	tiny.Hier.L1.Size = 16 << 10
 	rcs := []RunConfig{
 		{Policy: PolicyNone, Visits: 500},
-		{Policy: PolicyNone, Visits: 500, Hier: &slow},
-		{Policy: PolicyNone, Visits: 500, Hier: &tiny},
+		{Policy: PolicyNone, Visits: 500, Machine: slow},
+		{Policy: PolicyNone, Visits: 500, Machine: tiny},
 	}
 	sc := CaptureScript(spec, 500)
 	group := RunFanout(spec, rcs, sc)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/cpu"
 	"repro/internal/layout"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -71,9 +72,14 @@ type RunConfig struct {
 	// LayoutSeed varies the compiler's randomization (the paper
 	// builds three binaries per configuration).
 	LayoutSeed int64
-	// Hier and Core override the default Table 3 machine when set.
-	Hier *cache.Config
-	Core *cpu.Config
+	// Machine selects the simulated machine — cache hierarchy and
+	// timing core together. The zero value is the default Table 3
+	// westmere (machine.Default()); registry machines and derived
+	// variants are plain values, so a sensitivity config edits a copy
+	// (e.g. Hier.ExtraL2L3) rather than sharing a pointer. The machine
+	// consumes the workload's op stream without influencing it, which
+	// is why it never enters the harness's trace keys.
+	Machine machine.Desc
 	// Heap overrides the allocator configuration entirely (ablation
 	// studies); UseCForm/Protocol defaults below do not apply then.
 	Heap *alloc.Config
@@ -105,24 +111,20 @@ func (r Result) IPC() float64 {
 	return float64(r.Instructions) / r.Cycles
 }
 
-// machine bundles one freshly built simulated machine.
-type machine struct {
+// rig bundles one freshly built simulated machine.
+type rig struct {
 	hier *cache.Hierarchy
 	core *cpu.Core
 }
 
-// buildMachine constructs the hierarchy and core of one run.
-func buildMachine(rc RunConfig) machine {
-	hierCfg := cache.Westmere()
-	if rc.Hier != nil {
-		hierCfg = *rc.Hier
-	}
-	coreCfg := cpu.DefaultConfig()
-	if rc.Core != nil {
-		coreCfg = *rc.Core
-	}
-	hier := cache.New(hierCfg, mem.New())
-	return machine{hier: hier, core: cpu.New(coreCfg, hier)}
+// buildMachine constructs the hierarchy and core of one run from its
+// machine description (the zero description resolves to the default
+// Table 3 westmere).
+func buildMachine(rc RunConfig) rig {
+	d := rc.Machine.OrDefault()
+	probeMachine(d.Name)
+	hier := cache.New(d.Hier, mem.New())
+	return rig{hier: hier, core: cpu.New(d.Core, hier)}
 }
 
 // buildHeap constructs the run's allocator over the given op sink.
@@ -181,13 +183,14 @@ func CoreResult(name string, core *cpu.Core, hier *cache.Hierarchy, heapBytes ui
 
 // result folds a finished machine (and the run's heap footprint) into
 // the exported record.
-func (m machine) result(name string, heapBytes uint64) Result {
+func (m rig) result(name string, heapBytes uint64) Result {
 	return CoreResult(name, m.core, m.hier, heapBytes)
 }
 
 // Run executes one workload under one configuration on a fresh
 // machine and returns its metrics. Runs are deterministic.
 func Run(spec workload.Spec, rc RunConfig) Result {
+	genPasses.Add(1)
 	t := probeStart()
 	m := buildMachine(rc)
 	heap := buildHeap(rc, m.core)
@@ -226,6 +229,7 @@ func CaptureScript(spec workload.Spec, visits int) *workload.Script {
 // sibling configurations with an identical stream can be served by
 // RunReplayed. Results are identical to Run for the same (spec, rc).
 func RunScripted(spec workload.Spec, rc RunConfig, sc *workload.Script, rec *trace.Recording) Result {
+	genPasses.Add(1)
 	t := probeStart()
 	m := buildMachine(rc)
 	env := &workload.Env{Core: m.core, Ins: instrument(spec, rc)}
@@ -259,8 +263,9 @@ func RunScripted(spec workload.Spec, rc RunConfig, sc *workload.Script, rec *tra
 // (it also parameterizes the shared heap; stream-equal siblings have
 // equal heap configurations by definition of the trace key).
 func RunFanout(spec workload.Spec, rcs []RunConfig, sc *workload.Script) []Result {
+	genPasses.Add(1)
 	t := probeStart()
-	machines := make([]machine, len(rcs))
+	machines := make([]rig, len(rcs))
 	sinks := make([]trace.BatchSink, len(rcs))
 	for i, rc := range rcs {
 		machines[i] = buildMachine(rc)

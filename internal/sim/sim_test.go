@@ -3,7 +3,7 @@ package sim
 import (
 	"testing"
 
-	"repro/internal/cache"
+	"repro/internal/machine"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -68,12 +68,12 @@ func TestCaliformedRunsConvertFormats(t *testing.T) {
 }
 
 func TestExtraLatencyAlwaysSlower(t *testing.T) {
-	slow := cache.Westmere()
-	slow.ExtraL2L3 = 1
+	slow := machine.Default()
+	slow.Hier.ExtraL2L3 = 1
 	for _, name := range []string{"mcf", "hmmer", "xalancbmk"} {
 		spec, _ := workload.ByName(name)
 		base := Run(spec, RunConfig{Policy: PolicyNone, Visits: 8000})
-		v := Run(spec, RunConfig{Policy: PolicyNone, Visits: 8000, Hier: &slow})
+		v := Run(spec, RunConfig{Policy: PolicyNone, Visits: 8000, Machine: slow})
 		sd := stats.Slowdown(base.Cycles, v.Cycles)
 		if sd < 0 {
 			t.Fatalf("%s: negative slowdown %.4f from extra latency", name, sd)
