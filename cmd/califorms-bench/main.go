@@ -13,6 +13,10 @@
 //	califorms-bench -perf [-exp ...] [-perf-out BENCH_califorms.json]
 //	                [-perf-baseline BENCH_califorms.json] [-perf-gate 15]
 //	califorms-bench -perf-diff old.json new.json
+//	califorms-bench -calibrate [-exp ...] [-calib-out CALIB_califorms.json]
+//	                [-calib-baseline CALIB_califorms.json] [-calib-gate]
+//	                [-format text|json|csv|markdown]
+//	califorms-bench -calib-diff old.json new.json
 //
 // -visits scales the measured steady-state region of each benchmark
 // kernel (default 30000 object visits); -seeds sets how many layout
@@ -41,6 +45,23 @@
 // per-experiment delta table (ops/sec, wall time, capture/replay
 // split) as GitHub-flavored markdown, for PR descriptions and the CI
 // job summary.
+//
+// -calibrate switches to scientific-accuracy mode: it runs the
+// calibration-covered subset of the selected experiments, scores the
+// measured series against the paper's published numbers (MAPE,
+// Pearson/Spearman correlation, sign agreement per figure), evaluates
+// the beyond-paper envelope invariants, prints the report in -format
+// (text, markdown, csv or json), and writes the JSON document to
+// -calib-out (CALIB_califorms.json, see internal/calibrate for the
+// schema). With -calib-baseline it compares the fresh scores against
+// the committed baseline using the per-figure tolerances of the data
+// layer; with -calib-gate any violation exits non-zero — the CI
+// accuracy gate. Scores are deterministic at any -workers width, so
+// the gate requires matching visits/seeds/machine but not workers.
+//
+// -calib-diff compares two calibration reports and prints per-figure
+// metric deltas plus the envelope verdicts as GitHub-flavored
+// markdown.
 package main
 
 import (
@@ -51,6 +72,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/calibrate"
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/perf"
@@ -111,7 +133,7 @@ func main() {
 	visits := flag.Int("visits", 30000, "steady-state object visits per benchmark run")
 	seeds := flag.Int("seeds", 1, "layout randomizations averaged per configuration (paper: 3)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-	format := flag.String("format", "text", "output format: text, json, csv")
+	format := flag.String("format", "text", "output format: text, json, csv (calibrate mode also: markdown)")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	machineName := flag.String("machine", "", "base machine for the sweeps (default: westmere; see -list-machines)")
 	listMachines := flag.Bool("list-machines", false, "list registered machines and exit")
@@ -120,10 +142,19 @@ func main() {
 	perfBaseline := flag.String("perf-baseline", "", "perf mode: baseline report to gate against (optional)")
 	perfGate := flag.Float64("perf-gate", 15, "perf mode: max tolerated ops/sec regression in percent")
 	perfDiff := flag.Bool("perf-diff", false, "compare two measurement reports: -perf-diff old.json new.json")
+	calibMode := flag.Bool("calibrate", false, "score experiments against the paper's published numbers instead of emitting reports")
+	calibOut := flag.String("calib-out", "CALIB_califorms.json", "calibrate mode: where to write the calibration report")
+	calibBaseline := flag.String("calib-baseline", "", "calibrate mode: baseline report to compare against (optional)")
+	calibGate := flag.Bool("calib-gate", false, "calibrate mode: exit non-zero on any accuracy violation vs the baseline")
+	calibDiff := flag.Bool("calib-diff", false, "compare two calibration reports: -calib-diff old.json new.json")
 	flag.Parse()
 
 	if *perfDiff {
 		runPerfDiff(flag.Args())
+		return
+	}
+	if *calibDiff {
+		runCalibDiff(flag.Args())
 		return
 	}
 
@@ -148,9 +179,9 @@ func main() {
 	pool := harness.NewPool(*workers)
 	p := harness.Params{Visits: *visits, Seeds: *seeds}
 	if *machineName != "" {
-		d, ok := machine.Get(*machineName)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown machine %q (have: %s)\n", *machineName, strings.Join(machine.Names(), ", "))
+		d, err := machine.Resolve(*machineName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		p.Machine = d
@@ -158,6 +189,10 @@ func main() {
 
 	if *perfMode {
 		runPerf(names, p, pool, *perfOut, *perfBaseline, *perfGate)
+		return
+	}
+	if *calibMode {
+		runCalibrate(names, p, pool, *format, *calibOut, *calibBaseline, *calibGate)
 		return
 	}
 
@@ -198,6 +233,17 @@ func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baseline
 	}
 	fmt.Fprintf(os.Stderr, "[perf total      %8.3fs  %12d ops  %10.3g ops/s]\n",
 		report.TotalWallSeconds, report.TotalOps, report.TotalOpsPerSec)
+	// Read the baseline before writing the fresh report: the default
+	// -perf-out is the committed baseline path, and writing first
+	// would silently turn the gate into a self-comparison.
+	var baseline perf.Report
+	if baselinePath != "" {
+		baseline, err = perf.Read(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if err := perf.Write(out, report); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -205,11 +251,6 @@ func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baseline
 	fmt.Fprintf(os.Stderr, "[perf report written to %s]\n", out)
 	if baselinePath == "" {
 		return
-	}
-	baseline, err := perf.Read(baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 	regs, err := perf.Compare(baseline, report, gatePct)
 	if err != nil {
@@ -225,6 +266,93 @@ func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baseline
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
 	os.Exit(1)
+}
+
+// runCalibrate scores the calibration-covered subset of the named
+// experiments against the paper's published numbers, prints the report
+// in the chosen format, writes the JSON document, and — when a
+// baseline is given — compares against it, exiting non-zero on
+// violations if the gate is armed.
+func runCalibrate(names []string, p harness.Params, pool *harness.Pool, format, out, baselinePath string, gate bool) {
+	var covered, skipped []string
+	for _, name := range names {
+		if calibrate.Covers(name) {
+			covered = append(covered, name)
+		} else {
+			skipped = append(skipped, name)
+		}
+	}
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "[calibrate: skipping %s (no published numbers or envelopes)]\n", strings.Join(skipped, ", "))
+	}
+	start := time.Now()
+	report, err := calibrate.Run(covered, p, pool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "[calibrate: scored %d figures, %d envelopes in %v]\n",
+		len(report.Figures), len(report.Envelopes), time.Since(start).Round(time.Millisecond))
+	if err := calibrate.Emit(os.Stdout, format, report); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Read the baseline before writing the fresh report: the default
+	// -calib-out is the committed baseline path, and writing first
+	// would silently turn the gate into a self-comparison.
+	var baseline calibrate.Report
+	if baselinePath != "" {
+		baseline, err = calibrate.Read(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := calibrate.Write(out, report); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[calibration report written to %s]\n", out)
+	if baselinePath == "" {
+		return
+	}
+	violations, err := calibrate.Compare(baseline, report)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(violations) == 0 {
+		fmt.Fprintf(os.Stderr, "[calibration gate passed: accuracy within per-figure tolerances vs %s]\n", baselinePath)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "calibration gate FAILED vs %s:\n", baselinePath)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	if gate {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "[-calib-gate not set: violations reported but not fatal]")
+}
+
+// runCalibDiff prints the markdown delta between two calibration
+// reports.
+func runCalibDiff(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: califorms-bench -calib-diff old.json new.json")
+		os.Exit(2)
+	}
+	old, err := calibrate.Read(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cur, err := calibrate.Read(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(calibrate.FormatDiff(old, cur))
 }
 
 // runPerfDiff prints the markdown delta table between two reports.

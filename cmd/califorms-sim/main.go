@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/machine"
@@ -78,9 +77,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	desc, ok := machine.Get(*machineName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown machine %q (have: %s)\n", *machineName, strings.Join(machine.Names(), ", "))
+	desc, err := machine.Resolve(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	// The Figure 10 knob applies to the configured run only; the

@@ -1,0 +1,357 @@
+// Package calibrate is the scientific-accuracy layer of the harness:
+// it encodes the paper's published numbers as data, scores every
+// measured run against them, checks beyond-paper envelope invariants,
+// and reads/writes the CALIB_califorms.json report the CI accuracy
+// gate consumes — the accuracy twin of internal/perf's throughput
+// gate.
+//
+// Three layers:
+//
+//   - The data layer (paper.go) is the single machine-readable source
+//     of the paper's published values: per-figure series (fig4 pad
+//     sweeps, fig11/fig12 policy AVG columns, fig3 padded-struct
+//     fractions, Table 2/7 VLSI numbers) with approximate values
+//     flagged as stated ("~4%") and per-figure gate tolerances.
+//   - The scoring layer (this file) runs registry experiments through
+//     internal/harness, extracts the measured series from their Result
+//     records by title — the same records every emitter renders, so a
+//     score always reflects exactly what the reports say — and emits
+//     per-figure metrics: MAPE, Pearson r, Spearman rank correlation
+//     and sign agreement (see internal/stats).
+//   - The envelope layer (envelope.go) checks beyond-paper invariants
+//     the reproduction established (cross-machine LLC-capacity
+//     monotonicity, mix-contention blowup of cache-resident programs,
+//     BROP re-randomization) that have no published reference values
+//     but must not silently regress.
+//
+// # CALIB_califorms.json schema (califorms-bench-calib/v1)
+//
+//	{
+//	  "schema":    "califorms-bench-calib/v1",
+//	  "go":        "go1.24.x",
+//	  "generated": "2026-08-08T12:00:00Z",
+//	  "visits":    30000,  // harness.Params the scores were measured at
+//	  "seeds":     1,
+//	  "workers":   8,      // provenance only: scores are worker-independent
+//	  "machine":   "",     // -machine override; omitted on the default machine
+//	  "figures": [
+//	    {
+//	      "name": "fig4", "paper": "Figure 4", "unit": "slowdown",
+//	      "points": [ {"label": "1B", "measured": 0.038, "published": 0.030}, ... ],
+//	      "mape_pct": 12.4,          // mean |measured-published|/|published|
+//	      "pearson_r": 0.97,         // omitted when not meaningful (<3 points,
+//	      "spearman_rho": 0.96,      //   or a mixed-unit VLSI series)
+//	      "sign_agreement": 1        // fraction of points with matching sign
+//	    }, ...
+//	  ],
+//	  "envelopes": [
+//	    {"name": "sens-llc-capacity", "experiment": "sens-llc",
+//	     "claim": "...", "pass": true, "detail": "AVG 8.1% @512KB vs 4.6% @8MB"}, ...
+//	  ],
+//	  "mean_mape_pct":    ...,  // across figures
+//	  "envelopes_passed": N,
+//	  "envelopes_failed": 0
+//	}
+//
+// Scores are deterministic for fixed visits/seeds/machine at any
+// worker count (the harness determinism contract), so Compare requires
+// those three to match between baseline and current but deliberately
+// ignores workers.
+package calibrate
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// Schema identifies the report format.
+const Schema = "califorms-bench-calib/v1"
+
+// PubPoint is one published value of a figure's series.
+type PubPoint struct {
+	// Label names the point the way the paper's axis does ("1B",
+	// "1-7B CFORM", "spec").
+	Label string
+	// Value is the published number (slowdowns and fractions as
+	// fractions, VLSI quantities in their own unit).
+	Value float64
+	// Approx marks values the paper states only approximately ("~4%"),
+	// read off a bar chart rather than printed in a table.
+	Approx bool
+}
+
+// Tolerance is one figure's accuracy-gate budget: how far each metric
+// may drift from the committed baseline before the gate fails. The
+// budgets are sized per figure (see paper.go) from the rendering
+// quantum — measured series are extracted from emitter output, where
+// slowdowns carry one decimal, so a 0.1pp shift moves MAPE by
+// 0.1/published per point — with roughly 2x headroom so legitimate
+// noise-level drift passes and real accuracy loss does not.
+type Tolerance struct {
+	// MAPEPts is the maximum tolerated MAPE increase, in points.
+	MAPEPts float64
+	// CorrDrop is the maximum tolerated drop of Pearson r or Spearman
+	// rho.
+	CorrDrop float64
+	// SignDrop is the maximum tolerated drop of sign agreement (one
+	// flipped point in a 7-point series is ~0.143).
+	SignDrop float64
+}
+
+// Figure binds one registry experiment's published series to the
+// extraction of its measured counterpart.
+type Figure struct {
+	// Name is the registry experiment that produces the measured side.
+	Name string
+	// Paper names the published artifact ("Figure 4").
+	Paper string
+	// Unit labels the series values: "slowdown", "fraction", or a
+	// VLSI unit string. Slowdowns and fractions render as percentages.
+	Unit string
+	// Correlate enables the correlation metrics (Pearson, Spearman).
+	// Off for single-point and mixed-unit series, where correlation
+	// across the series is not meaningful.
+	Correlate bool
+	// Published is the paper's series, in point order.
+	Published []PubPoint
+	// Extract pulls the measured series (aligned with Published) out
+	// of the experiment's Result records.
+	Extract func([]harness.Result) ([]float64, error)
+	// Tol is the figure's gate budget.
+	Tol Tolerance
+}
+
+// Point is one scored (measured, published) pair of a report.
+type Point struct {
+	Label     string  `json:"label"`
+	Measured  float64 `json:"measured"`
+	Published float64 `json:"published"`
+	Approx    bool    `json:"approx,omitempty"`
+}
+
+// FigureScore is one figure's accuracy record.
+type FigureScore struct {
+	Name   string  `json:"name"`
+	Paper  string  `json:"paper"`
+	Unit   string  `json:"unit"`
+	Points []Point `json:"points"`
+	// MAPEPct is the mean absolute percentage error of the measured
+	// series against the published one.
+	MAPEPct float64 `json:"mape_pct"`
+	// PearsonR and SpearmanRho are nil when correlation across the
+	// series is not meaningful (single point, mixed units).
+	PearsonR    *float64 `json:"pearson_r,omitempty"`
+	SpearmanRho *float64 `json:"spearman_rho,omitempty"`
+	// SignAgreement is the fraction of points whose measured and
+	// published values agree in sign.
+	SignAgreement float64 `json:"sign_agreement"`
+}
+
+// Envelope is one beyond-paper invariant checked against an
+// experiment's results.
+type Envelope struct {
+	// Name is the envelope's identity in reports and gates.
+	Name string
+	// Experiment is the registry experiment whose results it consumes.
+	Experiment string
+	// Claim states the invariant in one line.
+	Claim string
+	// Check evaluates the invariant, returning pass/fail plus a
+	// measured-value detail line.
+	Check func([]harness.Result) (pass bool, detail string, err error)
+}
+
+// EnvelopeResult is one envelope's evaluation record.
+type EnvelopeResult struct {
+	Name       string `json:"name"`
+	Experiment string `json:"experiment"`
+	Claim      string `json:"claim"`
+	Pass       bool   `json:"pass"`
+	Detail     string `json:"detail"`
+}
+
+// Role classifies an experiment's calibration coverage.
+type Role string
+
+const (
+	// RoleScored experiments have published paper numbers and a Figure
+	// scoring them.
+	RoleScored Role = "scored"
+	// RoleEnvelope experiments are beyond-paper and guarded by at
+	// least one envelope invariant.
+	RoleEnvelope Role = "envelope"
+	// RoleExempt experiments have nothing to score — the reason says
+	// why (static tables, qualitative matrices).
+	RoleExempt Role = "exempt"
+)
+
+// Coverage records how one experiment is calibrated.
+type Coverage struct {
+	Roles []Role
+	// Reason justifies RoleExempt entries.
+	Reason string
+}
+
+// exemptions lists the experiments with nothing to score and why.
+// Every registry experiment must appear here, in Figures(), or in
+// Envelopes() — the completeness test enforces it, so a new
+// experiment cannot dodge calibration silently.
+var exemptions = map[string]string{
+	"table1": "static CFORM K-map; semantics are enforced by internal/cacheline tests",
+	"table3": "machine-description listing; validated by internal/machine, no measured quantity",
+	"table4": "qualitative related-work matrix, no numbers to score",
+	"table5": "qualitative related-work matrix, no numbers to score",
+	"table6": "qualitative related-work matrix, no numbers to score",
+}
+
+// Coverages maps every covered or exempt experiment to its roles.
+func Coverages() map[string]Coverage {
+	out := make(map[string]Coverage)
+	add := func(name string, role Role) {
+		c := out[name]
+		for _, r := range c.Roles {
+			if r == role {
+				out[name] = c
+				return
+			}
+		}
+		c.Roles = append(c.Roles, role)
+		out[name] = c
+	}
+	for _, f := range Figures() {
+		add(f.Name, RoleScored)
+	}
+	for _, e := range Envelopes() {
+		add(e.Experiment, RoleEnvelope)
+	}
+	for name, reason := range exemptions {
+		c := out[name]
+		c.Roles = append(c.Roles, RoleExempt)
+		c.Reason = reason
+		out[name] = c
+	}
+	return out
+}
+
+// Covers reports whether the named experiment contributes to a
+// calibration run (scored or envelope-checked).
+func Covers(name string) bool {
+	for _, f := range Figures() {
+		if f.Name == name {
+			return true
+		}
+	}
+	for _, e := range Envelopes() {
+		if e.Experiment == name {
+			return true
+		}
+	}
+	return false
+}
+
+// scoreFigure computes one figure's metrics from its experiment's
+// results.
+func scoreFigure(f Figure, results []harness.Result) (FigureScore, error) {
+	measured, err := f.Extract(results)
+	if err != nil {
+		return FigureScore{}, fmt.Errorf("calibrate: %s: %w", f.Name, err)
+	}
+	if len(measured) != len(f.Published) {
+		return FigureScore{}, fmt.Errorf("calibrate: %s: extracted %d measured points for %d published values",
+			f.Name, len(measured), len(f.Published))
+	}
+	published := make([]float64, len(f.Published))
+	score := FigureScore{Name: f.Name, Paper: f.Paper, Unit: f.Unit}
+	for i, p := range f.Published {
+		published[i] = p.Value
+		score.Points = append(score.Points, Point{
+			Label: p.Label, Measured: measured[i], Published: p.Value, Approx: p.Approx,
+		})
+	}
+	score.MAPEPct = stats.MAPE(measured, published)
+	score.SignAgreement = stats.SignAgreement(measured, published)
+	if f.Correlate && len(measured) >= 3 {
+		r := stats.Pearson(measured, published)
+		rho := stats.Spearman(measured, published)
+		score.PearsonR, score.SpearmanRho = &r, &rho
+	}
+	return score, nil
+}
+
+// Run executes the covered subset of the named experiments on the
+// pool and scores them: each experiment runs exactly once (shared by
+// its figures and envelopes), in the order given. Names without
+// calibration coverage are skipped; selecting no covered experiment
+// at all is an error.
+func Run(names []string, p harness.Params, pool *harness.Pool) (Report, error) {
+	r := Report{
+		Schema:    Schema,
+		Go:        runtime.Version(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Visits:    p.Visits,
+		Seeds:     p.Seeds,
+		Workers:   pool.Workers(),
+		Machine:   p.MachineLabel(),
+	}
+	ran := false
+	for _, name := range names {
+		if !Covers(name) {
+			continue
+		}
+		ran = true
+		results, err := harness.RunByName(name, p, pool)
+		if err != nil {
+			return Report{}, err
+		}
+		for _, f := range Figures() {
+			if f.Name != name {
+				continue
+			}
+			score, err := scoreFigure(f, results)
+			if err != nil {
+				return Report{}, err
+			}
+			r.Figures = append(r.Figures, score)
+		}
+		for _, e := range Envelopes() {
+			if e.Experiment != name {
+				continue
+			}
+			pass, detail, err := e.Check(results)
+			if err != nil {
+				return Report{}, fmt.Errorf("calibrate: envelope %s: %w", e.Name, err)
+			}
+			r.Envelopes = append(r.Envelopes, EnvelopeResult{
+				Name: e.Name, Experiment: e.Experiment, Claim: e.Claim,
+				Pass: pass, Detail: detail,
+			})
+		}
+	}
+	if !ran {
+		return Report{}, fmt.Errorf("calibrate: none of the selected experiments has calibration coverage")
+	}
+	r.finalize()
+	return r, nil
+}
+
+// finalize fills the report's summary fields from its figures and
+// envelopes.
+func (r *Report) finalize() {
+	var mapes []float64
+	for _, f := range r.Figures {
+		mapes = append(mapes, f.MAPEPct)
+	}
+	r.MeanMAPEPct = stats.Mean(mapes)
+	r.EnvelopesPassed, r.EnvelopesFailed = 0, 0
+	for _, e := range r.Envelopes {
+		if e.Pass {
+			r.EnvelopesPassed++
+		} else {
+			r.EnvelopesFailed++
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package calibrate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestCoverageComplete is the registry-coverage gate: every registered
+// experiment must be scored, envelope-checked, or explicitly exempt
+// with a reason — a new experiment cannot land without declaring its
+// calibration story.
+func TestCoverageComplete(t *testing.T) {
+	cov := Coverages()
+	for _, e := range harness.Experiments() {
+		c, ok := cov[e.Name]
+		if !ok {
+			t.Errorf("experiment %q has no calibration coverage: add a Figure, an Envelope, or an exemption with a reason", e.Name)
+			continue
+		}
+		if len(c.Roles) == 0 {
+			t.Errorf("experiment %q covered with no roles", e.Name)
+		}
+		for _, r := range c.Roles {
+			if r == RoleExempt && c.Reason == "" {
+				t.Errorf("experiment %q is exempt without a reason", e.Name)
+			}
+		}
+	}
+	// The reverse direction: coverage must not reference experiments
+	// the registry does not have (a renamed experiment would otherwise
+	// leave a dangling figure that never runs).
+	for name := range cov {
+		if _, ok := harness.Get(name); !ok {
+			t.Errorf("calibration coverage references unknown experiment %q", name)
+		}
+	}
+	for _, f := range Figures() {
+		if _, ok := harness.Get(f.Name); !ok {
+			t.Errorf("figure %q references unknown experiment", f.Name)
+		}
+		if len(f.Published) == 0 {
+			t.Errorf("figure %q has no published points", f.Name)
+		}
+		if f.Extract == nil {
+			t.Errorf("figure %q has no extractor", f.Name)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, e := range Envelopes() {
+		if _, ok := harness.Get(e.Experiment); !ok {
+			t.Errorf("envelope %q references unknown experiment %q", e.Name, e.Experiment)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate envelope name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Check == nil || e.Claim == "" {
+			t.Errorf("envelope %q incomplete", e.Name)
+		}
+	}
+}
+
+// figureByName fetches a data-layer figure for tests.
+func figureByName(t *testing.T, name string) Figure {
+	t.Helper()
+	for _, f := range Figures() {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no figure %q", name)
+	return Figure{}
+}
+
+// TestPerturbedPaperConstantFailsGate is the acceptance check for the
+// data layer: take one real measured run, score it against the true
+// published values and against a perturbed copy (every fig4 constant
+// scaled 3x — the shape of a transcription error), and require the
+// gate to fail the perturbed report with a readable MAPE violation
+// naming the figure.
+func TestPerturbedPaperConstantFailsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real fig4 sweep")
+	}
+	pool := harness.NewPool(2)
+	p := harness.Params{Visits: 300, Seeds: 1}
+	results, err := harness.RunByName("fig4", p, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figureByName(t, "fig4")
+	good, err := scoreFigure(fig, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := fig
+	perturbed.Published = append([]PubPoint(nil), fig.Published...)
+	for i := range perturbed.Published {
+		perturbed.Published[i].Value *= 3
+	}
+	bad, err := scoreFigure(perturbed, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := Report{Schema: Schema, Visits: p.Visits, Seeds: p.Seeds, Figures: []FigureScore{good}}
+	current := Report{Schema: Schema, Visits: p.Visits, Seeds: p.Seeds, Figures: []FigureScore{bad}}
+	baseline.finalize()
+	current.finalize()
+
+	violations, err := Compare(baseline, current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mape *Violation
+	for i, v := range violations {
+		if v.Name == "fig4" && v.Metric == "MAPE" {
+			mape = &violations[i]
+		}
+	}
+	if mape == nil {
+		t.Fatalf("perturbed published constants produced no fig4 MAPE violation (got %v)", violations)
+	}
+	msg := mape.String()
+	if !strings.Contains(msg, "fig4") || !strings.Contains(msg, "MAPE") || !strings.Contains(msg, "regressed") {
+		t.Errorf("violation message not readable: %q", msg)
+	}
+	// The unperturbed report gates cleanly against itself.
+	clean, err := Compare(baseline, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Errorf("self-comparison produced violations: %v", clean)
+	}
+}
+
+func TestCompareParamAndCoverageChecks(t *testing.T) {
+	base := Report{Schema: Schema, Visits: 2000, Seeds: 1, Workers: 2,
+		Figures:   []FigureScore{{Name: "fig4", MAPEPct: 10, SignAgreement: 1}},
+		Envelopes: []EnvelopeResult{{Name: "rate4-contention", Experiment: "rate4", Pass: true}}}
+
+	// Different visits: an error, never a silent pass.
+	if _, err := Compare(base, Report{Schema: Schema, Visits: 500, Seeds: 1}); err == nil {
+		t.Error("visits mismatch did not error")
+	}
+	// Different machine: same.
+	if _, err := Compare(base, Report{Schema: Schema, Visits: 2000, Seeds: 1, Machine: "skylake"}); err == nil {
+		t.Error("machine mismatch did not error")
+	}
+	// Different workers: scores are worker-independent, must compare.
+	cur := base
+	cur.Workers = 8
+	if _, err := Compare(base, cur); err != nil {
+		t.Errorf("workers mismatch errored: %v", err)
+	}
+
+	// Shrunk coverage: missing figure and envelope are violations.
+	empty := Report{Schema: Schema, Visits: 2000, Seeds: 1}
+	vs, err := Compare(base, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("missing figure+envelope produced %d violations, want 2: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.Metric != "missing" {
+			t.Errorf("unexpected violation %v", v)
+		}
+	}
+
+	// A failing envelope in the current report always gates.
+	cur = base
+	cur.Envelopes = []EnvelopeResult{{Name: "rate4-contention", Experiment: "rate4", Pass: false,
+		Claim: "some benchmark inflates", Detail: "max x4-x1 inflation +0.1pp"}}
+	vs, err = Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Metric != "envelope" {
+		t.Fatalf("failed envelope produced %v, want one envelope violation", vs)
+	}
+	if s := vs[0].String(); !strings.Contains(s, "rate4-contention") || !strings.Contains(s, "+0.1pp") {
+		t.Errorf("envelope violation not readable: %q", s)
+	}
+}
+
+func TestRunOnUncoveredSelectionErrors(t *testing.T) {
+	pool := harness.NewPool(1)
+	if _, err := Run([]string{"table4", "table5"}, harness.Params{Visits: 100, Seeds: 1}, pool); err == nil {
+		t.Error("Run on exempt-only selection did not error")
+	}
+}

@@ -1,0 +1,174 @@
+package calibrate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// envelopeByName fetches an envelope for tests.
+func envelopeByName(t *testing.T, name string) Envelope {
+	t.Helper()
+	for _, e := range Envelopes() {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no envelope %q", name)
+	return Envelope{}
+}
+
+// check runs an envelope against results, failing the test on
+// extraction errors.
+func check(t *testing.T, e Envelope, results []harness.Result) (bool, string) {
+	t.Helper()
+	pass, detail, err := e.Check(results)
+	if err != nil {
+		t.Fatalf("%s: %v", e.Name, err)
+	}
+	return pass, detail
+}
+
+// fig10Results builds a synthetic Figure 10 table.
+func fig10Results(cells [][2]string) []harness.Result {
+	t := harness.Result{
+		Kind:    harness.KindTable,
+		Title:   "Figure 10: slowdown with +1 cycle L2 and L3 latency (paper avg: 0.83%, range 0.24–1.37%)",
+		Headers: []string{"benchmark", "slowdown"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{c[0], c[1]})
+	}
+	return []harness.Result{t}
+}
+
+func TestFig10BandOracle(t *testing.T) {
+	e := envelopeByName(t, "fig10-band")
+	pass, detail := check(t, e, fig10Results([][2]string{
+		{"mcf", "0.3%"}, {"povray", "1.4%"}, {"AVG", "0.8%"},
+	}))
+	if !pass {
+		t.Errorf("in-band results failed: %s", detail)
+	}
+	// One benchmark blowing past the band must be flagged by name; the
+	// AVG row is a summary, not a band member.
+	pass, detail = check(t, e, fig10Results([][2]string{
+		{"mcf", "0.3%"}, {"povray", "4.0%"}, {"AVG", "2.2%"},
+	}))
+	if pass {
+		t.Error("out-of-band benchmark passed")
+	}
+	if !strings.Contains(detail, "povray") {
+		t.Errorf("detail does not name the offending benchmark: %s", detail)
+	}
+}
+
+func TestMixContentionOracle(t *testing.T) {
+	e := envelopeByName(t, "mix2-contention")
+	table := func(soloPct, mixPct string) []harness.Result {
+		return []harness.Result{{
+			Kind:    harness.KindTable,
+			Title:   "Per-core slowdown and shared-L3 miss rate, solo vs in-mix (full 1-7B CFORM vs baseline)",
+			Headers: []string{"mix", "cores", "core", "benchmark", "solo slowdown", "mix slowdown", "solo L3 miss", "mix L3 miss"},
+			Rows: [][]string{
+				{"mcf+perlbench", "2", "0", "mcf", "8.0%", "8.2%", "40.0%", "45.0%"},
+				{"mcf+perlbench", "2", "1", "perlbench", soloPct, mixPct, "5.0%", "30.0%"},
+			},
+		}}
+	}
+	if pass, detail := check(t, e, table("8.0%", "15.5%")); !pass {
+		t.Errorf("7.5pp inflation failed: %s", detail)
+	} else if !strings.Contains(detail, "perlbench") || !strings.Contains(detail, "+7.5pp") {
+		t.Errorf("detail not informative: %s", detail)
+	}
+	if pass, detail := check(t, e, table("8.0%", "8.3%")); pass {
+		t.Errorf("contention-free mix passed: %s", detail)
+	}
+}
+
+func TestSensLLCCapacityOracle(t *testing.T) {
+	e := envelopeByName(t, "sens-llc-capacity")
+	table := func(small, big string) []harness.Result {
+		return []harness.Result{{
+			Kind:    harness.KindTable,
+			Title:   "LLC sensitivity: full 1-7B CFORM slowdown vs L3 capacity (westmere geometry otherwise)",
+			Headers: []string{"benchmark", "512KB", "1MB", "2MB", "4MB", "8MB"},
+			Rows: [][]string{
+				{"perlbench", "10.0%", "9.0%", "8.0%", "6.0%", "5.0%"},
+				{"AVG", small, "7.0%", "6.5%", "5.5%", big},
+			},
+		}}
+	}
+	if pass, detail := check(t, e, table("8.1%", "4.6%")); !pass {
+		t.Errorf("monotone endpoints failed: %s", detail)
+	}
+	if pass, _ := check(t, e, table("4.6%", "8.1%")); pass {
+		t.Error("inverted capacity trend passed")
+	}
+	// A doctored table missing the swept sizes is an error, not a
+	// silent pass.
+	broken := []harness.Result{{
+		Kind: harness.KindTable, Title: "LLC sensitivity: resized",
+		Headers: []string{"benchmark", "16MB"}, Rows: [][]string{{"AVG", "1.0%"}},
+	}}
+	if _, _, err := e.Check(broken); err == nil {
+		t.Error("missing size columns did not error")
+	}
+}
+
+// TestEnvelopesHoldOnRealRuns is the live oracle: the cheap covered
+// experiments actually run, and their envelopes must hold even at
+// smoke-test visit counts (the bounds are sized for that — see the
+// envelope comments).
+func TestEnvelopesHoldOnRealRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	pool := harness.NewPool(4)
+	p := harness.Params{Visits: 200, Seeds: 1}
+	for _, name := range []string{"fig10", "security", "ablations"} {
+		results, err := harness.RunByName(name, p, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range Envelopes() {
+			if e.Experiment != name {
+				continue
+			}
+			if pass, detail := check(t, e, results); !pass {
+				t.Errorf("envelope %s failed on a real %s run: %s", e.Name, name, detail)
+			}
+		}
+	}
+}
+
+// TestDoctoredRealRunIsFlagged perturbs a real experiment's rendered
+// output and requires the envelope to notice — the end-to-end path a
+// broken cost model would take.
+func TestDoctoredRealRunIsFlagged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	pool := harness.NewPool(4)
+	results, err := harness.RunByName("ablations", harness.Params{Visits: 200, Seeds: 1}, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := envelopeByName(t, "ablations-spillfill")
+	if pass, detail := check(t, e, results); !pass {
+		t.Fatalf("undoctored run failed: %s", detail)
+	}
+	for i := range results {
+		if !strings.HasPrefix(results[i].Title, "Ablation: L1<->L2") {
+			continue
+		}
+		last := len(results[i].Rows) - 1
+		results[i].Rows[last][2] = "9.9%"
+	}
+	if pass, detail := check(t, e, results); pass {
+		t.Errorf("doctored conversion-latency blowup passed: %s", detail)
+	} else if !strings.Contains(detail, "9.9%") {
+		t.Errorf("detail does not show the doctored shift: %s", detail)
+	}
+}

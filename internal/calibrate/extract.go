@@ -1,0 +1,146 @@
+package calibrate
+
+// This file holds the extraction helpers the figure and envelope
+// definitions share. Measured series are pulled from the experiments'
+// rendered Result records — the exact cells every emitter prints — so
+// a calibration score can never diverge from what the reports show.
+// Records are addressed by title prefix and rows by label, never by
+// positional index, so experiments can append records or rows without
+// breaking extraction.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// table returns the cell-bearing result whose title starts with
+// prefix, as an error rather than a bool miss.
+func table(results []harness.Result, prefix string) (harness.Result, error) {
+	t, ok := harness.FindTable(results, prefix)
+	if !ok {
+		return harness.Result{}, fmt.Errorf("no table titled %q in results", prefix)
+	}
+	return t, nil
+}
+
+// row returns the first row whose first cell equals label.
+func row(t harness.Result, label string) ([]string, error) {
+	for _, r := range t.Rows {
+		if len(r) > 0 && r[0] == label {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("no row labeled %q in table %q", label, t.Title)
+}
+
+// column returns the index of the named header.
+func column(t harness.Result, header string) (int, error) {
+	for i, h := range t.Headers {
+		if h == header {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("no column %q in table %q (have %v)", header, t.Title, t.Headers)
+}
+
+// dataRows returns the table's benchmark rows: everything before the
+// summary tail ("AVG" and the published-reference rows that follow
+// it).
+func dataRows(t harness.Result) [][]string {
+	var out [][]string
+	for _, r := range t.Rows {
+		if len(r) > 0 && (r[0] == "AVG" || r[0] == "paper AVG") {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// pct parses a rendered percentage cell ("4.4%", "91.9%") into a
+// fraction.
+func pct(cell string) (float64, error) {
+	s := strings.TrimSuffix(strings.TrimSpace(cell), "%")
+	if s == cell {
+		return 0, fmt.Errorf("cell %q is not a percentage", cell)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cell %q: %v", cell, err)
+	}
+	return v / 100, nil
+}
+
+// num parses a plain numeric cell ("412264", "1.65").
+func num(cell string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		return 0, fmt.Errorf("cell %q: %v", cell, err)
+	}
+	return v, nil
+}
+
+// cellPct indexes a row and parses the cell as a percentage.
+func cellPct(r []string, i int) (float64, error) {
+	if i >= len(r) {
+		return 0, fmt.Errorf("row %v has no column %d", r, i)
+	}
+	return pct(r[i])
+}
+
+// textMean parses the "mean X crashes" number following marker in a
+// prose record's text.
+func textMean(text, marker string) (float64, error) {
+	i := strings.Index(text, marker)
+	if i < 0 {
+		return 0, fmt.Errorf("marker %q not found", marker)
+	}
+	rest := text[i+len(marker):]
+	j := strings.Index(rest, "mean ")
+	if j < 0 {
+		return 0, fmt.Errorf("no %q after marker %q", "mean", marker)
+	}
+	rest = rest[j+len("mean "):]
+	if k := strings.IndexByte(rest, ' '); k >= 0 {
+		rest = rest[:k]
+	}
+	return num(rest)
+}
+
+// textPct parses the percentage immediately following marker in a
+// prose record's text ("structs with >=1 padding byte: 47.5% ...").
+func textPct(text, marker string) (float64, error) {
+	i := strings.Index(text, marker)
+	if i < 0 {
+		return 0, fmt.Errorf("marker %q not found", marker)
+	}
+	rest := text[i+len(marker):]
+	if k := strings.IndexByte(rest, '%'); k >= 0 {
+		rest = rest[:k+1]
+	}
+	return pct(rest)
+}
+
+// labeledCol extracts one percentage column from the benchmark rows of
+// a table, checking the row labels against the published point labels.
+func labeledCol(t harness.Result, labels []string, col int) ([]float64, error) {
+	rows := dataRows(t)
+	if len(rows) != len(labels) {
+		return nil, fmt.Errorf("table %q has %d data rows, want %d", t.Title, len(rows), len(labels))
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		if r[0] != labels[i] {
+			return nil, fmt.Errorf("table %q row %d is %q, want %q", t.Title, i, r[0], labels[i])
+		}
+		v, err := cellPct(r, col)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,304 @@
+package calibrate
+
+// This file is the data layer: the paper's published numbers, encoded
+// once as machine-readable series. The rendered experiment tables
+// print most of these side by side with the measured values, but the
+// scoring never reads the published side back out of a table — the
+// values here are the source of truth, which is what lets a test
+// perturb a published constant and watch the gate fail.
+//
+// Tolerances are per-figure drift budgets against the committed
+// baseline, sized from each figure's rendering quantum: measured
+// slowdowns are extracted from emitter cells carrying one decimal of a
+// percent, so a single 0.1pp cell flip moves a 7-point MAPE by
+// 0.1/(7·published) — large where published values are small (fig12's
+// 0.2% points), negligible where they are not (table2's five-digit
+// gate counts, printed to %.0f). Each budget is roughly twice the
+// worst single-flip movement, so quantization jitter passes and a real
+// model change does not.
+
+import (
+	"repro/internal/harness"
+	"repro/internal/vlsi"
+)
+
+// defaultTol is the budget used when a baseline carries a figure the
+// current data layer no longer defines a tolerance for.
+var defaultTol = Tolerance{MAPEPts: 2, CorrDrop: 0.15, SignDrop: 0.15}
+
+// Figures returns the scored figures in registry report order.
+func Figures() []Figure {
+	return []Figure{fig3Figure(), fig4Figure(), table2Figure(), fig10Figure(),
+		fig11Figure(), fig12Figure(), table7Figure()}
+}
+
+// figureTol returns the named figure's tolerance, falling back to
+// defaultTol for unknown names.
+func figureTol(name string) Tolerance {
+	for _, f := range Figures() {
+		if f.Name == name {
+			return f.Tol
+		}
+	}
+	return defaultTol
+}
+
+// fig3Figure scores the §4 profiling claim: the fraction of structs
+// carrying at least one padding byte, per corpus (45.7% SPEC, 41.0%
+// V8). The measured fractions come from the histogram records' summary
+// line. Corpus generation is visits-independent, so this figure's
+// score is a constant of the layout model.
+func fig3Figure() Figure {
+	return Figure{
+		Name: "fig3", Paper: "Figure 3", Unit: "fraction",
+		Published: []PubPoint{
+			{Label: "spec", Value: 0.457},
+			{Label: "v8", Value: 0.410},
+		},
+		Extract: func(results []harness.Result) ([]float64, error) {
+			out := make([]float64, 2)
+			for i, corpus := range []string{"spec", "v8"} {
+				t, err := table(results, "Figure 3 ("+corpus+")")
+				if err != nil {
+					return nil, err
+				}
+				v, err := textPct(t.Text, "structs with >=1 padding byte: ")
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		},
+		Tol: Tolerance{MAPEPts: 2, CorrDrop: 0, SignDrop: 0.15},
+	}
+}
+
+// fig4Figure scores the fixed-padding sweep: average slowdown at 1–7
+// security bytes per object, full insertion without CFORM. The paper
+// prints 3.0/5.4/7.6% and shows ~4/~5/~6/~6% on the bar chart.
+func fig4Figure() Figure {
+	pub := []PubPoint{
+		{Label: "1B", Value: 0.030},
+		{Label: "2B", Value: 0.040, Approx: true},
+		{Label: "3B", Value: 0.050, Approx: true},
+		{Label: "4B", Value: 0.054},
+		{Label: "5B", Value: 0.060, Approx: true},
+		{Label: "6B", Value: 0.060, Approx: true},
+		{Label: "7B", Value: 0.076},
+	}
+	return Figure{
+		Name: "fig4", Paper: "Figure 4", Unit: "slowdown", Correlate: true,
+		Published: pub,
+		Extract: func(results []harness.Result) ([]float64, error) {
+			t, err := table(results, "Figure 4")
+			if err != nil {
+				return nil, err
+			}
+			return labeledCol(t, pointLabels(pub), 1)
+		},
+		Tol: Tolerance{MAPEPts: 4, CorrDrop: 0.2, SignDrop: 0.15},
+	}
+}
+
+// table2Figure scores the modeled L1 Califorms VLSI numbers (area,
+// delay, power of the baseline L1, the 8B-bitvector variant and the
+// fill/spill modules) against the paper's synthesis results. The
+// published side is vlsi's PaperTable7/PaperFillSpill constants; the
+// measured side is the analytic gate model, so this figure is
+// visits-independent. Units differ per point (GE, ns, mW), so series
+// correlation is off.
+func table2Figure() Figure {
+	paper := vlsi.PaperTable7()[:2]
+	pf, ps := vlsi.PaperFillSpill()
+	modules := []struct {
+		rowLabel string
+		m        vlsi.Module
+	}{
+		{"Baseline", paper[0]},
+		{"Califorms-8B", paper[1]},
+		{"Fill module", pf},
+		{"Spill module", ps},
+	}
+	var pub []PubPoint
+	var labels []string
+	for _, mod := range modules {
+		labels = append(labels, mod.rowLabel)
+		pub = append(pub,
+			PubPoint{Label: mod.rowLabel + " area (GE)", Value: mod.m.AreaGE},
+			PubPoint{Label: mod.rowLabel + " delay (ns)", Value: mod.m.DelayNs},
+			PubPoint{Label: mod.rowLabel + " power (mW)", Value: mod.m.PowerMW})
+	}
+	return Figure{
+		Name: "table2", Paper: "Table 2", Unit: "GE/ns/mW",
+		Published: pub,
+		Extract: func(results []harness.Result) ([]float64, error) {
+			t, err := table(results, "Table 2")
+			if err != nil {
+				return nil, err
+			}
+			var out []float64
+			for _, label := range labels {
+				r, err := row(t, label)
+				if err != nil {
+					return nil, err
+				}
+				for col := 1; col <= 3; col++ {
+					v, err := num(r[col])
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+		Tol: Tolerance{MAPEPts: 0.5, CorrDrop: 0, SignDrop: 0},
+	}
+}
+
+// fig10Figure scores the simulator-fidelity check: the average
+// slowdown of +1 cycle on every L2/L3 access, which the paper reports
+// as 0.83% (its per-benchmark range is guarded by the fig10-band
+// envelope instead — the paper prints no per-benchmark values).
+func fig10Figure() Figure {
+	return Figure{
+		Name: "fig10", Paper: "Figure 10", Unit: "slowdown",
+		Published: []PubPoint{{Label: "AVG", Value: 0.0083}},
+		Extract: func(results []harness.Result) ([]float64, error) {
+			t, err := table(results, "Figure 10")
+			if err != nil {
+				return nil, err
+			}
+			r, err := row(t, "AVG")
+			if err != nil {
+				return nil, err
+			}
+			v, err := cellPct(r, 1)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{v}, nil
+		},
+		Tol: Tolerance{MAPEPts: 15, CorrDrop: 0, SignDrop: 0},
+	}
+}
+
+// fig11Figure scores the opportunistic/full policy matrix averages:
+// seven configurations from random 1-3B spans to full 1-7B with CFORM.
+// The ~13/~13.5% points are bar-chart reads; the rest are printed.
+func fig11Figure() Figure {
+	pub := []PubPoint{
+		{Label: "1-3B", Value: 0.055},
+		{Label: "1-5B", Value: 0.056},
+		{Label: "1-7B", Value: 0.065},
+		{Label: "Opportunistic CFORM", Value: 0.079},
+		{Label: "1-3B CFORM", Value: 0.130, Approx: true},
+		{Label: "1-5B CFORM", Value: 0.135, Approx: true},
+		{Label: "1-7B CFORM", Value: 0.140},
+	}
+	return Figure{
+		Name: "fig11", Paper: "Figure 11", Unit: "slowdown", Correlate: true,
+		Published: pub,
+		Extract:   avgRowExtract("Figure 11", pointLabels(pub)),
+		Tol:       Tolerance{MAPEPts: 6, CorrDrop: 0.2, SignDrop: 0.15},
+	}
+}
+
+// fig12Figure scores the intelligent-policy matrix averages. The
+// published points sit at 0.2% and 1.5%, where the 0.1pp rendering
+// quantum alone is a 7–50% relative step per point — hence the wide
+// MAPE budget and the extra reliance on the correlation metrics.
+func fig12Figure() Figure {
+	pub := []PubPoint{
+		{Label: "1-3B", Value: 0.002, Approx: true},
+		{Label: "1-5B", Value: 0.002, Approx: true},
+		{Label: "1-7B", Value: 0.002},
+		{Label: "1-3B CFORM", Value: 0.015, Approx: true},
+		{Label: "1-5B CFORM", Value: 0.015, Approx: true},
+		{Label: "1-7B CFORM", Value: 0.015},
+	}
+	return Figure{
+		Name: "fig12", Paper: "Figure 12", Unit: "slowdown", Correlate: true,
+		Published: pub,
+		Extract:   avgRowExtract("Figure 12", pointLabels(pub)),
+		Tol:       Tolerance{MAPEPts: 25, CorrDrop: 0.25, SignDrop: 0.2},
+	}
+}
+
+// table7Figure scores the appendix VLSI variants: area and delay of
+// the baseline L1 and all three Califorms metadata formats (the paper
+// prints no power column in Table 7's overhead discussion beyond what
+// Table 2 covers, so only GE and ns are scored here).
+func table7Figure() Figure {
+	var pub []PubPoint
+	var labels []string
+	for _, m := range vlsi.PaperTable7() {
+		labels = append(labels, m.Name)
+		pub = append(pub,
+			PubPoint{Label: m.Name + " area (GE)", Value: m.AreaGE},
+			PubPoint{Label: m.Name + " delay (ns)", Value: m.DelayNs})
+	}
+	return Figure{
+		Name: "table7", Paper: "Table 7", Unit: "GE/ns",
+		Published: pub,
+		Extract: func(results []harness.Result) ([]float64, error) {
+			t, err := table(results, "Table 7")
+			if err != nil {
+				return nil, err
+			}
+			var out []float64
+			for _, label := range labels {
+				r, err := row(t, label)
+				if err != nil {
+					return nil, err
+				}
+				for col := 1; col <= 2; col++ {
+					v, err := num(r[col])
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+		Tol: Tolerance{MAPEPts: 0.5, CorrDrop: 0, SignDrop: 0},
+	}
+}
+
+// pointLabels projects a published series to its labels.
+func pointLabels(pub []PubPoint) []string {
+	out := make([]string, len(pub))
+	for i, p := range pub {
+		out[i] = p.Label
+	}
+	return out
+}
+
+// avgRowExtract extracts the AVG row of a policy-matrix table whose
+// configuration columns must match the published labels.
+func avgRowExtract(titlePrefix string, labels []string) func([]harness.Result) ([]float64, error) {
+	return func(results []harness.Result) ([]float64, error) {
+		t, err := table(results, titlePrefix)
+		if err != nil {
+			return nil, err
+		}
+		r, err := row(t, "AVG")
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(labels))
+		for i, label := range labels {
+			col, err := column(t, label)
+			if err != nil {
+				return nil, err
+			}
+			out[i], err = cellPct(r, col)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+}

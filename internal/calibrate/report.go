@@ -1,0 +1,384 @@
+package calibrate
+
+// This file is the report plumbing: the CALIB_califorms.json document
+// (see the package comment for the schema), its emitters, and the
+// Compare gate the CI calibrate job runs against the committed
+// baseline — the accuracy counterpart of internal/perf's throughput
+// gate, with per-figure tolerances instead of a global percentage.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Report is the full CALIB_califorms.json document.
+type Report struct {
+	Schema    string `json:"schema"`
+	Go        string `json:"go"`
+	Generated string `json:"generated"`
+	Visits    int    `json:"visits"`
+	Seeds     int    `json:"seeds"`
+	// Workers records the pool width for provenance only: scores are
+	// deterministic at any width, and Compare ignores it.
+	Workers int `json:"workers"`
+	// Machine is the global -machine override the report was measured
+	// under ("" = the default westmere).
+	Machine   string           `json:"machine,omitempty"`
+	Figures   []FigureScore    `json:"figures"`
+	Envelopes []EnvelopeResult `json:"envelopes"`
+	// MeanMAPEPct averages MAPE across the figures: the one-number
+	// health summary of the reproduction.
+	MeanMAPEPct     float64 `json:"mean_mape_pct"`
+	EnvelopesPassed int     `json:"envelopes_passed"`
+	EnvelopesFailed int     `json:"envelopes_failed"`
+}
+
+// Write stores the report as indented JSON.
+func Write(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a report, verifying the schema tag.
+func Read(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("calibrate: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return Report{}, fmt.Errorf("calibrate: %s: schema %q, want %q (regenerate with califorms-bench -calibrate)", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// val renders a point value in its figure's unit: slowdowns and
+// fractions as one-decimal percentages (the rendering quantum the
+// measured side was extracted at), everything else as a plain number.
+func val(unit string, v float64) string {
+	if unit == "slowdown" || unit == "fraction" {
+		return stats.Pct(v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// corr renders an optional correlation metric.
+func corr(p *float64) string {
+	if p == nil {
+		return "—"
+	}
+	return fmt.Sprintf("%.3f", *p)
+}
+
+// approxMark suffixes bar-chart-read published values.
+func approxMark(approx bool) string {
+	if approx {
+		return " ~"
+	}
+	return ""
+}
+
+// passMark renders an envelope verdict.
+func passMark(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// figureRows renders the per-figure summary cells shared by the text
+// and markdown emitters.
+func (r Report) figureRows() [][]string {
+	var rows [][]string
+	for _, f := range r.Figures {
+		rows = append(rows, []string{
+			f.Name, f.Paper, fmt.Sprintf("%d", len(f.Points)),
+			fmt.Sprintf("%.2f%%", f.MAPEPct),
+			corr(f.PearsonR), corr(f.SpearmanRho),
+			fmt.Sprintf("%.2f", f.SignAgreement),
+		})
+	}
+	return rows
+}
+
+// pointRows renders one figure's measured-vs-published cells.
+func pointRows(f FigureScore) [][]string {
+	var rows [][]string
+	for _, p := range f.Points {
+		errPct := "—"
+		if p.Published != 0 {
+			errPct = fmt.Sprintf("%+.1f%%", (p.Measured/p.Published-1)*100)
+		}
+		rows = append(rows, []string{
+			p.Label, val(f.Unit, p.Measured), val(f.Unit, p.Published) + approxMark(p.Approx), errPct,
+		})
+	}
+	return rows
+}
+
+// envelopeRows renders the envelope cells.
+func (r Report) envelopeRows() [][]string {
+	var rows [][]string
+	for _, e := range r.Envelopes {
+		rows = append(rows, []string{e.Name, e.Experiment, passMark(e.Pass), e.Detail})
+	}
+	return rows
+}
+
+// header summarizes the report's provenance in one line.
+func (r Report) header() string {
+	machine := r.Machine
+	if machine == "" {
+		machine = "westmere"
+	}
+	return fmt.Sprintf("calibration vs published (%s, %s, visits=%d seeds=%d machine=%s)",
+		r.Schema, r.Go, r.Visits, r.Seeds, machine)
+}
+
+// summary is the one-line verdict both human emitters end with.
+func (r Report) summary() string {
+	return fmt.Sprintf("mean MAPE %.2f%% across %d figures; envelopes %d passed, %d failed",
+		r.MeanMAPEPct, len(r.Figures), r.EnvelopesPassed, r.EnvelopesFailed)
+}
+
+var figureHeaders = []string{"figure", "paper", "points", "MAPE", "pearson", "spearman", "sign"}
+var pointHeaders = []string{"point", "measured", "published", "err"}
+var envelopeHeaders = []string{"envelope", "experiment", "verdict", "detail"}
+
+// EmitText renders the report as aligned plain-text tables.
+func EmitText(w io.Writer, r Report) error {
+	fmt.Fprintf(w, "%s\n\n", r.header())
+	sum := stats.Table{Title: "Figure scores", Headers: figureHeaders, Rows: r.figureRows()}
+	fmt.Fprintf(w, "%s\n", sum.String())
+	for _, f := range r.Figures {
+		t := stats.Table{
+			Title:   fmt.Sprintf("%s (%s), measured vs published", f.Name, f.Paper),
+			Headers: pointHeaders,
+			Rows:    pointRows(f),
+		}
+		fmt.Fprintf(w, "%s\n", t.String())
+	}
+	if len(r.Envelopes) > 0 {
+		t := stats.Table{Title: "Envelope invariants", Headers: envelopeHeaders, Rows: r.envelopeRows()}
+		fmt.Fprintf(w, "%s\n", t.String())
+	}
+	_, err := fmt.Fprintf(w, "%s\n", r.summary())
+	return err
+}
+
+// EmitMarkdown renders the report as GitHub-flavored markdown — the
+// format EXPERIMENTS.md's measured-vs-published section and the CI
+// step summary embed as-is.
+func EmitMarkdown(w io.Writer, r Report) error {
+	fmt.Fprintf(w, "%s\n\n", r.header())
+	fmt.Fprintf(w, "### Figure scores\n\n%s\n", stats.MarkdownTable(figureHeaders, r.figureRows()))
+	for _, f := range r.Figures {
+		fmt.Fprintf(w, "### %s (%s)\n\n%s\n", f.Name, f.Paper, stats.MarkdownTable(pointHeaders, pointRows(f)))
+	}
+	if len(r.Envelopes) > 0 {
+		fmt.Fprintf(w, "### Envelope invariants\n\n%s\n", stats.MarkdownTable(envelopeHeaders, r.envelopeRows()))
+	}
+	_, err := fmt.Fprintf(w, "%s\n", r.summary())
+	return err
+}
+
+// EmitCSV renders the report as flat records: one "point" row per
+// scored pair, one "figure" row per figure summary, one "envelope" row
+// per invariant.
+func EmitCSV(w io.Writer, r Report) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	if _, err := fmt.Fprintln(w, "kind,figure,label,measured,published,approx,detail"); err != nil {
+		return err
+	}
+	for _, f := range r.Figures {
+		for _, p := range f.Points {
+			fmt.Fprintf(w, "point,%s,%s,%g,%g,%t,\n", esc(f.Name), esc(p.Label), p.Measured, p.Published, p.Approx)
+		}
+		fmt.Fprintf(w, "figure,%s,MAPE,%g,,,%s\n", esc(f.Name), f.MAPEPct,
+			esc(fmt.Sprintf("pearson=%s spearman=%s sign=%.2f", corr(f.PearsonR), corr(f.SpearmanRho), f.SignAgreement)))
+	}
+	for _, e := range r.Envelopes {
+		if _, err := fmt.Fprintf(w, "envelope,%s,%s,,,%t,%s\n", esc(e.Experiment), esc(e.Name), e.Pass, esc(e.Detail)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitJSON renders the report document itself.
+func EmitJSON(w io.Writer, r Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Emit dispatches on the harness emitter format names.
+func Emit(w io.Writer, format string, r Report) error {
+	switch format {
+	case "text":
+		return EmitText(w, r)
+	case "markdown":
+		return EmitMarkdown(w, r)
+	case "csv":
+		return EmitCSV(w, r)
+	case "json":
+		return EmitJSON(w, r)
+	}
+	return fmt.Errorf("calibrate: unknown format %q (have text, markdown, csv, json)", format)
+}
+
+// Violation is one accuracy-gate failure.
+type Violation struct {
+	// Name is the figure or envelope that regressed.
+	Name string
+	// Metric is what moved: "MAPE", "pearson", "spearman", "sign",
+	// "envelope", or "missing".
+	Metric   string
+	Baseline float64
+	Current  float64
+	// Limit is the gated bound the current value crossed.
+	Limit float64
+	// Detail carries the envelope detail line or a missing-entry note.
+	Detail string
+}
+
+func (v Violation) String() string {
+	switch v.Metric {
+	case "envelope":
+		return fmt.Sprintf("%s: envelope FAILED (%s)", v.Name, v.Detail)
+	case "missing":
+		return fmt.Sprintf("%s: %s", v.Name, v.Detail)
+	case "MAPE":
+		return fmt.Sprintf("%s: MAPE %.2f%% -> %.2f%% (limit %.2f%%) — accuracy vs the paper regressed",
+			v.Name, v.Baseline, v.Current, v.Limit)
+	}
+	return fmt.Sprintf("%s: %s %.3f -> %.3f (limit %.3f)", v.Name, v.Metric, v.Baseline, v.Current, v.Limit)
+}
+
+// Compare gates current against baseline with the data layer's
+// per-figure tolerances and returns the violations:
+//
+//   - a figure or envelope present in the baseline but absent from the
+//     current report (coverage shrank);
+//   - MAPE above the baseline by more than the figure's MAPEPts;
+//   - Pearson r or Spearman rho below the baseline by more than
+//     CorrDrop (only when both reports carry the metric);
+//   - sign agreement below the baseline by more than SignDrop;
+//   - any failing envelope in the current report — a committed
+//     baseline never carries failures, so a failure is always news.
+//
+// Reports scored at different visits/seeds/machine measured different
+// simulations and are not comparable: that is an error, never a
+// silent pass. Workers deliberately does not gate — scores are
+// worker-independent by the harness determinism contract. Figures
+// present only in the current report are fine (coverage may grow).
+func Compare(baseline, current Report) ([]Violation, error) {
+	if baseline.Visits != current.Visits || baseline.Seeds != current.Seeds || baseline.Machine != current.Machine {
+		return nil, fmt.Errorf(
+			"calibrate: baseline (visits=%d seeds=%d machine=%q) and current (visits=%d seeds=%d machine=%q) scored different parameters; regenerate the baseline",
+			baseline.Visits, baseline.Seeds, baseline.Machine, current.Visits, current.Seeds, current.Machine)
+	}
+	cur := make(map[string]FigureScore, len(current.Figures))
+	for _, f := range current.Figures {
+		cur[f.Name] = f
+	}
+	var out []Violation
+	for _, bf := range baseline.Figures {
+		cf, ok := cur[bf.Name]
+		if !ok {
+			out = append(out, Violation{Name: bf.Name, Metric: "missing",
+				Detail: "figure scored in the baseline but absent from the current report"})
+			continue
+		}
+		tol := figureTol(bf.Name)
+		if cf.MAPEPct > bf.MAPEPct+tol.MAPEPts {
+			out = append(out, Violation{Name: bf.Name, Metric: "MAPE",
+				Baseline: bf.MAPEPct, Current: cf.MAPEPct, Limit: bf.MAPEPct + tol.MAPEPts})
+		}
+		gateCorr := func(metric string, b, c *float64) {
+			if b == nil || c == nil {
+				return
+			}
+			if *c < *b-tol.CorrDrop {
+				out = append(out, Violation{Name: bf.Name, Metric: metric,
+					Baseline: *b, Current: *c, Limit: *b - tol.CorrDrop})
+			}
+		}
+		gateCorr("pearson", bf.PearsonR, cf.PearsonR)
+		gateCorr("spearman", bf.SpearmanRho, cf.SpearmanRho)
+		if cf.SignAgreement < bf.SignAgreement-tol.SignDrop {
+			out = append(out, Violation{Name: bf.Name, Metric: "sign",
+				Baseline: bf.SignAgreement, Current: cf.SignAgreement, Limit: bf.SignAgreement - tol.SignDrop})
+		}
+	}
+	curEnv := make(map[string]EnvelopeResult, len(current.Envelopes))
+	for _, e := range current.Envelopes {
+		curEnv[e.Name] = e
+	}
+	for _, be := range baseline.Envelopes {
+		if _, ok := curEnv[be.Name]; !ok {
+			out = append(out, Violation{Name: be.Name, Metric: "missing",
+				Detail: "envelope checked in the baseline but absent from the current report"})
+		}
+	}
+	for _, e := range current.Envelopes {
+		if !e.Pass {
+			out = append(out, Violation{Name: e.Name, Metric: "envelope",
+				Detail: fmt.Sprintf("%s — claim: %s", e.Detail, e.Claim)})
+		}
+	}
+	return out, nil
+}
+
+// FormatDiff renders the baseline-vs-current comparison as
+// GitHub-flavored markdown for the CI step summary: per-figure metric
+// deltas in the current report's order, then the envelope verdicts.
+func FormatDiff(old, new Report) string {
+	base := make(map[string]FigureScore, len(old.Figures))
+	for _, f := range old.Figures {
+		base[f.Name] = f
+	}
+	var rows [][]string
+	mape := func(f FigureScore, ok bool) string {
+		if !ok {
+			return "—"
+		}
+		return fmt.Sprintf("%.2f%%", f.MAPEPct)
+	}
+	for _, f := range new.Figures {
+		bf, ok := base[f.Name]
+		delta := "—"
+		if ok {
+			delta = fmt.Sprintf("%+.2fpp", f.MAPEPct-bf.MAPEPct)
+		}
+		rows = append(rows, []string{
+			f.Name, mape(bf, ok), mape(f, true), delta,
+			corr(f.PearsonR), corr(f.SpearmanRho), fmt.Sprintf("%.2f", f.SignAgreement),
+		})
+	}
+	var b strings.Builder
+	b.WriteString(stats.MarkdownTable(
+		[]string{"figure", "MAPE base", "MAPE now", "Δ", "pearson", "spearman", "sign"}, rows))
+	if len(new.Envelopes) > 0 {
+		b.WriteString("\n")
+		b.WriteString(stats.MarkdownTable(envelopeHeaders, new.envelopeRows()))
+	}
+	fmt.Fprintf(&b, "\n%s\n", new.summary())
+	return b.String()
+}

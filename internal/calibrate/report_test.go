@@ -1,0 +1,247 @@
+package calibrate
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func f64(v float64) *float64 { return &v }
+
+// goldenReport is the synthetic document the emitter goldens freeze:
+// two figures (one with correlation metrics, one without, one point
+// approximate) and two envelopes (one failing), so every rendering
+// branch is exercised.
+func goldenReport() Report {
+	return Report{
+		Schema: Schema, Go: "go1.24.0", Generated: "2026-08-08T00:00:00Z",
+		Visits: 1000, Seeds: 2, Workers: 4,
+		Figures: []FigureScore{
+			{
+				Name: "fig4", Paper: "Figure 4", Unit: "slowdown",
+				Points: []Point{
+					{Label: "1B", Measured: 0.044, Published: 0.030},
+					{Label: "2B", Measured: 0.043, Published: 0.040, Approx: true},
+				},
+				MAPEPct: 27.08, PearsonR: f64(0.925), SpearmanRho: f64(0.982), SignAgreement: 1,
+			},
+			{
+				Name: "table7", Paper: "Table 7", Unit: "GE/ns",
+				Points: []Point{
+					{Label: "Baseline area (GE)", Measured: 347290, Published: 347329.19},
+				},
+				MAPEPct: 0.45, SignAgreement: 1,
+			},
+		},
+		Envelopes: []EnvelopeResult{
+			{Name: "rate4-contention", Experiment: "rate4", Claim: "some benchmark inflates",
+				Pass: true, Detail: "max x4-x1 inflation +10.5pp (perlbench)"},
+			{Name: "sens-llc-capacity", Experiment: "sens-llc", Claim: "bigger LLC not worse",
+				Pass: false, Detail: "AVG overhead 4.6% @512KB vs 8.1% @8MB"},
+		},
+		MeanMAPEPct: 13.77, EnvelopesPassed: 1, EnvelopesFailed: 1,
+	}
+}
+
+const goldenText = `calibration vs published (califorms-bench-calib/v1, go1.24.0, visits=1000 seeds=2 machine=westmere)
+
+Figure scores
+figure  paper     points  MAPE    pearson  spearman  sign
+------  --------  ------  ------  -------  --------  ----
+fig4    Figure 4  2       27.08%  0.925    0.982     1.00
+table7  Table 7   1       0.45%   —        —         1.00
+
+fig4 (Figure 4), measured vs published
+point  measured  published  err
+-----  --------  ---------  ------
+1B     4.4%      3.0%       +46.7%
+2B     4.3%      4.0% ~     +7.5%
+
+table7 (Table 7), measured vs published
+point               measured   published  err
+------------------  ---------  ---------  -----
+Baseline area (GE)  347290.00  347329.19  -0.0%
+
+Envelope invariants
+envelope           experiment  verdict  detail
+-----------------  ----------  -------  ---------------------------------------
+rate4-contention   rate4       PASS     max x4-x1 inflation +10.5pp (perlbench)
+sens-llc-capacity  sens-llc    FAIL     AVG overhead 4.6% @512KB vs 8.1% @8MB
+
+mean MAPE 13.77% across 2 figures; envelopes 1 passed, 1 failed
+`
+
+const goldenMarkdown = `calibration vs published (califorms-bench-calib/v1, go1.24.0, visits=1000 seeds=2 machine=westmere)
+
+### Figure scores
+
+| figure | paper | points | MAPE | pearson | spearman | sign |
+|---|---|---|---|---|---|---|
+| fig4 | Figure 4 | 2 | 27.08% | 0.925 | 0.982 | 1.00 |
+| table7 | Table 7 | 1 | 0.45% | — | — | 1.00 |
+
+### fig4 (Figure 4)
+
+| point | measured | published | err |
+|---|---|---|---|
+| 1B | 4.4% | 3.0% | +46.7% |
+| 2B | 4.3% | 4.0% ~ | +7.5% |
+
+### table7 (Table 7)
+
+| point | measured | published | err |
+|---|---|---|---|
+| Baseline area (GE) | 347290.00 | 347329.19 | -0.0% |
+
+### Envelope invariants
+
+| envelope | experiment | verdict | detail |
+|---|---|---|---|
+| rate4-contention | rate4 | PASS | max x4-x1 inflation +10.5pp (perlbench) |
+| sens-llc-capacity | sens-llc | FAIL | AVG overhead 4.6% @512KB vs 8.1% @8MB |
+
+mean MAPE 13.77% across 2 figures; envelopes 1 passed, 1 failed
+`
+
+const goldenCSV = `kind,figure,label,measured,published,approx,detail
+point,fig4,1B,0.044,0.03,false,
+point,fig4,2B,0.043,0.04,true,
+figure,fig4,MAPE,27.08,,,pearson=0.925 spearman=0.982 sign=1.00
+point,table7,Baseline area (GE),347290,347329.19,false,
+figure,table7,MAPE,0.45,,,pearson=— spearman=— sign=1.00
+envelope,rate4,rate4-contention,,,true,max x4-x1 inflation +10.5pp (perlbench)
+envelope,sens-llc,sens-llc-capacity,,,false,AVG overhead 4.6% @512KB vs 8.1% @8MB
+`
+
+const goldenDiff = `| figure | MAPE base | MAPE now | Δ | pearson | spearman | sign |
+|---|---|---|---|---|---|---|
+| fig4 | 25.00% | 27.08% | +2.08pp | 0.925 | 0.982 | 1.00 |
+| table7 | — | 0.45% | — | — | — | 1.00 |
+
+| envelope | experiment | verdict | detail |
+|---|---|---|---|
+| rate4-contention | rate4 | PASS | max x4-x1 inflation +10.5pp (perlbench) |
+| sens-llc-capacity | sens-llc | FAIL | AVG overhead 4.6% @512KB vs 8.1% @8MB |
+
+mean MAPE 13.77% across 2 figures; envelopes 1 passed, 1 failed
+`
+
+func emit(t *testing.T, format string, r Report) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := Emit(&b, format, r); err != nil {
+		t.Fatalf("Emit(%s): %v", format, err)
+	}
+	return b.String()
+}
+
+// stripTrail drops per-line trailing spaces: the text emitter's
+// aligned tables pad every cell to column width, and the goldens are
+// stored without that padding so they stay reviewable.
+func stripTrail(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestEmitGoldens(t *testing.T) {
+	r := goldenReport()
+	if got := stripTrail(emit(t, "text", r)); got != goldenText {
+		t.Errorf("text output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenText)
+	}
+	// Markdown and CSV carry no alignment padding and are compared
+	// byte for byte.
+	for format, want := range map[string]string{
+		"markdown": goldenMarkdown,
+		"csv":      goldenCSV,
+	} {
+		if got := emit(t, format, r); got != want {
+			t.Errorf("%s output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", format, got, want)
+		}
+	}
+	// JSON is locked by round-trip below rather than a byte golden;
+	// here just the invariants the document must keep.
+	js := emit(t, "json", r)
+	for _, want := range []string{`"schema": "califorms-bench-calib/v1"`, `"approx": true`, `"mape_pct": 27.08`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("json output missing %q:\n%s", want, js)
+		}
+	}
+	if strings.Contains(js, `"machine"`) {
+		t.Errorf("default-machine report must omit the machine field:\n%s", js)
+	}
+	if err := Emit(&bytes.Buffer{}, "yaml", r); err == nil {
+		t.Error("unknown format did not error")
+	}
+}
+
+func TestFormatDiffGolden(t *testing.T) {
+	cur := goldenReport()
+	old := cur
+	old.Figures = []FigureScore{cur.Figures[0]}
+	old.Figures[0].MAPEPct = 25.00
+	if got := FormatDiff(old, cur); got != goldenDiff {
+		t.Errorf("FormatDiff drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenDiff)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "CALIB_califorms.json")
+	r := goldenReport()
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MeanMAPEPct != r.MeanMAPEPct || len(got.Figures) != 2 || len(got.Envelopes) != 2 {
+		t.Errorf("round trip mangled report: %+v", got)
+	}
+	if got.Figures[0].PearsonR == nil || *got.Figures[0].PearsonR != 0.925 {
+		t.Errorf("round trip lost pearson: %+v", got.Figures[0])
+	}
+
+	bad := r
+	bad.Schema = "califorms-bench-perf/v3"
+	if err := Write(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong-schema read did not error usefully: %v", err)
+	}
+}
+
+// TestWorkerCountInvariance locks the gate's central assumption: the
+// same calibration at different pool widths produces byte-identical
+// output in every format (only the provenance fields differ).
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	p := harness.Params{Visits: 200, Seeds: 1}
+	names := []string{"fig3", "fig4", "security"}
+	r1, err := Run(names, p, harness.NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(names, p, harness.NewPool(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Generated, r8.Generated = "T", "T"
+	if r1.Workers != 1 || r8.Workers != 8 {
+		t.Fatalf("workers provenance wrong: %d, %d", r1.Workers, r8.Workers)
+	}
+	r1.Workers, r8.Workers = 0, 0
+	for _, format := range []string{"text", "markdown", "csv", "json"} {
+		if a, b := emit(t, format, r1), emit(t, format, r8); a != b {
+			t.Errorf("%s output differs across worker counts:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s", format, a, b)
+		}
+	}
+}

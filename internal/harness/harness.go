@@ -20,6 +20,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/machine"
 )
@@ -157,4 +158,29 @@ func RunByName(name string, p Params, pool *Pool) ([]Result, error) {
 		return nil, fmt.Errorf("harness: unknown experiment %q", name)
 	}
 	return Run(e, p, pool), nil
+}
+
+// FindTable returns the first cell-bearing result (table or
+// histogram) whose title starts with prefix. Consumers that score or
+// post-process experiment output (internal/calibrate) address records
+// by title rather than by position, so experiments can append records
+// without breaking them.
+func FindTable(results []Result, prefix string) (Result, bool) {
+	for _, r := range results {
+		if len(r.Headers) > 0 && strings.HasPrefix(r.Title, prefix) {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// FindText returns the first result whose free-form Text contains
+// substr (prose records carry no Title to address them by).
+func FindText(results []Result, substr string) (Result, bool) {
+	for _, r := range results {
+		if r.Text != "" && strings.Contains(r.Text, substr) {
+			return r, true
+		}
+	}
+	return Result{}, false
 }

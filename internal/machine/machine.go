@@ -184,6 +184,17 @@ func Names() []string {
 	return out
 }
 
+// Resolve returns the named machine, or a usage-ready error listing
+// the registry when the name is unknown. It is the lookup behind the
+// -machine flag of both commands.
+func Resolve(name string) (Desc, error) {
+	d, ok := Get(name)
+	if !ok {
+		return Desc{}, fmt.Errorf("unknown machine %q (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	return d, nil
+}
+
 // Default returns the default machine: the Table 3 westmere the
 // paper's entire evaluation runs on.
 func Default() Desc {

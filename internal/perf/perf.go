@@ -65,11 +65,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"repro/internal/harness"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Schema identifies the report format.
@@ -331,9 +331,7 @@ func Diff(old, new Report) []DiffRow {
 // markdown — pasteable into a PR description and rendered as-is by
 // the CI job's step summary.
 func FormatDiff(old, new Report) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "| experiment | ops/sec old | ops/sec new | Δ | wall old | wall new | capture cpu | replay cpu |\n")
-	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|\n")
+	var rows [][]string
 	for _, d := range Diff(old, new) {
 		delta := "—"
 		if d.OldRate > 0 && d.NewRate > 0 {
@@ -345,9 +343,13 @@ func FormatDiff(old, new Report) string {
 			}
 			return fmt.Sprintf("%.3g", v)
 		}
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3fs | %.3fs | %.3fs | %.3fs |\n",
-			d.Name, rate(d.OldRate), rate(d.NewRate), delta, d.OldWall, d.NewWall,
-			d.CaptureCPUSeconds, d.ReplayCPUSeconds)
+		rows = append(rows, []string{
+			d.Name, rate(d.OldRate), rate(d.NewRate), delta,
+			fmt.Sprintf("%.3fs", d.OldWall), fmt.Sprintf("%.3fs", d.NewWall),
+			fmt.Sprintf("%.3fs", d.CaptureCPUSeconds), fmt.Sprintf("%.3fs", d.ReplayCPUSeconds),
+		})
 	}
-	return b.String()
+	return stats.MarkdownTable(
+		[]string{"experiment", "ops/sec old", "ops/sec new", "Δ", "wall old", "wall new", "capture cpu", "replay cpu"},
+		rows)
 }

@@ -1,0 +1,151 @@
+package stats
+
+// This file holds the calibration metrics internal/calibrate scores
+// measured-vs-published series with: mean absolute percentage error,
+// Pearson correlation, Spearman rank correlation and sign agreement.
+// All four are defensive about degenerate input — short or
+// mismatched-length series, constant series, NaN elements — and never
+// return NaN themselves: a pair with a NaN on either side is dropped,
+// and an undefined statistic comes back as 0 so downstream gates
+// compare real numbers only.
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// cleanPairs returns the elements of x and y (truncated to the shorter
+// length) whose pairs are NaN-free on both sides.
+func cleanPairs(x, y []float64) ([]float64, []float64) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	cx := make([]float64, 0, n)
+	cy := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
+			continue
+		}
+		cx = append(cx, x[i])
+		cy = append(cy, y[i])
+	}
+	return cx, cy
+}
+
+// MAPE returns the mean absolute percentage error of measured against
+// published, in percent. Pairs whose published value is 0 carry an
+// undefined percentage error and are skipped (as are NaN pairs); with
+// no valid pair left the result is 0.
+func MAPE(measured, published []float64) float64 {
+	m, p := cleanPairs(measured, published)
+	sum, count := 0.0, 0
+	for i := range m {
+		if p[i] == 0 {
+			continue
+		}
+		sum += math.Abs(m[i]-p[i]) / math.Abs(p[i])
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count) * 100
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y. A
+// series shorter than two valid pairs, or one with zero variance on
+// either side, has no defined correlation and returns 0.
+func Pearson(x, y []float64) float64 {
+	cx, cy := cleanPairs(x, y)
+	n := float64(len(cx))
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(cx), Mean(cy)
+	var cov, vx, vy float64
+	for i := range cx {
+		dx, dy := cx[i]-mx, cy[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Ranks returns the 1-based ranks of xs with ties assigned their
+// average rank (the fractional ranking Spearman's rho is defined on).
+func Ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j hold equal values: average their ranks.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation coefficient: Pearson
+// on the tie-averaged ranks. Degenerate input returns 0, like Pearson.
+func Spearman(x, y []float64) float64 {
+	cx, cy := cleanPairs(x, y)
+	if len(cx) < 2 {
+		return 0
+	}
+	return Pearson(Ranks(cx), Ranks(cy))
+}
+
+// SignAgreement returns the fraction of pairs whose signs match
+// (positive with positive, negative with negative, zero with zero).
+// An empty series returns 0.
+func SignAgreement(x, y []float64) float64 {
+	cx, cy := cleanPairs(x, y)
+	if len(cx) == 0 {
+		return 0
+	}
+	sign := func(v float64) int {
+		switch {
+		case v > 0:
+			return 1
+		case v < 0:
+			return -1
+		}
+		return 0
+	}
+	matches := 0
+	for i := range cx {
+		if sign(cx[i]) == sign(cy[i]) {
+			matches++
+		}
+	}
+	return float64(matches) / float64(len(cx))
+}
+
+// MarkdownTable renders a GitHub-flavored markdown table — the format
+// the CI jobs paste into step summaries (see perf.FormatDiff and
+// calibrate.FormatDiff).
+func MarkdownTable(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	b.WriteString(strings.Repeat("|---", len(headers)) + "|\n")
+	for _, row := range rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestMAPE(t *testing.T) {
+	cases := []struct {
+		name      string
+		meas, pub []float64
+		want      float64
+	}{
+		{"exact", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		// |110-100|/100 = 10%, |90-100|/100 = 10% -> mean 10.
+		{"symmetric", []float64{110, 90}, []float64{100, 100}, 10},
+		// The zero-published pair is skipped: only |7-10|/10 = 30%.
+		{"zero published skipped", []float64{5, 7}, []float64{0, 10}, 30},
+		{"all zero published", []float64{5, 7}, []float64{0, 0}, 0},
+		{"negative published", []float64{-5}, []float64{-4}, 25},
+		{"single point", []float64{3}, []float64{2}, 50},
+		{"empty", nil, nil, 0},
+		// NaN pairs are dropped before scoring.
+		{"nan guard", []float64{math.NaN(), 110}, []float64{100, 100}, 10},
+		{"length mismatch truncates", []float64{110, 90, 50}, []float64{100, 100}, 10},
+	}
+	for _, c := range cases {
+		if got := MAPE(c.meas, c.pub); !approxEq(got, c.want) {
+			t.Errorf("%s: MAPE = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{"perfect positive", []float64{1, 2, 3}, []float64{2, 4, 6}, 1},
+		{"perfect negative", []float64{1, 2, 3}, []float64{3, 2, 1}, -1},
+		// Hand-computed: cov = 3, var_x = var_y = 5 -> r = 3/5.
+		{"partial", []float64{1, 2, 3, 4}, []float64{2, 1, 4, 3}, 0.6},
+		{"constant y", []float64{1, 2, 3}, []float64{1, 1, 1}, 0},
+		{"constant x", []float64{5, 5, 5}, []float64{1, 2, 3}, 0},
+		{"single point", []float64{1}, []float64{1}, 0},
+		{"empty", nil, nil, 0},
+		{"two points", []float64{1, 2}, []float64{1, 3}, 1},
+		// Dropping the NaN pair leaves a perfect positive pairing.
+		{"nan guard", []float64{1, math.NaN(), 2, 3}, []float64{2, 9, 4, 6}, 1},
+	}
+	for _, c := range cases {
+		if got := Pearson(c.x, c.y); !approxEq(got, c.want) {
+			t.Errorf("%s: Pearson = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 40})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !approxEq(got[i], want[i]) {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+	if got := Ranks(nil); len(got) != 0 {
+		t.Fatalf("Ranks(nil) = %v, want empty", got)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		// Monotone but nonlinear: rank correlation is exactly 1.
+		{"monotone nonlinear", []float64{1, 2, 3, 4}, []float64{1, 10, 100, 1000}, 1},
+		{"reversed", []float64{1, 2, 3}, []float64{30, 20, 10}, -1},
+		// Same hand-computed 0.6 case: inputs are already ranks.
+		{"partial", []float64{1, 2, 3, 4}, []float64{2, 1, 4, 3}, 0.6},
+		{"constant", []float64{1, 2, 3}, []float64{7, 7, 7}, 0},
+		{"single point", []float64{1}, []float64{2}, 0},
+		{"empty", nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Spearman(c.x, c.y); !approxEq(got, c.want) {
+			t.Errorf("%s: Spearman = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Ties on one side: x = {1, 2, 2, 4} ranks to {1, 2.5, 2.5, 4};
+	// a strictly increasing y ranks to {1, 2, 3, 4}. cov = 4.5,
+	// var_x = 4.5, var_y = 5 -> rho = 4.5/sqrt(22.5) ~ 0.9486832.
+	got := Spearman([]float64{1, 2, 2, 4}, []float64{10, 20, 30, 40})
+	if !approxEq(got, 4.5/math.Sqrt(22.5)) {
+		t.Errorf("Spearman with ties = %v, want %v", got, 4.5/math.Sqrt(22.5))
+	}
+}
+
+func TestSignAgreement(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{"all match", []float64{1, -2, 0}, []float64{5, -1, 0}, 1},
+		// Signs: (+,+) match, (-,-) match, (0,0) match, (+,-) mismatch.
+		{"three quarters", []float64{1, -1, 0, 2}, []float64{2, -3, 0, -1}, 0.75},
+		{"zero vs positive", []float64{0}, []float64{1}, 0},
+		{"empty", nil, nil, 0},
+		{"nan guard", []float64{math.NaN(), 1}, []float64{1, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := SignAgreement(c.x, c.y); !approxEq(got, c.want) {
+			t.Errorf("%s: SignAgreement = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMetricsNeverNaN(t *testing.T) {
+	nasty := [][]float64{
+		nil,
+		{},
+		{math.NaN()},
+		{math.NaN(), math.NaN()},
+		{0, 0, 0},
+		{1},
+	}
+	for _, x := range nasty {
+		for _, y := range nasty {
+			for name, got := range map[string]float64{
+				"MAPE":          MAPE(x, y),
+				"Pearson":       Pearson(x, y),
+				"Spearman":      Spearman(x, y),
+				"SignAgreement": SignAgreement(x, y),
+			} {
+				if math.IsNaN(got) {
+					t.Fatalf("%s(%v, %v) = NaN", name, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	got := MarkdownTable([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "| a | b |\n|---|---|\n| 1 | 2 |\n| 3 | 4 |\n"
+	if got != want {
+		t.Fatalf("MarkdownTable = %q, want %q", got, want)
+	}
+	if got := MarkdownTable([]string{"only"}, nil); !strings.HasSuffix(got, "|---|\n") {
+		t.Fatalf("MarkdownTable without rows = %q", got)
+	}
+}
