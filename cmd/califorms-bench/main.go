@@ -10,6 +10,7 @@
 //	                     list with globs, e.g. -exp 'fig4,mix*,sens-*'
 //	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv]
 //	                [-machine westmere|skylake|embedded|server] [-list] [-list-machines]
+//	                [-store DIR [-store-readonly] [-store-gc BYTES]]
 //	califorms-bench -perf [-exp ...] [-perf-out BENCH_califorms.json]
 //	                [-perf-baseline BENCH_califorms.json] [-perf-gate 15]
 //	califorms-bench -perf-diff old.json new.json
@@ -32,14 +33,29 @@
 // the JSON/CSV output. Per-experiment timing goes to stderr so stdout
 // stays a clean report.
 //
+// -store points every mode at a content-addressed result store
+// (internal/store): finished cell results, captured op streams and
+// multicore mix results are persisted there and reused by later runs
+// — a repeated sweep is a pure lookup, an incremental one (new
+// machine, new policy column, more visits) simulates only the delta.
+// Output is byte-identical with, without, or half-way through a
+// store. -store-readonly serves hits without writing anything (shared
+// or cached store directories); -store-gc N prunes the store after a
+// successful run: entries from other code versions are removed
+// unconditionally, then least-recently-used entries this run did not
+// touch are evicted until at most N bytes remain (0 keeps only the
+// entries the run touched). A summary of hits, misses and bytes moved
+// goes to stderr.
+//
 // -perf switches to measurement mode: instead of emitting the
 // experiment reports, it measures each selected experiment's
 // work-unit throughput and per-stage CPU cost (setup, direct
-// simulation, trace capture, trace replay), writes the result to
-// -perf-out (the BENCH_califorms.json trajectory file, see
-// internal/perf for the v2 schema), and — when -perf-baseline is
-// given — exits non-zero if any experiment's ops/sec regressed more
-// than -perf-gate percent against the baseline report.
+// simulation, trace capture, trace replay), plus the generation-pass
+// count and store traffic (see internal/perf for the v4 schema),
+// writes the result to -perf-out (the BENCH_califorms.json
+// trajectory file), and — when -perf-baseline is given — exits
+// non-zero if any experiment's ops/sec regressed more than -perf-gate
+// percent against the baseline report.
 //
 // -perf-diff compares two measurement reports and prints a
 // per-experiment delta table (ops/sec, wall time, capture/replay
@@ -62,11 +78,18 @@
 // -calib-diff compares two calibration reports and prints per-figure
 // metric deltas plus the envelope verdicts as GitHub-flavored
 // markdown.
+//
+// Exit codes: 0 on success, 1 when the work itself fails (a perf or
+// calibration gate violation, an unreadable baseline, an I/O error),
+// 2 for usage errors (unknown flags, experiments, machines or
+// formats) — so CI and scripts can tell "the gate tripped" from "the
+// invocation was wrong".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path"
 	"strings"
@@ -76,6 +99,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/perf"
+	"repro/internal/store"
 )
 
 // expNames resolves the -exp flag: a comma-separated list of registry
@@ -128,111 +152,182 @@ func expNames(exp string) ([]string, error) {
 	return names, nil
 }
 
-func main() {
-	exp := flag.String("exp", "all", "experiments to run: comma list of names and globs (see -list), or 'all'")
-	visits := flag.Int("visits", 30000, "steady-state object visits per benchmark run")
-	seeds := flag.Int("seeds", 1, "layout randomizations averaged per configuration (paper: 3)")
-	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-	format := flag.String("format", "text", "output format: text, json, csv (calibrate mode also: markdown)")
-	list := flag.Bool("list", false, "list registered experiments and exit")
-	machineName := flag.String("machine", "", "base machine for the sweeps (default: westmere; see -list-machines)")
-	listMachines := flag.Bool("list-machines", false, "list registered machines and exit")
-	perfMode := flag.Bool("perf", false, "measure experiment throughput instead of emitting reports")
-	perfOut := flag.String("perf-out", "BENCH_califorms.json", "perf mode: where to write the measurement report")
-	perfBaseline := flag.String("perf-baseline", "", "perf mode: baseline report to gate against (optional)")
-	perfGate := flag.Float64("perf-gate", 15, "perf mode: max tolerated ops/sec regression in percent")
-	perfDiff := flag.Bool("perf-diff", false, "compare two measurement reports: -perf-diff old.json new.json")
-	calibMode := flag.Bool("calibrate", false, "score experiments against the paper's published numbers instead of emitting reports")
-	calibOut := flag.String("calib-out", "CALIB_califorms.json", "calibrate mode: where to write the calibration report")
-	calibBaseline := flag.String("calib-baseline", "", "calibrate mode: baseline report to compare against (optional)")
-	calibGate := flag.Bool("calib-gate", false, "calibrate mode: exit non-zero on any accuracy violation vs the baseline")
-	calibDiff := flag.Bool("calib-diff", false, "compare two calibration reports: -calib-diff old.json new.json")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// Exit codes (see the package comment): usage errors are 2, failures
+// of the requested work are 1.
+const (
+	exitOK      = 0
+	exitFailure = 1
+	exitUsage   = 2
+)
+
+// run is main with its environment made explicit, so the exit-code
+// contract is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("califorms-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiments to run: comma list of names and globs (see -list), or 'all'")
+	visits := fs.Int("visits", 30000, "steady-state object visits per benchmark run")
+	seeds := fs.Int("seeds", 1, "layout randomizations averaged per configuration (paper: 3)")
+	workers := fs.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	format := fs.String("format", "text", "output format: text, json, csv (calibrate mode also: markdown)")
+	list := fs.Bool("list", false, "list registered experiments and exit")
+	machineName := fs.String("machine", "", "base machine for the sweeps (default: westmere; see -list-machines)")
+	listMachines := fs.Bool("list-machines", false, "list registered machines and exit")
+	storeDir := fs.String("store", "", "content-addressed result store directory (empty: no store)")
+	storeReadonly := fs.Bool("store-readonly", false, "serve store hits but never write to the store")
+	storeGC := fs.Int64("store-gc", -1, "after a successful run, evict untouched store entries down to this many bytes (-1: no GC, 0: keep only touched entries)")
+	perfMode := fs.Bool("perf", false, "measure experiment throughput instead of emitting reports")
+	perfOut := fs.String("perf-out", "BENCH_califorms.json", "perf mode: where to write the measurement report")
+	perfBaseline := fs.String("perf-baseline", "", "perf mode: baseline report to gate against (optional)")
+	perfGate := fs.Float64("perf-gate", 15, "perf mode: max tolerated ops/sec regression in percent")
+	perfDiff := fs.Bool("perf-diff", false, "compare two measurement reports: -perf-diff old.json new.json")
+	calibMode := fs.Bool("calibrate", false, "score experiments against the paper's published numbers instead of emitting reports")
+	calibOut := fs.String("calib-out", "CALIB_califorms.json", "calibrate mode: where to write the calibration report")
+	calibBaseline := fs.String("calib-baseline", "", "calibrate mode: baseline report to compare against (optional)")
+	calibGate := fs.Bool("calib-gate", false, "calibrate mode: exit non-zero on any accuracy violation vs the baseline")
+	calibDiff := fs.Bool("calib-diff", false, "compare two calibration reports: -calib-diff old.json new.json")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	if *perfDiff {
-		runPerfDiff(flag.Args())
-		return
+		return runPerfDiff(fs.Args(), stdout, stderr)
 	}
 	if *calibDiff {
-		runCalibDiff(flag.Args())
-		return
+		return runCalibDiff(fs.Args(), stdout, stderr)
 	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
-			fmt.Printf("%-12s %-14s %s\n", e.Name, e.Paper, e.Title)
+			fmt.Fprintf(stdout, "%-12s %-14s %s\n", e.Name, e.Paper, e.Title)
 		}
-		return
+		return exitOK
 	}
 	if *listMachines {
 		for _, d := range machine.Machines() {
-			fmt.Printf("%-10s %s\n", d.Name, d.Title)
+			fmt.Fprintf(stdout, "%-10s %s\n", d.Name, d.Title)
 		}
-		return
+		return exitOK
 	}
 
 	names, err := expNames(*exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return exitUsage
 	}
 	pool := harness.NewPool(*workers)
 	p := harness.Params{Visits: *visits, Seeds: *seeds}
 	if *machineName != "" {
 		d, err := machine.Resolve(*machineName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return exitUsage
 		}
 		p.Machine = d
 	}
-
-	if *perfMode {
-		runPerf(names, p, pool, *perfOut, *perfBaseline, *perfGate)
-		return
-	}
+	// Validate the output format before any simulation runs: a typo'd
+	// -format is a usage error and must not cost a sweep. Report mode
+	// re-validates through NewEmitter below; calibrate mode's Emit
+	// happens after the runs.
 	if *calibMode {
-		runCalibrate(names, p, pool, *format, *calibOut, *calibBaseline, *calibGate)
-		return
+		switch *format {
+		case "text", "markdown", "csv", "json":
+		default:
+			fmt.Fprintf(stderr, "calibrate: unknown format %q (have text, markdown, csv, json)\n", *format)
+			return exitUsage
+		}
+	}
+	if (*storeReadonly || *storeGC >= 0) && *storeDir == "" {
+		fmt.Fprintln(stderr, "-store-readonly and -store-gc require -store DIR")
+		return exitUsage
+	}
+	if *storeReadonly && *storeGC >= 0 {
+		fmt.Fprintln(stderr, "-store-gc cannot run on a read-only store")
+		return exitUsage
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{ReadOnly: *storeReadonly})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitFailure
+		}
+		harness.UseStore(st)
+		defer harness.UseStore(nil)
 	}
 
-	em, err := harness.NewEmitter(*format)
+	var rc int
+	switch {
+	case *perfMode:
+		rc = runPerf(names, p, pool, *perfOut, *perfBaseline, *perfGate, stderr)
+	case *calibMode:
+		rc = runCalibrate(names, p, pool, *format, *calibOut, *calibBaseline, *calibGate, stdout, stderr)
+	default:
+		rc = runReport(names, p, pool, *format, stdout, stderr)
+	}
+
+	if st != nil {
+		c := st.Counters()
+		fmt.Fprintf(stderr, "[store %s: %d hits, %d misses, %d puts, %d bytes read, %d bytes written]\n",
+			st.Dir(), c.Hits, c.Misses, c.Puts, c.BytesRead, c.BytesWritten)
+		// GC only after a fully successful run: a failed sweep has not
+		// proven which entries are still needed.
+		if rc == exitOK && *storeGC >= 0 {
+			gs, err := st.GC(*storeGC)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return exitFailure
+			}
+			fmt.Fprintf(stderr, "[store gc: removed %d entries (%d bytes) and %d orphaned version trees]\n",
+				gs.RemovedEntries, gs.FreedBytes, gs.RemovedVersions)
+		}
+	}
+	return rc
+}
+
+// runReport emits the selected experiments' tables in the chosen
+// format — the default mode.
+func runReport(names []string, p harness.Params, pool *harness.Pool, format string, stdout, stderr io.Writer) int {
+	em, err := harness.NewEmitter(format)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return exitUsage
 	}
 	var results []harness.Result
 	for _, name := range names {
 		e, _ := harness.Get(name)
 		start := time.Now()
 		results = append(results, harness.Run(e, p, pool)...)
-		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "[%s completed in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
-	if err := em.Emit(os.Stdout, results); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err := em.Emit(stdout, results); err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
+	return exitOK
 }
 
 // runPerf measures the named experiments, writes the trajectory
 // report, and applies the regression gate when a baseline is given.
-func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baselinePath string, gatePct float64) {
+func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baselinePath string, gatePct float64, stderr io.Writer) int {
 	report, err := perf.Measure(names, p, pool)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
 	for _, m := range report.Experiments {
 		if m.SimOps > 0 {
-			fmt.Fprintf(os.Stderr, "[perf %-10s %8.3fs  %12d ops  %10.3g ops/s  (cpu: setup %.2fs, sim %.2fs, capture %.2fs, replay %.2fs)]\n",
-				m.Name, m.WallSeconds, m.SimOps, m.OpsPerSec,
+			fmt.Fprintf(stderr, "[perf %-10s %8.3fs  %12d ops  %10.3g ops/s  %3d gen passes  (cpu: setup %.2fs, sim %.2fs, capture %.2fs, replay %.2fs)]\n",
+				m.Name, m.WallSeconds, m.SimOps, m.OpsPerSec, m.GenPasses,
 				m.SetupCPUSeconds, m.SimCPUSeconds, m.CaptureCPUSeconds, m.ReplayCPUSeconds)
 		} else {
-			fmt.Fprintf(os.Stderr, "[perf %-10s %8.3fs  (no work recorded)]\n", m.Name, m.WallSeconds)
+			fmt.Fprintf(stderr, "[perf %-10s %8.3fs  (no work recorded)]\n", m.Name, m.WallSeconds)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "[perf total      %8.3fs  %12d ops  %10.3g ops/s]\n",
-		report.TotalWallSeconds, report.TotalOps, report.TotalOpsPerSec)
+	fmt.Fprintf(stderr, "[perf total      %8.3fs  %12d ops  %10.3g ops/s  %3d gen passes]\n",
+		report.TotalWallSeconds, report.TotalOps, report.TotalOpsPerSec, report.TotalGenPasses)
 	// Read the baseline before writing the fresh report: the default
 	// -perf-out is the committed baseline path, and writing first
 	// would silently turn the gate into a self-comparison.
@@ -240,32 +335,32 @@ func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baseline
 	if baselinePath != "" {
 		baseline, err = perf.Read(baselinePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailure
 		}
 	}
 	if err := perf.Write(out, report); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
-	fmt.Fprintf(os.Stderr, "[perf report written to %s]\n", out)
+	fmt.Fprintf(stderr, "[perf report written to %s]\n", out)
 	if baselinePath == "" {
-		return
+		return exitOK
 	}
 	regs, err := perf.Compare(baseline, report, gatePct)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
 	if len(regs) == 0 {
-		fmt.Fprintf(os.Stderr, "[perf gate passed: no experiment regressed more than %.0f%% vs %s]\n", gatePct, baselinePath)
-		return
+		fmt.Fprintf(stderr, "[perf gate passed: no experiment regressed more than %.0f%% vs %s]\n", gatePct, baselinePath)
+		return exitOK
 	}
-	fmt.Fprintf(os.Stderr, "perf gate FAILED (tolerance %.0f%% vs %s):\n", gatePct, baselinePath)
+	fmt.Fprintf(stderr, "perf gate FAILED (tolerance %.0f%% vs %s):\n", gatePct, baselinePath)
 	for _, r := range regs {
-		fmt.Fprintf(os.Stderr, "  %s\n", r)
+		fmt.Fprintf(stderr, "  %s\n", r)
 	}
-	os.Exit(1)
+	return exitFailure
 }
 
 // runCalibrate scores the calibration-covered subset of the named
@@ -273,7 +368,7 @@ func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baseline
 // in the chosen format, writes the JSON document, and — when a
 // baseline is given — compares against it, exiting non-zero on
 // violations if the gate is armed.
-func runCalibrate(names []string, p harness.Params, pool *harness.Pool, format, out, baselinePath string, gate bool) {
+func runCalibrate(names []string, p harness.Params, pool *harness.Pool, format, out, baselinePath string, gate bool, stdout, stderr io.Writer) int {
 	var covered, skipped []string
 	for _, name := range names {
 		if calibrate.Covers(name) {
@@ -283,19 +378,19 @@ func runCalibrate(names []string, p harness.Params, pool *harness.Pool, format, 
 		}
 	}
 	if len(skipped) > 0 {
-		fmt.Fprintf(os.Stderr, "[calibrate: skipping %s (no published numbers or envelopes)]\n", strings.Join(skipped, ", "))
+		fmt.Fprintf(stderr, "[calibrate: skipping %s (no published numbers or envelopes)]\n", strings.Join(skipped, ", "))
 	}
 	start := time.Now()
 	report, err := calibrate.Run(covered, p, pool)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
-	fmt.Fprintf(os.Stderr, "[calibrate: scored %d figures, %d envelopes in %v]\n",
+	fmt.Fprintf(stderr, "[calibrate: scored %d figures, %d envelopes in %v]\n",
 		len(report.Figures), len(report.Envelopes), time.Since(start).Round(time.Millisecond))
-	if err := calibrate.Emit(os.Stdout, format, report); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if err := calibrate.Emit(stdout, format, report); err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
 	// Read the baseline before writing the fresh report: the default
 	// -calib-out is the committed baseline path, and writing first
@@ -304,72 +399,75 @@ func runCalibrate(names []string, p harness.Params, pool *harness.Pool, format, 
 	if baselinePath != "" {
 		baseline, err = calibrate.Read(baselinePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailure
 		}
 	}
 	if err := calibrate.Write(out, report); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
-	fmt.Fprintf(os.Stderr, "[calibration report written to %s]\n", out)
+	fmt.Fprintf(stderr, "[calibration report written to %s]\n", out)
 	if baselinePath == "" {
-		return
+		return exitOK
 	}
 	violations, err := calibrate.Compare(baseline, report)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
 	if len(violations) == 0 {
-		fmt.Fprintf(os.Stderr, "[calibration gate passed: accuracy within per-figure tolerances vs %s]\n", baselinePath)
-		return
+		fmt.Fprintf(stderr, "[calibration gate passed: accuracy within per-figure tolerances vs %s]\n", baselinePath)
+		return exitOK
 	}
-	fmt.Fprintf(os.Stderr, "calibration gate FAILED vs %s:\n", baselinePath)
+	fmt.Fprintf(stderr, "calibration gate FAILED vs %s:\n", baselinePath)
 	for _, v := range violations {
-		fmt.Fprintf(os.Stderr, "  %s\n", v)
+		fmt.Fprintf(stderr, "  %s\n", v)
 	}
 	if gate {
-		os.Exit(1)
+		return exitFailure
 	}
-	fmt.Fprintln(os.Stderr, "[-calib-gate not set: violations reported but not fatal]")
+	fmt.Fprintln(stderr, "[-calib-gate not set: violations reported but not fatal]")
+	return exitOK
 }
 
 // runCalibDiff prints the markdown delta between two calibration
 // reports.
-func runCalibDiff(args []string) {
+func runCalibDiff(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: califorms-bench -calib-diff old.json new.json")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: califorms-bench -calib-diff old.json new.json")
+		return exitUsage
 	}
 	old, err := calibrate.Read(args[0])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
 	cur, err := calibrate.Read(args[1])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
-	fmt.Print(calibrate.FormatDiff(old, cur))
+	fmt.Fprint(stdout, calibrate.FormatDiff(old, cur))
+	return exitOK
 }
 
 // runPerfDiff prints the markdown delta table between two reports.
-func runPerfDiff(args []string) {
+func runPerfDiff(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: califorms-bench -perf-diff old.json new.json")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: califorms-bench -perf-diff old.json new.json")
+		return exitUsage
 	}
 	old, err := perf.Read(args[0])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
 	cur, err := perf.Read(args[1])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailure
 	}
-	fmt.Print(perf.FormatDiff(old, cur))
+	fmt.Fprint(stdout, perf.FormatDiff(old, cur))
+	return exitOK
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// runCLI invokes run with captured streams.
+func runCLI(args ...string) (int, string, string) {
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestUsageErrorsExitTwo: every way of invoking the tool wrongly must
+// exit 2, reserving 1 for work that ran and failed.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":            {"-definitely-not-a-flag"},
+		"unknown experiment":      {"-exp", "nope"},
+		"empty selection":         {"-exp", ","},
+		"bad glob":                {"-exp", "fig[3"},
+		"unknown machine":         {"-machine", "pdp11"},
+		"bad report format":       {"-exp", "table1", "-format", "yaml"},
+		"bad calibrate format":    {"-calibrate", "-exp", "table1", "-format", "yaml"},
+		"perf-diff missing args":  {"-perf-diff", "only-one.json"},
+		"calib-diff missing args": {"-calib-diff"},
+		"store-readonly no dir":   {"-store-readonly", "-exp", "table1"},
+		"store-gc no dir":         {"-store-gc", "0", "-exp", "table1"},
+		"store-gc readonly":       {"-store", "x", "-store-readonly", "-store-gc", "0", "-exp", "table1"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			if code, _, _ := runCLI(args...); code != exitUsage {
+				t.Errorf("%v exited %d, want %d", args, code, exitUsage)
+			}
+		})
+	}
+}
+
+// TestGateFailureExitsOne: a perf gate violation is a failure of the
+// measured work (exit 1), not a usage error (regression: several gate
+// and I/O failures previously exited 2).
+func TestGateFailureExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	args := []string{"-perf", "-exp", "table1", "-visits", "50", "-workers", "1", "-perf-out", out}
+	if code, _, stderr := runCLI(args...); code != exitOK {
+		t.Fatalf("perf measurement exited %d: %s", code, stderr)
+	}
+
+	// A baseline that simulated different work always trips the gate.
+	base, err := perf.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Experiments[0].SimOps += 12345
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := perf.Write(basePath, base); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCLI(append(args, "-perf-baseline", basePath)...); code != exitFailure {
+		t.Errorf("tripped gate exited %d, want %d\n%s", code, exitFailure, stderr)
+	}
+
+	// An unreadable baseline is also a runtime failure, not misuse.
+	if code, _, _ := runCLI(append(args, "-perf-baseline", filepath.Join(dir, "missing.json"))...); code != exitFailure {
+		t.Errorf("missing baseline exited %d, want %d", code, exitFailure)
+	}
+}
+
+// TestStoreFlagsEndToEnd drives -store through the CLI: a warm repeat
+// run must emit byte-identical output with zero generation passes, a
+// read-only handle must serve it too, and -store-gc must prune and
+// exit clean.
+func TestStoreFlagsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "fig4", "-visits", "100", "-workers", "1", "-format", "json", "-store", dir}
+	code, cold, stderr := runCLI(args...)
+	if code != exitOK {
+		t.Fatalf("cold store run exited %d: %s", code, stderr)
+	}
+	before := sim.GenerationPasses()
+	code, warm, stderr := runCLI(args...)
+	if code != exitOK {
+		t.Fatalf("warm store run exited %d: %s", code, stderr)
+	}
+	if n := sim.GenerationPasses() - before; n != 0 {
+		t.Errorf("warm run performed %d generation passes, want 0", n)
+	}
+	if warm != cold {
+		t.Error("warm output differs from cold")
+	}
+	code, ro, _ := runCLI(append(args, "-store-readonly")...)
+	if code != exitOK || ro != cold {
+		t.Errorf("read-only run: code %d, output match %v", code, ro == cold)
+	}
+	if code, _, stderr := runCLI(append(args, "-store-gc", "0")...); code != exitOK {
+		t.Errorf("-store-gc run exited %d: %s", code, stderr)
+	}
+	// The pruned store still serves the sweep it was pruned around.
+	before = sim.GenerationPasses()
+	if code, again, _ := runCLI(args...); code != exitOK || again != cold {
+		t.Error("post-GC run diverged")
+	} else if n := sim.GenerationPasses() - before; n != 0 {
+		t.Errorf("post-GC run performed %d generation passes, want 0", n)
+	}
+}

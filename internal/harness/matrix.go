@@ -6,6 +6,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -176,19 +177,9 @@ func (m Matrix) traceKey(i int, cell Cell) traceKey {
 // tests run both paths and require byte-identical results.
 var disableReplay = false
 
-// Run expands the matrix and executes every unit on the pool through
-// the capture/replay engine: each benchmark's kernel decision script
-// is captured once and shared by every cell; cells are grouped by
-// trace key; and each multi-cell group — machine variants of one op
-// stream, including the baseline column when it shares one — runs as
-// a single generation pass whose batches are multicast to every
-// sibling machine, so the kernel, the allocator and the batch
-// construction are paid once per stream instead of once per cell
-// (sim.RunFanout). Singleton groups run the shared script directly.
-// Group tasks are scheduled on the pool's work-stealing deques;
-// results land in coordinate-addressed slots and are bit-identical to
-// independent per-cell runs at any worker count.
-func (m Matrix) Run(pool *Pool) MatrixResult {
+// newMatrixResult allocates the coordinate-addressed result slots —
+// the emission stage's sink.
+func newMatrixResult(m Matrix) MatrixResult {
 	nm := m.machines()
 	res := MatrixResult{Matrix: m, Base: make([][]sim.Result, len(m.Benches))}
 	res.Runs = make([][][][]sim.Result, len(m.Benches))
@@ -202,71 +193,168 @@ func (m Matrix) Run(pool *Pool) MatrixResult {
 			}
 		}
 	}
-	cells := m.Cells()
-	store := func(cell Cell, r sim.Result) {
-		if cell.Config < 0 {
-			res.Base[cell.Bench][cell.Machine] = r
-		} else {
-			res.Runs[cell.Bench][cell.Config][cell.Seed][cell.Machine] = r
-		}
+	return res
+}
+
+// emit folds one unit result into its coordinate slot. Slots are
+// disjoint per cell, so concurrent emits for distinct cells are safe.
+func (r *MatrixResult) emit(cell Cell, res sim.Result) {
+	if cell.Config < 0 {
+		r.Base[cell.Bench][cell.Machine] = res
+	} else {
+		r.Runs[cell.Bench][cell.Config][cell.Seed][cell.Machine] = res
 	}
+}
+
+// matrixGroup is one schedulable unit: the cells sharing one op
+// stream, in canonical cell order (the first cell is the capture).
+type matrixGroup struct{ cells []int }
+
+// groups partitions the enumerated cells by trace key, preserving
+// canonical order within and across groups — the scheduling stage's
+// input.
+func (m Matrix) groups(cells []Cell) []*matrixGroup {
+	index := make(map[traceKey]*matrixGroup)
+	var groups []*matrixGroup
+	for i := range cells {
+		k := m.traceKey(i, cells[i])
+		if g, ok := index[k]; ok {
+			g.cells = append(g.cells, i)
+			continue
+		}
+		g := &matrixGroup{cells: []int{i}}
+		index[k] = g
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// Run executes the matrix in three separable stages. Enumeration
+// (Cells) expands the declarative matrix into run units in canonical
+// order. Scheduling (schedule) partitions the units into op-stream
+// groups and plans each group against the installed store: results
+// already stored are emitted without running anything, groups whose
+// stream is stored replay it per missing machine, and only genuinely
+// new streams pay a generation pass — captured once and multicast to
+// every sibling cell (sim.RunFanout), with the recording and every
+// result persisted for the next sweep. Emission folds results into
+// coordinate-addressed slots. Group tasks run on the pool's
+// work-stealing deques; output is bit-identical to independent
+// per-cell runs at any worker count, warm or cold.
+func (m Matrix) Run(pool *Pool) MatrixResult {
+	res := newMatrixResult(m)
+	cells := m.Cells()
 	if disableReplay {
 		pool.Map(len(cells), func(i int) {
-			store(cells[i], sim.Run(m.Benches[cells[i].Bench], m.Config(cells[i])))
+			res.emit(cells[i], sim.Run(m.Benches[cells[i].Bench], m.Config(cells[i])))
 		})
 		return res
 	}
+	pool.Run(m.schedule(cells, activeStore(), res.emit))
+	return res
+}
 
+// schedule turns the enumerated cells into pool tasks, one per
+// op-stream group, each planned against st (nil: always run).
+func (m Matrix) schedule(cells []Cell, st Store, emit func(Cell, sim.Result)) []Task {
 	// One decision script per benchmark, captured on first use and
-	// shared read-only by every cell of that benchmark.
+	// shared read-only by every cell of that benchmark. Fully warm
+	// groups never force the capture.
 	scripts := make([]*workload.Script, len(m.Benches))
 	once := make([]sync.Once, len(m.Benches))
 	script := func(b int) *workload.Script {
 		once[b].Do(func() { scripts[b] = sim.CaptureScript(m.Benches[b], m.visits()) })
 		return scripts[b]
 	}
-
-	// Group cells by trace key, preserving canonical cell order within
-	// and across groups (the first cell of a group is its capture).
-	type group struct{ cells []int }
-	index := make(map[traceKey]*group)
-	var groups []*group
-	for i, cell := range cells {
-		k := m.traceKey(i, cell)
-		if g, ok := index[k]; ok {
-			g.cells = append(g.cells, i)
-			continue
-		}
-		g := &group{cells: []int{i}}
-		index[k] = g
-		groups = append(groups, g)
-	}
-
+	groups := m.groups(cells)
 	tasks := make([]Task, len(groups))
 	for gi, g := range groups {
 		g := g
-		tasks[gi] = func(func(Task)) {
-			first := cells[g.cells[0]]
-			spec := m.Benches[first.Bench]
-			sc := script(first.Bench)
-			if len(g.cells) == 1 {
-				store(first, sim.RunScripted(spec, m.Config(first), sc, nil))
-				return
-			}
-			// Multi-cell group: one generation pass feeds every sibling
-			// machine (kernel, allocator and batch construction run
-			// once; each flushed batch is multicast to all cores).
-			rcs := make([]sim.RunConfig, len(g.cells))
-			for i, ci := range g.cells {
-				rcs[i] = m.Config(cells[ci])
-			}
-			for i, r := range sim.RunFanout(spec, rcs, sc) {
-				store(cells[g.cells[i]], r)
+		tasks[gi] = func(func(Task)) { m.runGroup(cells, g, st, script, emit) }
+	}
+	return tasks
+}
+
+// runGroup executes one op-stream group through the store tiers:
+// result hits emit directly, a stored recording replays onto the
+// missing machines, and only a full miss captures the stream — once,
+// multicast to every missing sibling, then persisted.
+func (m Matrix) runGroup(cells []Cell, g *matrixGroup, st Store, script func(int) *workload.Script, emit func(Cell, sim.Result)) {
+	first := cells[g.cells[0]]
+	spec := m.Benches[first.Bench]
+	rcs := make([]sim.RunConfig, len(g.cells))
+	for i, ci := range g.cells {
+		rcs[i] = m.Config(cells[ci])
+	}
+
+	// Tier 1: finished results. missing collects the group-local
+	// indexes the store could not serve.
+	missing := make([]int, 0, len(g.cells))
+	var keys []string
+	if st != nil {
+		keys = make([]string, len(g.cells))
+		for i, ci := range g.cells {
+			keys[i] = sim.RunKey(spec, rcs[i])
+			if r, ok := st.GetRun(keys[i]); ok {
+				emit(cells[ci], r)
+			} else {
+				missing = append(missing, i)
 			}
 		}
+		if len(missing) == 0 {
+			return
+		}
+	} else {
+		for i := range g.cells {
+			missing = append(missing, i)
+		}
 	}
-	pool.Run(tasks)
-	return res
+
+	// Tier 2: a stored op stream replays onto each missing machine —
+	// no kernel, no allocator, no generation pass. Every cell of the
+	// group shares the stream key (that is what the trace key vouches
+	// for).
+	streamKey := ""
+	if st != nil {
+		streamKey = sim.StreamKey(spec, rcs[0])
+		if rec, ok := st.GetRecording(streamKey); ok {
+			for _, i := range missing {
+				r := sim.RunReplayed(spec.Name, rcs[i], rec)
+				st.PutRun(keys[i], r)
+				emit(cells[g.cells[i]], r)
+			}
+			return
+		}
+	}
+
+	// Tier 3: capture. One generation pass feeds every missing sibling
+	// machine (kernel, allocator and batch construction run once; each
+	// flushed batch is multicast to all cores), teeing the stream into
+	// a recording when a store wants it.
+	var rec *trace.Recording
+	if st != nil {
+		rec = trace.NewRecording(0)
+	}
+	sc := script(first.Bench)
+	var results []sim.Result
+	if len(missing) == 1 {
+		results = []sim.Result{sim.RunScripted(spec, rcs[missing[0]], sc, rec)}
+	} else {
+		sub := make([]sim.RunConfig, len(missing))
+		for j, i := range missing {
+			sub[j] = rcs[i]
+		}
+		results = sim.RunFanout(spec, sub, sc, rec)
+	}
+	if st != nil {
+		st.PutRecording(streamKey, rec)
+	}
+	for j, i := range missing {
+		if st != nil {
+			st.PutRun(keys[i], results[j])
+		}
+		emit(cells[g.cells[i]], results[j])
+	}
 }
 
 // SlowdownAt returns benchmark b's slowdown under config c on

@@ -19,10 +19,12 @@ package harness
 // file order, appending them to the canonical report order.
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
 
+	"repro/internal/machine"
 	"repro/internal/multicore"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -153,7 +155,12 @@ func (mx Mix) Run(pool *Pool) MixResult {
 	}
 
 	// Stage one: one decision script per benchmark (shared, captured on
-	// first use), one recording + solo result per unique stream.
+	// first use), one recording + solo result per unique stream. The
+	// store serves both tiers here: a stored solo result skips the run,
+	// a stored recording skips the generation pass (replaying it when
+	// the solo result is missing); only a full miss captures — a warm
+	// mix sweep performs zero generation passes.
+	st := activeStore()
 	scripts := make([]*workload.Script, len(benches))
 	once := make([]sync.Once, len(benches))
 	script := func(b int) *workload.Script {
@@ -161,14 +168,38 @@ func (mx Mix) Run(pool *Pool) MixResult {
 		return scripts[b]
 	}
 	variants := 1 + seeds // baseline + protected replicas
+	solo := func(b, v int) (sim.Result, *trace.Recording) {
+		rc := mx.baseConfig()
+		if v > 0 {
+			rc = mx.protConfig(v - 1)
+		}
+		if st == nil {
+			rec := trace.NewRecording(0)
+			return sim.RunScripted(benches[b], rc, script(b), rec), rec
+		}
+		runKey := sim.RunKey(benches[b], rc)
+		if rec, ok := st.GetRecording(sim.StreamKey(benches[b], rc)); ok {
+			if r, ok := st.GetRun(runKey); ok {
+				return r, rec
+			}
+			r := sim.RunReplayed(benches[b].Name, rc, rec)
+			st.PutRun(runKey, r)
+			return r, rec
+		}
+		rec := trace.NewRecording(0)
+		r := sim.RunScripted(benches[b], rc, script(b), rec)
+		st.PutRecording(sim.StreamKey(benches[b], rc), rec)
+		st.PutRun(runKey, r)
+		return r, rec
+	}
 	pool.Map(len(benches)*variants, func(u int) {
 		b, v := u/variants, u%variants
-		rec := trace.NewRecording(0)
+		r, rec := solo(b, v)
 		if v == 0 {
-			res.SoloBase[b] = sim.RunScripted(benches[b], mx.baseConfig(), script(b), rec)
+			res.SoloBase[b] = r
 			recBase[b] = rec
 		} else {
-			res.SoloProt[b][v-1] = sim.RunScripted(benches[b], mx.protConfig(v-1), script(b), rec)
+			res.SoloProt[b][v-1] = r
 			recProt[b][v-1] = rec
 		}
 	})
@@ -176,12 +207,24 @@ func (mx Mix) Run(pool *Pool) MixResult {
 	// Stage two: replay the recordings across the mix machines.
 	// Recordings are read-only here (each machine traverses them with
 	// its own cursors), so units share them freely across workers.
+	// Each unit result is itself store-cacheable: a mix run is a pure
+	// function of the slot streams and the shared machine (unitKey), so
+	// a warm stage two is a pure lookup as well.
 	cfg := multicore.Config{Machine: mx.Config.Machine, Quantum: mx.Quantum}
 	per := len(mx.Cores) * variants
 	pool.Map(len(mx.Tuples)*per, func(u int) {
 		t, r := u/per, u%per
 		ci, v := r/variants, r%variants
 		tuple := mx.Tuples[t]
+		key := ""
+		var rr multicore.RunResult
+		if st != nil {
+			key = mx.unitKey(tuple, mx.Cores[ci], v)
+			if st.GetMix(key, &rr) {
+				emitMix(&res, t, ci, v, rr)
+				return
+			}
+		}
 		streams := make([]multicore.Stream, mx.Cores[ci])
 		for slot := range streams {
 			b := benchIdx[tuple.bench(slot).Name]
@@ -191,14 +234,51 @@ func (mx Mix) Run(pool *Pool) MixResult {
 			}
 			streams[slot] = multicore.Stream{Name: tuple.bench(slot).Name, Rec: rec}
 		}
-		rr := multicore.Run(cfg, streams)
-		if v == 0 {
-			res.MixBase[t][ci] = rr
-		} else {
-			res.MixProt[t][ci][v-1] = rr
+		rr = multicore.Run(cfg, streams)
+		if st != nil {
+			st.PutMix(key, rr)
 		}
+		emitMix(&res, t, ci, v, rr)
 	})
 	return res
+}
+
+// emitMix folds one stage-two unit into its coordinate slot.
+func emitMix(res *MixResult, t, ci, v int, rr multicore.RunResult) {
+	if v == 0 {
+		res.MixBase[t][ci] = rr
+	} else {
+		res.MixProt[t][ci][v-1] = rr
+	}
+}
+
+// unitKey is the store key of one stage-two unit: the per-slot op
+// stream keys (which pin benchmark, configuration and layouts), the
+// shared machine and the interleaver quantum. The unit's variant —
+// baseline or protected replica — is encoded through the slot
+// configurations rather than literally, so equal-content units share
+// one entry.
+func (mx Mix) unitKey(tuple MixTuple, cores, v int) string {
+	rc := mx.baseConfig()
+	if v > 0 {
+		rc = mx.protConfig(v - 1)
+	}
+	doc := struct {
+		Streams []string     `json:"streams"`
+		Machine machine.Desc `json:"machine"`
+		Quantum int          `json:"quantum"`
+	}{Machine: rc.Machine.OrDefault(), Quantum: mx.Quantum}
+	if doc.Quantum <= 0 {
+		doc.Quantum = multicore.DefaultQuantum
+	}
+	for slot := 0; slot < cores; slot++ {
+		doc.Streams = append(doc.Streams, sim.StreamKey(tuple.bench(slot), rc))
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		panic("harness: mix key marshal: " + err.Error())
+	}
+	return string(data)
 }
 
 // SoloSlowdown returns benchmark b's protected-over-baseline slowdown

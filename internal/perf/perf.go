@@ -3,10 +3,10 @@
 // cost — and reads/writes the BENCH_califorms.json trajectory file
 // the CI perf gate consumes.
 //
-// # BENCH_califorms.json schema (califorms-bench-perf/v3)
+// # BENCH_califorms.json schema (califorms-bench-perf/v4)
 //
 //	{
-//	  "schema":      "califorms-bench-perf/v3",
+//	  "schema":      "califorms-bench-perf/v4",
 //	  "go":          "go1.24.x",            // runtime.Version()
 //	  "generated":   "2026-07-26T12:00:00Z",// RFC 3339 UTC
 //	  "visits":      2000,                  // harness.Params.Visits
@@ -24,12 +24,18 @@
 //	      "sim_cpu_seconds":     0.0,   // per-cell scripted/direct kernel runs
 //	      "capture_cpu_seconds": 0.35,  // script capture + stream-generating passes
 //	      "replay_cpu_seconds":  0.16,  // sibling machines fed from a captured stream
-//	      "machines":            ["westmere"] // machine descriptions built (sorted)
+//	      "machines":            ["westmere"], // machine descriptions built (sorted)
+//	      "gen_passes":          12,    // workload generation passes inside the experiment
+//	      "store_hits":          34,    // result-store reads served (omitted without -store)
+//	      "store_misses":        2,
+//	      "store_bytes_read":    123456,
+//	      "store_bytes_written": 7890
 //	    }, ...
 //	  ],
 //	  "total_ops":          ...,  // sum of sim_ops
 //	  "total_wall_seconds": ...,  // sum of wall_seconds
-//	  "total_ops_per_sec":  ...   // total_ops / total_wall_seconds
+//	  "total_ops_per_sec":  ...,  // total_ops / total_wall_seconds
+//	  "total_gen_passes":   ...   // sum of gen_passes; 0 on a fully warm store
 //	}
 //
 // sim_ops counts the experiment's deterministic work volume: simulated
@@ -49,6 +55,12 @@
 // The report-level "machine" field records a global -machine
 // override. Experiments that build no machines (the analytic tables)
 // omit the list.
+//
+// v4 adds the reuse columns: per-experiment gen_passes (workload
+// generation passes — the work the content-addressed store exists to
+// avoid), the store_* read/write counters when a store is installed,
+// and the report-level total_gen_passes the CI store-reuse job gates
+// to zero on a warm second run.
 //
 // v2 replaced v1's ambiguous per-stage "seconds" — per-worker sums
 // that could silently exceed the wall clock and read like a
@@ -70,10 +82,11 @@ import (
 	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Schema identifies the report format.
-const Schema = "califorms-bench-perf/v3"
+const Schema = "califorms-bench-perf/v4"
 
 // Measurement is one experiment's throughput record.
 type Measurement struct {
@@ -100,6 +113,16 @@ type Measurement struct {
 	// edited copy keeping its base's name reports the base name.
 	// Empty for experiments that simulate nothing.
 	Machines []string `json:"machines,omitempty"`
+	// GenPasses counts the workload generation passes the experiment
+	// performed (sim.ProbeTotals.GenPasses): zero when every cell was
+	// served from the result store or replayed from stored streams.
+	GenPasses uint64 `json:"gen_passes"`
+	// Store* are the installed result store's read/write deltas across
+	// the experiment; all omitted when no store is installed.
+	StoreHits         uint64 `json:"store_hits,omitempty"`
+	StoreMisses       uint64 `json:"store_misses,omitempty"`
+	StoreBytesRead    uint64 `json:"store_bytes_read,omitempty"`
+	StoreBytesWritten uint64 `json:"store_bytes_written,omitempty"`
 }
 
 // Report is the full BENCH_califorms.json document.
@@ -117,6 +140,9 @@ type Report struct {
 	TotalOps         uint64        `json:"total_ops"`
 	TotalWallSeconds float64       `json:"total_wall_seconds"`
 	TotalOpsPerSec   float64       `json:"total_ops_per_sec"`
+	// TotalGenPasses sums gen_passes: the store-reuse CI job asserts it
+	// is exactly zero on a warm repeat run.
+	TotalGenPasses uint64 `json:"total_gen_passes"`
 }
 
 // Measure runs each named experiment on the pool, recording wall
@@ -133,7 +159,16 @@ func Measure(names []string, p harness.Params, pool *harness.Pool) (Report, erro
 		Workers:   pool.Workers(),
 		Machine:   p.MachineLabel(),
 	}
+	// counters reads the installed store's cumulative counters (zero
+	// without one); per-experiment columns are window deltas.
+	counters := func() store.Counters {
+		if s, ok := harness.InstalledStore().(interface{ Counters() store.Counters }); ok {
+			return s.Counters()
+		}
+		return store.Counters{}
+	}
 	for _, name := range names {
+		before := counters()
 		sim.StartProbe()
 		start := time.Now()
 		if _, err := harness.RunByName(name, p, pool); err != nil {
@@ -142,6 +177,7 @@ func Measure(names []string, p harness.Params, pool *harness.Pool) (Report, erro
 		}
 		wall := time.Since(start).Seconds()
 		totals := sim.StopProbe()
+		after := counters()
 		m := Measurement{
 			Name:              name,
 			WallSeconds:       wall,
@@ -151,6 +187,11 @@ func Measure(names []string, p harness.Params, pool *harness.Pool) (Report, erro
 			CaptureCPUSeconds: totals.CaptureSeconds,
 			ReplayCPUSeconds:  totals.ReplaySeconds,
 			Machines:          totals.Machines,
+			GenPasses:         totals.GenPasses,
+			StoreHits:         after.Hits - before.Hits,
+			StoreMisses:       after.Misses - before.Misses,
+			StoreBytesRead:    after.BytesRead - before.BytesRead,
+			StoreBytesWritten: after.BytesWritten - before.BytesWritten,
 		}
 		m.CPUSeconds = m.SetupCPUSeconds + m.SimCPUSeconds + m.CaptureCPUSeconds + m.ReplayCPUSeconds
 		if wall > 0 {
@@ -159,6 +200,7 @@ func Measure(names []string, p harness.Params, pool *harness.Pool) (Report, erro
 		r.Experiments = append(r.Experiments, m)
 		r.TotalOps += totals.Ops
 		r.TotalWallSeconds += wall
+		r.TotalGenPasses += totals.GenPasses
 	}
 	if r.TotalWallSeconds > 0 {
 		r.TotalOpsPerSec = float64(r.TotalOps) / r.TotalWallSeconds

@@ -29,8 +29,13 @@ func GenerationPasses() uint64 { return genPasses.Load() }
 // costs two atomic loads per run when disabled — nothing per
 // simulated op — so it never perturbs the hot path it measures.
 var probe struct {
-	enabled   atomic.Bool
-	ops       atomic.Uint64
+	enabled atomic.Bool
+	ops     atomic.Uint64
+	// genStart is the cumulative genPasses value at StartProbe; the
+	// window's generation-pass count is the delta at StopProbe. Zero
+	// on a warm content-addressed store is the reuse invariant the CI
+	// store-reuse job gates on.
+	genStart  atomic.Uint64
 	setupNs   atomic.Int64
 	simNs     atomic.Int64
 	captureNs atomic.Int64
@@ -81,6 +86,12 @@ type ProbeTotals struct {
 	SimSeconds     float64
 	CaptureSeconds float64
 	ReplaySeconds  float64
+	// GenPasses is the number of workload generation passes performed
+	// inside the window (see GenerationPasses): kernel+allocator
+	// executions, however many sibling machines each one fed. Runs
+	// served from the result store or replayed from a stored
+	// recording perform none.
+	GenPasses uint64
 	// Machines lists (sorted) the machine descriptions built during
 	// the window — registry names, derived-variant names, or "custom"
 	// for anonymous descriptions.
@@ -90,6 +101,7 @@ type ProbeTotals struct {
 // StartProbe zeroes the counters and enables accumulation.
 func StartProbe() {
 	probe.ops.Store(0)
+	probe.genStart.Store(genPasses.Load())
 	probe.setupNs.Store(0)
 	probe.simNs.Store(0)
 	probe.captureNs.Store(0)
@@ -112,6 +124,7 @@ func StopProbe() ProbeTotals {
 	sort.Strings(machines)
 	return ProbeTotals{
 		Ops:            probe.ops.Load(),
+		GenPasses:      genPasses.Load() - probe.genStart.Load(),
 		SetupSeconds:   float64(probe.setupNs.Load()) / 1e9,
 		SimSeconds:     float64(probe.simNs.Load()) / 1e9,
 		CaptureSeconds: float64(probe.captureNs.Load()) / 1e9,

@@ -67,7 +67,8 @@ func TestRunFanoutMatchesIndependentRuns(t *testing.T) {
 		{Policy: PolicyNone, Visits: 500, Machine: tiny},
 	}
 	sc := CaptureScript(spec, 500)
-	group := RunFanout(spec, rcs, sc)
+	rec := trace.NewRecording(0)
+	group := RunFanout(spec, rcs, sc, rec)
 	if len(group) != len(rcs) {
 		t.Fatalf("got %d results, want %d", len(group), len(rcs))
 	}
@@ -75,6 +76,12 @@ func TestRunFanoutMatchesIndependentRuns(t *testing.T) {
 		independent := Run(spec, rc)
 		if group[i] != independent {
 			t.Errorf("config %d: fan-out result diverges\nindependent: %+v\nfan-out:     %+v", i, independent, group[i])
+		}
+		// The recording tee'd off the multicast must replay each
+		// sibling to its own fan-out result (the property the store's
+		// tier-2 replay path rests on).
+		if replayed := RunReplayed(spec.Name, rc, rec); replayed != group[i] {
+			t.Errorf("config %d: fan-out recording replays differently\nfan-out:  %+v\nreplayed: %+v", i, group[i], replayed)
 		}
 	}
 	// The variants must actually differ from each other — otherwise

@@ -188,8 +188,27 @@ func (m rig) result(name string, heapBytes uint64) Result {
 }
 
 // Run executes one workload under one configuration on a fresh
-// machine and returns its metrics. Runs are deterministic.
+// machine and returns its metrics. Runs are deterministic — which is
+// what lets an installed RunCache (the content-addressed store) serve
+// a repeat run as a lookup: a cache hit performs no simulation and no
+// generation pass. Callers that orchestrate their own caching (the
+// harness's store-aware scheduler) bypass this seam by calling
+// RunScripted/RunFanout directly.
 func Run(spec workload.Spec, rc RunConfig) Result {
+	c := getRunCache()
+	if c == nil {
+		return runUncached(spec, rc)
+	}
+	key := RunKey(spec, rc)
+	if r, ok := c.GetRun(key); ok {
+		return r
+	}
+	r := runUncached(spec, rc)
+	c.PutRun(key, r)
+	return r
+}
+
+func runUncached(spec workload.Spec, rc RunConfig) Result {
 	genPasses.Add(1)
 	t := probeStart()
 	m := buildMachine(rc)
@@ -262,7 +281,12 @@ func RunScripted(spec workload.Spec, rc RunConfig, sc *workload.Script, rec *tra
 // are paid once for N machines. rcs[0] is the capture configuration
 // (it also parameterizes the shared heap; stream-equal siblings have
 // equal heap configurations by definition of the trace key).
-func RunFanout(spec workload.Spec, rcs []RunConfig, sc *workload.Script) []Result {
+// When rec is non-nil the generated op stream is additionally
+// captured into it (with the measurement boundary and heap
+// footprint), so the store-aware scheduler can persist the stream
+// while fanning it out — the tee forwards whole batches, leaving
+// every machine's dispatch, and therefore every result, unchanged.
+func RunFanout(spec workload.Spec, rcs []RunConfig, sc *workload.Script, rec *trace.Recording) []Result {
 	genPasses.Add(1)
 	t := probeStart()
 	machines := make([]rig, len(rcs))
@@ -272,22 +296,33 @@ func RunFanout(spec workload.Spec, rcs []RunConfig, sc *workload.Script) []Resul
 		sinks[i] = machines[i].core
 	}
 	mc := trace.NewMulticast(probe.enabled.Load(), sinks...)
+	var sink trace.Sink = mc
+	if rec != nil {
+		sink = rec.Record(mc)
+	}
 	env := &workload.Env{
 		Core: machines[0].core,
-		Heap: buildHeap(rcs[0], mc),
+		Heap: buildHeap(rcs[0], sink),
 		Ins:  instrument(spec, rcs[0]),
-		Sink: mc,
+		Sink: sink,
 		// The kernel resets the primary machine at the measurement
-		// boundary; the hook extends the reset to every sibling.
+		// boundary; the hook extends the reset to every sibling and
+		// marks the boundary in the recording.
 		ResetHook: func() {
 			for _, m := range machines[1:] {
 				m.core.ResetTiming()
 				m.hier.ResetStats()
 			}
+			if rec != nil {
+				rec.MarkReset()
+			}
 		},
 	}
 	t = probeStage(t, &probe.setupNs)
 	spec.RunScripted(env, sc)
+	if rec != nil {
+		rec.SetHeapBytes(env.Heap.Footprint())
+	}
 	if !t.IsZero() {
 		// The fan-out pass generates once and feeds N machines; the
 		// siblings' dispatch share is replay cost, the rest (kernel,

@@ -1,0 +1,231 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestRoundTripAndCounters(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if _, ok := s.Get(KindRun, "k"); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	if err := s.Put(KindRun, "k", []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(KindRun, "k")
+	if !ok || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Puts != 1 || c.BytesRead == 0 || c.BytesWritten == 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestTypedRoundTrips(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	want := sim.Result{Benchmark: "mcf", Cycles: 123456.75, Instructions: 1 << 60, HeapBytes: 9 << 20, L1MissRate: 0.03125}
+	s.PutRun("cell", want)
+	got, ok := s.GetRun("cell")
+	if !ok || got != want {
+		t.Fatalf("GetRun = %+v, %v (want %+v)", got, ok, want)
+	}
+	rec := trace.NewRecording(0)
+	rec.Load(0x1000, 8, true)
+	rec.MarkReset()
+	rec.Store(0x2000, 4)
+	rec.SetHeapBytes(777)
+	s.PutRecording("stream", rec)
+	r2, ok := s.GetRecording("stream")
+	if !ok || r2.Len() != rec.Len() || r2.ResetAt() != rec.ResetAt() || r2.HeapBytes() != rec.HeapBytes() {
+		t.Fatalf("GetRecording mismatch: ok=%v", ok)
+	}
+}
+
+// entryFile locates the single entry file under the store directory.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			found = path
+		}
+		return nil
+	})
+	if found == "" {
+		t.Fatal("no entry file on disk")
+	}
+	return found
+}
+
+func TestCorruptEntriesReadAsMisses(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bitflip":   func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"empty":     func(b []byte) []byte { return nil },
+		"badmagic":  func(b []byte) []byte { b[0] ^= 0xff; return b },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, Options{})
+			s.PutRun("cell", sim.Result{Benchmark: "x", Cycles: 1})
+			path := entryFile(t, dir)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.GetRun("cell"); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			// The miss must be recoverable: a fresh Put repairs it.
+			s.PutRun("cell", sim.Result{Benchmark: "x", Cycles: 1})
+			if _, ok := s.GetRun("cell"); !ok {
+				t.Fatal("Put did not repair the corrupt entry")
+			}
+		})
+	}
+}
+
+func TestWrongKeyIsAMiss(t *testing.T) {
+	// Two keys landing in the same file can only happen via SHA-256
+	// collision; simulate the cheaper failure instead — an entry file
+	// moved to another key's path must not decode for that key.
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	s.Put(KindRun, "a", []byte("va"))
+	from := entryFile(t, dir)
+	other := s.entryPath(KindRun, "b")
+	os.MkdirAll(filepath.Dir(other), 0o755)
+	data, _ := os.ReadFile(from)
+	os.WriteFile(other, data, 0o644)
+	if _, ok := s.Get(KindRun, "b"); ok {
+		t.Fatal("entry with mismatched embedded key served as a hit")
+	}
+}
+
+func TestCodeVersionBumpInvalidatesEverything(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, Options{Version: "v1"})
+	for i := 0; i < 5; i++ {
+		s1.Put(KindRun, fmt.Sprintf("k%d", i), []byte("x"))
+	}
+	s2 := open(t, dir, Options{Version: "v2"})
+	for i := 0; i < 5; i++ {
+		if _, ok := s2.Get(KindRun, fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("k%d survived a code-version bump", i)
+		}
+	}
+	// GC under the new version removes the orphaned tree entirely.
+	st, err := s2.GC(-1)
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if st.RemovedVersions != 1 {
+		t.Fatalf("GC removed %d orphaned versions, want 1", st.RemovedVersions)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v1")); !os.IsNotExist(err) {
+		t.Fatal("orphaned version tree still on disk")
+	}
+}
+
+func TestGCNeverEvictsPinnedEntries(t *testing.T) {
+	dir := t.TempDir()
+	seed := open(t, dir, Options{})
+	seed.Put(KindRun, "needed", []byte("n"))
+	seed.Put(KindRun, "stale-1", []byte("s1"))
+	seed.Put(KindRun, "stale-2", []byte("s2"))
+
+	// A fresh handle (a new sweep process) touches only "needed",
+	// pinning it; a zero-budget GC must evict everything else and
+	// keep the pinned entry.
+	s := open(t, dir, Options{})
+	if _, ok := s.Get(KindRun, "needed"); !ok {
+		t.Fatal("setup: needed entry missing")
+	}
+	st, err := s.GC(0)
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if st.RemovedEntries != 2 {
+		t.Fatalf("GC removed %d entries, want 2", st.RemovedEntries)
+	}
+	if _, ok := s.Get(KindRun, "needed"); !ok {
+		t.Fatal("GC evicted an entry the running sweep still needs")
+	}
+	if _, ok := s.Get(KindRun, "stale-1"); ok {
+		t.Fatal("GC left an unpinned entry under a zero budget")
+	}
+}
+
+func TestReadOnlyStoreNeverWrites(t *testing.T) {
+	dir := t.TempDir()
+	rw := open(t, dir, Options{})
+	rw.Put(KindRun, "k", []byte("v"))
+
+	ro := open(t, dir, Options{ReadOnly: true})
+	if _, ok := ro.Get(KindRun, "k"); !ok {
+		t.Fatal("read-only store missed an existing entry")
+	}
+	if err := ro.Put(KindRun, "k2", []byte("v2")); err != nil {
+		t.Fatalf("read-only Put should be a silent no-op, got %v", err)
+	}
+	if _, ok := rw.Get(KindRun, "k2"); ok {
+		t.Fatal("read-only store wrote an entry")
+	}
+	if _, err := ro.GC(0); err == nil {
+		t.Fatal("read-only GC should refuse")
+	}
+}
+
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	// Hammer the same key set from many goroutines: the race detector
+	// checks the handle's internals, and the atomic-rename contract
+	// guarantees every read observes a complete entry.
+	s := open(t, t.TempDir(), Options{})
+	const keys, iters = 8, 30
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("k%d", (w+i)%keys)
+				want := sim.Result{Benchmark: k, Cycles: float64(1 + (w+i)%keys)}
+				s.PutRun(k, want)
+				if got, ok := s.GetRun(k); ok {
+					if got.Benchmark != k {
+						t.Errorf("read tore: got %q under key %q", got.Benchmark, k)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if got, ok := s.GetRun(k); !ok || got.Benchmark != k {
+			t.Fatalf("final read of %s: %+v, %v", k, got, ok)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// sampleRecording builds a recording exercising every op kind, the
+// reset boundary and the heap footprint.
+func sampleRecording() *Recording {
+	r := NewRecording(0)
+	r.NonMem(7)
+	r.Load(0x1000, 8, true)
+	r.Store(0x1040, 4)
+	r.CForm(isa.CFORM{Base: 0x2000, Attrs: 0xdead, Mask: 0x3f, NonTemporal: true})
+	r.MarkReset()
+	r.Load(0x3000, 1, false)
+	r.CForm(isa.CFORM{Base: 0x4000, Attrs: 1, Mask: 2})
+	r.WhitelistEnter()
+	r.WhitelistExit()
+	r.SetHeapBytes(123456)
+	return r
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	want := sampleRecording()
+	data, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got := NewRecording(0)
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Len() != want.Len() || got.ResetAt() != want.ResetAt() || got.HeapBytes() != want.HeapBytes() {
+		t.Fatalf("metadata mismatch: len %d/%d reset %d/%d heap %d/%d",
+			got.Len(), want.Len(), got.ResetAt(), want.ResetAt(), got.HeapBytes(), want.HeapBytes())
+	}
+	// Replaying both into fresh recordings must produce byte-equal
+	// payloads (the content-addressing property).
+	d2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, d2) {
+		t.Fatal("round trip is not byte-stable")
+	}
+}
+
+func TestCodecRoundTripEmpty(t *testing.T) {
+	r := NewRecording(0)
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got := NewRecording(4)
+	got.NonMem(1) // must be cleared by UnmarshalBinary
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Len() != 0 || got.ResetAt() != -1 || got.HeapBytes() != 0 {
+		t.Fatalf("empty round trip: len=%d reset=%d heap=%d", got.Len(), got.ResetAt(), got.HeapBytes())
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	data, err := sampleRecording().MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": data[:len(data)-3],
+		"trailing":  append(append([]byte(nil), data...), 0),
+		"badmagic":  append([]byte("x"), data[1:]...),
+	}
+	// A bit flip in the tag column desynchronizes the CFORM side
+	// arrays, which the decoder must notice.
+	flip := append([]byte(nil), data...)
+	flip[len(codecMagic)+32+3] ^= uint8(CForm) ^ uint8(Load)
+	cases["bitflip-tag"] = flip
+	for name, d := range cases {
+		if err := new(Recording).UnmarshalBinary(d); err == nil {
+			t.Errorf("%s: corrupt payload decoded without error", name)
+		}
+	}
+}
