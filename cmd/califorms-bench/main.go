@@ -8,9 +8,11 @@
 //	califorms-bench -exp fig3|fig4|fig10|fig11|fig12|table1..table7|security|ablations|
 //	                     mix2|mix4|rate4|rate8|sens-machine|sens-llc|all — or a comma
 //	                     list with globs, e.g. -exp 'fig4,mix*,sens-*'
-//	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv]
+//	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv|markdown]
 //	                [-machine westmere|skylake|embedded|server] [-list] [-list-machines]
 //	                [-store DIR [-store-readonly] [-store-gc BYTES]]
+//	                [-journal FILE [-resume]] [-cell-timeout D]
+//	                [-fault-seed N -fault-rate R [-fault-points GLOBS]]
 //	califorms-bench -perf [-exp ...] [-perf-out BENCH_califorms.json]
 //	                [-perf-baseline BENCH_califorms.json] [-perf-gate 15]
 //	califorms-bench -perf-diff old.json new.json
@@ -79,11 +81,24 @@
 // metric deltas plus the envelope verdicts as GitHub-flavored
 // markdown.
 //
+// Robustness (see DESIGN.md §17): -journal FILE checkpoints every
+// completed cell of a report-mode sweep into an append-only journal;
+// SIGINT/SIGTERM drain the worker pool gracefully (in-flight cells
+// finish, queued cells are dropped, store and journal stay flushed)
+// and the run exits resumable; -resume picks the sweep back up from
+// the journal, producing byte-identical output to an uninterrupted
+// run. -cell-timeout D arms a per-cell watchdog that marks runaway
+// cells failed-timeout. -fault-seed/-fault-rate/-fault-points arm the
+// deterministic fault-injection harness (internal/faultinject) for
+// chaos testing. -kill-after N is the crash-test hook: the process
+// SIGTERMs itself after N journaled cells.
+//
 // Exit codes: 0 on success, 1 when the work itself fails (a perf or
 // calibration gate violation, an unreadable baseline, an I/O error),
 // 2 for usage errors (unknown flags, experiments, machines or
-// formats) — so CI and scripts can tell "the gate tripped" from "the
-// invocation was wrong".
+// formats), 3 for partial failure — some cells failed or the sweep
+// was interrupted — so CI and scripts can tell "the gate tripped"
+// from "the invocation was wrong" from "rerun or resume me".
 package main
 
 import (
@@ -91,14 +106,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/calibrate"
+	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/perf"
+	"repro/internal/sim"
 	"repro/internal/store"
 )
 
@@ -155,11 +175,13 @@ func expNames(exp string) ([]string, error) {
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
 // Exit codes (see the package comment): usage errors are 2, failures
-// of the requested work are 1.
+// of the requested work are 1, partial failure (failed cells or an
+// interrupted, resumable sweep) is 3.
 const (
 	exitOK      = 0
 	exitFailure = 1
 	exitUsage   = 2
+	exitPartial = 3
 )
 
 // run is main with its environment made explicit, so the exit-code
@@ -171,7 +193,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	visits := fs.Int("visits", 30000, "steady-state object visits per benchmark run")
 	seeds := fs.Int("seeds", 1, "layout randomizations averaged per configuration (paper: 3)")
 	workers := fs.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-	format := fs.String("format", "text", "output format: text, json, csv (calibrate mode also: markdown)")
+	format := fs.String("format", "text", "output format: text, json, csv, markdown")
 	list := fs.Bool("list", false, "list registered experiments and exit")
 	machineName := fs.String("machine", "", "base machine for the sweeps (default: westmere; see -list-machines)")
 	listMachines := fs.Bool("list-machines", false, "list registered machines and exit")
@@ -188,6 +210,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	calibBaseline := fs.String("calib-baseline", "", "calibrate mode: baseline report to compare against (optional)")
 	calibGate := fs.Bool("calib-gate", false, "calibrate mode: exit non-zero on any accuracy violation vs the baseline")
 	calibDiff := fs.Bool("calib-diff", false, "compare two calibration reports: -calib-diff old.json new.json")
+	journalPath := fs.String("journal", "", "checkpoint journal for the sweep (report mode); every completed cell is recorded for -resume")
+	resume := fs.Bool("resume", false, "resume an interrupted sweep from -journal instead of starting fresh")
+	killAfter := fs.Uint64("kill-after", 0, "crash-test hook: SIGTERM this process after N journaled cells (requires -journal)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog deadline; runaway cells are marked failed-timeout (0: off)")
+	faultSeed := fs.Int64("fault-seed", 0, "fault injection: decision seed (with -fault-rate)")
+	faultRate := fs.Float64("fault-rate", 0, "fault injection: probability in [0,1] that an injection point fires (0: disarmed)")
+	faultPoints := fs.String("fault-points", "", "fault injection: comma list of point globs to restrict injection to (e.g. 'store.*,cell.panic')")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -247,6 +276,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "-store-gc cannot run on a read-only store")
 		return exitUsage
 	}
+	if *journalPath == "" && (*resume || *killAfter > 0) {
+		fmt.Fprintln(stderr, "-resume and -kill-after require -journal FILE")
+		return exitUsage
+	}
+	if *journalPath != "" && (*perfMode || *calibMode) {
+		fmt.Fprintln(stderr, "-journal applies to report mode only")
+		return exitUsage
+	}
+	if *faultRate > 0 {
+		var pts []string
+		if *faultPoints != "" {
+			pts = strings.Split(*faultPoints, ",")
+		}
+		if err := faultinject.Enable(faultinject.Config{Seed: *faultSeed, Rate: *faultRate, Points: pts}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitUsage
+		}
+		defer faultinject.Disable()
+		fmt.Fprintf(stderr, "[faultinject armed: seed=%d rate=%g points=%q]\n", *faultSeed, *faultRate, *faultPoints)
+	}
+	if *cellTimeout > 0 {
+		sim.SetCellTimeout(*cellTimeout)
+		defer sim.SetCellTimeout(0)
+	}
 	var st *store.Store
 	if *storeDir != "" {
 		st, err = store.Open(*storeDir, store.Options{ReadOnly: *storeReadonly})
@@ -257,15 +310,78 @@ func run(args []string, stdout, stderr io.Writer) int {
 		harness.UseStore(st)
 		defer harness.UseStore(nil)
 	}
+	var sj *harness.SweepJournal
+	if *journalPath != "" {
+		man := harness.SweepManifest{Experiments: names, Visits: *visits, Seeds: *seeds, Machine: p.MachineLabel(), Format: *format}
+		var backing harness.Store
+		if st != nil {
+			backing = st
+		}
+		if *resume {
+			sj, err = harness.ResumeSweep(*journalPath, man, backing)
+		} else {
+			sj, err = harness.NewSweep(*journalPath, man, backing)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitFailure
+		}
+		defer sj.Close()
+		if *resume {
+			fmt.Fprintf(stderr, "[journal %s: resuming with %d completed cells]\n", *journalPath, sj.Cells())
+		}
+		if *killAfter > 0 {
+			target := *killAfter
+			sj.OnCell(func(n uint64) {
+				if n == target {
+					fmt.Fprintf(stderr, "[kill-after: %d cells journaled, sending SIGTERM]\n", n)
+					syscall.Kill(os.Getpid(), syscall.SIGTERM)
+				}
+			})
+		}
+		harness.UseStore(sj)
+		defer harness.UseStore(nil)
+	}
 
+	// Graceful drain: the first SIGINT/SIGTERM stops dispatching new
+	// cells and lets in-flight ones finish (store and journal appends
+	// are already durable); a second signal aborts hard.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sigDone := make(chan struct{})
+	go func() {
+		select {
+		case <-sigc:
+		case <-sigDone:
+			return
+		}
+		interrupted.Store(true)
+		fmt.Fprintln(stderr, "[signal: draining — in-flight cells finish, queued cells drop; repeat to abort hard]")
+		pool.Drain()
+		select {
+		case <-sigc:
+			os.Exit(130)
+		case <-sigDone:
+		}
+	}()
+	defer func() {
+		signal.Stop(sigc)
+		close(sigDone)
+	}()
+
+	failBase := harness.FailedCellCount()
 	var rc int
 	switch {
 	case *perfMode:
-		rc = runPerf(names, p, pool, *perfOut, *perfBaseline, *perfGate, stderr)
+		rc = runPerf(names, p, pool, *perfOut, *perfBaseline, *perfGate, &interrupted, stderr)
 	case *calibMode:
-		rc = runCalibrate(names, p, pool, *format, *calibOut, *calibBaseline, *calibGate, stdout, stderr)
+		rc = runCalibrate(names, p, pool, *format, *calibOut, *calibBaseline, *calibGate, &interrupted, stdout, stderr)
 	default:
-		rc = runReport(names, p, pool, *format, stdout, stderr)
+		rc = runReport(names, p, pool, *format, &interrupted, stdout, stderr)
+	}
+	if rc == exitOK && (interrupted.Load() || harness.FailedCellCount() > failBase) {
+		rc = exitPartial
 	}
 
 	if st != nil {
@@ -288,8 +404,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // runReport emits the selected experiments' tables in the chosen
-// format — the default mode.
-func runReport(names []string, p harness.Params, pool *harness.Pool, format string, stdout, stderr io.Writer) int {
+// format — the default mode. An interrupted (drained) sweep emits
+// nothing: partial tables would violate the byte-determinism contract,
+// and the journaled cells make the rerun cheap.
+func runReport(names []string, p harness.Params, pool *harness.Pool, format string, interrupted *atomic.Bool, stdout, stderr io.Writer) int {
 	em, err := harness.NewEmitter(format)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -297,10 +415,17 @@ func runReport(names []string, p harness.Params, pool *harness.Pool, format stri
 	}
 	var results []harness.Result
 	for _, name := range names {
+		if interrupted.Load() {
+			break
+		}
 		e, _ := harness.Get(name)
 		start := time.Now()
 		results = append(results, harness.Run(e, p, pool)...)
 		fmt.Fprintf(stderr, "[%s completed in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if interrupted.Load() {
+		fmt.Fprintln(stderr, "[interrupted: report suppressed; completed cells are journaled/stored — rerun with -resume to finish]")
+		return exitPartial
 	}
 	if err := em.Emit(stdout, results); err != nil {
 		fmt.Fprintln(stderr, err)
@@ -311,11 +436,17 @@ func runReport(names []string, p harness.Params, pool *harness.Pool, format stri
 
 // runPerf measures the named experiments, writes the trajectory
 // report, and applies the regression gate when a baseline is given.
-func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baselinePath string, gatePct float64, stderr io.Writer) int {
+func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baselinePath string, gatePct float64, interrupted *atomic.Bool, stderr io.Writer) int {
 	report, err := perf.Measure(names, p, pool)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitFailure
+	}
+	if interrupted.Load() {
+		// Never overwrite the committed trajectory file with a drained,
+		// partially measured run.
+		fmt.Fprintln(stderr, "[interrupted: perf report not written]")
+		return exitPartial
 	}
 	for _, m := range report.Experiments {
 		if m.SimOps > 0 {
@@ -368,7 +499,7 @@ func runPerf(names []string, p harness.Params, pool *harness.Pool, out, baseline
 // in the chosen format, writes the JSON document, and — when a
 // baseline is given — compares against it, exiting non-zero on
 // violations if the gate is armed.
-func runCalibrate(names []string, p harness.Params, pool *harness.Pool, format, out, baselinePath string, gate bool, stdout, stderr io.Writer) int {
+func runCalibrate(names []string, p harness.Params, pool *harness.Pool, format, out, baselinePath string, gate bool, interrupted *atomic.Bool, stdout, stderr io.Writer) int {
 	var covered, skipped []string
 	for _, name := range names {
 		if calibrate.Covers(name) {
@@ -388,6 +519,12 @@ func runCalibrate(names []string, p harness.Params, pool *harness.Pool, format, 
 	}
 	fmt.Fprintf(stderr, "[calibrate: scored %d figures, %d envelopes in %v]\n",
 		len(report.Figures), len(report.Envelopes), time.Since(start).Round(time.Millisecond))
+	if interrupted.Load() {
+		// Never overwrite the committed calibration baseline with a
+		// drained, partially scored run.
+		fmt.Fprintln(stderr, "[interrupted: calibration report not emitted or written]")
+		return exitPartial
+	}
 	if err := calibrate.Emit(stdout, format, report); err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitFailure

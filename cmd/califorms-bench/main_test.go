@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/harness"
 	"repro/internal/perf"
 	"repro/internal/sim"
 )
@@ -32,6 +34,12 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		"store-readonly no dir":   {"-store-readonly", "-exp", "table1"},
 		"store-gc no dir":         {"-store-gc", "0", "-exp", "table1"},
 		"store-gc readonly":       {"-store", "x", "-store-readonly", "-store-gc", "0", "-exp", "table1"},
+		"resume no journal":       {"-resume", "-exp", "table1"},
+		"kill-after no journal":   {"-kill-after", "3", "-exp", "table1"},
+		"journal in perf mode":    {"-perf", "-journal", "x.journal", "-exp", "table1"},
+		"journal in calibrate":    {"-calibrate", "-journal", "x.journal", "-exp", "table1"},
+		"fault rate out of range": {"-fault-rate", "1.5", "-exp", "table1"},
+		"bad fault points glob":   {"-fault-rate", "0.5", "-fault-points", "[bad", "-exp", "table1"},
 	}
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -108,5 +116,170 @@ func TestStoreFlagsEndToEnd(t *testing.T) {
 		t.Error("post-GC run diverged")
 	} else if n := sim.GenerationPasses() - before; n != 0 {
 		t.Errorf("post-GC run performed %d generation passes, want 0", n)
+	}
+}
+
+// TestKillResumeByteIdentical is the checkpoint/resume referee: a sweep
+// SIGTERM'd mid-run (the -kill-after crash hook) must exit 3 with its
+// report suppressed, and a -resume run against the same journal must
+// exit 0 with output byte-identical to an uninterrupted reference — in
+// every format, at more than one worker count.
+func TestKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep 2× per format × worker count plus one reference per format")
+	}
+	sweep := func(format, workers string) []string {
+		return []string{"-exp", "fig3,fig10", "-visits", "200", "-seeds", "2", "-workers", workers, "-format", format}
+	}
+	// One uninterrupted reference per format: output is worker-count
+	// independent by the engine's determinism contract, so a single
+	// width serves every comparison.
+	refs := make(map[string]string)
+	for _, format := range harness.Formats() {
+		code, ref, stderr := runCLI(sweep(format, "2")...)
+		if code != exitOK {
+			t.Fatalf("reference run (%s) exited %d: %s", format, code, stderr)
+		}
+		refs[format] = ref
+	}
+	for _, workers := range []string{"1", "8"} {
+		for _, format := range harness.Formats() {
+			t.Run("workers="+workers+"/"+format, func(t *testing.T) {
+				journal := filepath.Join(t.TempDir(), "sweep.journal")
+				args := sweep(format, workers)
+				ref := refs[format]
+
+				killed := append(args, "-journal", journal, "-kill-after", "1")
+				code, out, stderr := runCLI(killed...)
+				if code != exitPartial {
+					t.Fatalf("killed run exited %d, want %d\n%s", code, exitPartial, stderr)
+				}
+				if out != "" {
+					t.Fatalf("killed run emitted a (necessarily partial) report:\n%s", out)
+				}
+				if !strings.Contains(stderr, "-resume") {
+					t.Fatalf("killed run's stderr does not point at -resume:\n%s", stderr)
+				}
+
+				resumed := append(args, "-journal", journal, "-resume")
+				code, got, stderr := runCLI(resumed...)
+				if code != exitOK {
+					t.Fatalf("resumed run exited %d: %s", code, stderr)
+				}
+				if got != ref {
+					t.Fatalf("resumed output diverges from the uninterrupted reference (format %s, workers %s)", format, workers)
+				}
+				if !strings.Contains(stderr, "resuming with") {
+					t.Fatalf("resume did not report journaled cells:\n%s", stderr)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeRefusesForeignJournal: -resume against a journal written by
+// a different invocation (other experiments, visits, format...) must
+// refuse instead of serving mismatched results.
+func TestResumeRefusesForeignJournal(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+	args := []string{"-exp", "fig3", "-visits", "100", "-workers", "1", "-format", "json", "-journal", journal}
+	if code, _, stderr := runCLI(args...); code != exitOK {
+		t.Fatalf("journaled run exited %d: %s", code, stderr)
+	}
+	foreign := []string{"-exp", "fig3", "-visits", "999", "-workers", "1", "-format", "json", "-journal", journal, "-resume"}
+	code, _, stderr := runCLI(foreign...)
+	if code != exitFailure {
+		t.Fatalf("foreign resume exited %d, want %d\n%s", code, exitFailure, stderr)
+	}
+	if !strings.Contains(stderr, "different invocation") {
+		t.Fatalf("foreign resume error does not explain the mismatch:\n%s", stderr)
+	}
+}
+
+// TestInjectedPanicsExitPartial: chaos smoke at the CLI level — with
+// cell.panic firing on every decision, the run completes, the report
+// carries the FAILED-cells table, and the exit code is 3. A follow-up
+// healthy run over the same (storeless) sweep is byte-identical to a
+// never-injected one.
+func TestInjectedPanicsExitPartial(t *testing.T) {
+	args := []string{"-exp", "fig10", "-visits", "100", "-workers", "2", "-format", "json"}
+	refCode, ref, _ := runCLI(args...)
+	if refCode != exitOK {
+		t.Fatalf("reference run exited %d", refCode)
+	}
+	chaos := append(args, "-fault-seed", "1", "-fault-rate", "1", "-fault-points", "cell.panic")
+	code, out, stderr := runCLI(chaos...)
+	if code != exitPartial {
+		t.Fatalf("all-cells-failed run exited %d, want %d\n%s", code, exitPartial, stderr)
+	}
+	if !strings.Contains(out, harness.FailedTitle) {
+		t.Fatalf("chaos report lacks the FAILED-cells table:\n%s", out)
+	}
+	if !strings.Contains(stderr, "faultinject armed") {
+		t.Fatalf("chaos run did not announce the armed injector:\n%s", stderr)
+	}
+	// Injection is scoped to the run: the next invocation is healthy.
+	if code, again, _ := runCLI(args...); code != exitOK || again != ref {
+		t.Fatalf("post-chaos run: code %d, identical %v", code, again == ref)
+	}
+}
+
+// TestFaultySweepConvergesOnWarmStore: the chaos error model end to
+// end. Under write faults and cell panics the run exits partial but
+// the store never serves a corrupted entry; re-running healthy against
+// the same store converges to the uninjected reference bytes.
+func TestFaultySweepConvergesOnWarmStore(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "fig10", "-visits", "100", "-workers", "2", "-format", "json", "-store", dir}
+	refCode, ref, _ := runCLI("-exp", "fig10", "-visits", "100", "-workers", "2", "-format", "json")
+	if refCode != exitOK {
+		t.Fatalf("reference run exited %d", refCode)
+	}
+	chaos := append(args, "-fault-seed", "7", "-fault-rate", "0.3", "-fault-points", "store.write.*,cell.panic")
+	code, _, stderr := runCLI(chaos...)
+	if code != exitOK && code != exitPartial {
+		t.Fatalf("chaos run exited %d, want 0 or %d\n%s", code, exitPartial, stderr)
+	}
+	code, got, stderr := runCLI(args...)
+	if code != exitOK {
+		t.Fatalf("recovery run exited %d: %s", code, stderr)
+	}
+	if got != ref {
+		t.Fatal("post-chaos warm run diverges from the uninjected reference")
+	}
+}
+
+// TestCellTimeoutFlag: an absurdly small watchdog fails every cell
+// (exit 3); the same sweep with a generous watchdog is healthy and
+// byte-identical to an unguarded run.
+func TestCellTimeoutFlag(t *testing.T) {
+	args := []string{"-exp", "fig10", "-visits", "100", "-workers", "2", "-format", "json"}
+	refCode, ref, _ := runCLI(args...)
+	if refCode != exitOK {
+		t.Fatalf("reference run exited %d", refCode)
+	}
+	code, out, stderr := runCLI(append(args, "-cell-timeout", "1ns")...)
+	if code != exitPartial {
+		t.Fatalf("1ns watchdog run exited %d, want %d\n%s", code, exitPartial, stderr)
+	}
+	if !strings.Contains(out, "cell exceeded -cell-timeout=1ns") {
+		t.Fatalf("timeout report lacks the watchdog error:\n%s", out)
+	}
+	code, got, _ := runCLI(append(args, "-cell-timeout", "1h")...)
+	if code != exitOK || got != ref {
+		t.Fatalf("1h watchdog run: code %d, identical %v", code, got == ref)
+	}
+}
+
+// TestMarkdownFormatEndToEnd: the fourth emitter through the CLI.
+func TestMarkdownFormatEndToEnd(t *testing.T) {
+	code, out, stderr := runCLI("-exp", "fig3", "-visits", "100", "-workers", "1", "-format", "markdown")
+	if code != exitOK {
+		t.Fatalf("markdown run exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"## fig3", "|---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown output lacks %q:\n%s", want, out)
+		}
 	}
 }

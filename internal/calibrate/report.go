@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Report is the full CALIB_califorms.json document.
@@ -38,13 +39,15 @@ type Report struct {
 	EnvelopesFailed int     `json:"envelopes_failed"`
 }
 
-// Write stores the report as indented JSON.
+// Write stores the report as indented JSON. The write is atomic
+// (temp file + rename) so a crash mid-write never leaves a truncated
+// baseline behind.
 func Write(path string, r Report) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return store.AtomicWriteFile(path, append(data, '\n'), 0o644)
 }
 
 // Read loads a report, verifying the schema tag.

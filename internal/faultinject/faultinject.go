@@ -1,0 +1,217 @@
+// Package faultinject is the deterministic fault-injection harness
+// behind the repo's robustness testing: seed-driven decisions about
+// whether a named injection point "fires", threaded through the store
+// I/O layer (short writes, torn frames, ENOSPC, open errors) and the
+// sweep scheduler (forced cell panics, delayed cells).
+//
+// Determinism is the point. Every injection point keeps its own call
+// counter, and the k-th decision at point P under seed S is a pure
+// function of (S, P, k) — so a chaos run is reproducible: the same
+// seed and rate produce the same number of faults at each point, in
+// the same per-point order, regardless of wall-clock timing. (Which
+// *cell* draws the k-th decision still depends on scheduling; the
+// error-model assertions — no corruption served, partial results
+// correct, recovery converges to byte-identical output — are
+// scheduling-independent by design.)
+//
+// Injection is disabled by default and the sites cost one atomic
+// pointer load when disabled, so the hooks are compiled into
+// production binaries but invisible until the -fault-seed/-fault-rate
+// flags (or a test) arm them. Arming is the build-visible test hook:
+// nothing fires without an explicit Enable.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"path"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config arms the injector.
+type Config struct {
+	// Seed drives every decision. Two runs with equal Seed, Rate and
+	// Points draw identical per-point decision sequences.
+	Seed int64
+	// Rate is the probability, in [0, 1], that a decision fires.
+	Rate float64
+	// Points restricts injection to the points matching any of the
+	// given path.Match globs (e.g. "store.*", "cell.panic"). Empty
+	// means every point.
+	Points []string
+}
+
+// state is the armed injector. A nil pointer means disabled — the
+// fast path at every site is one atomic load.
+type state struct {
+	cfg      Config
+	mu       sync.Mutex
+	counters map[string]*pointState
+}
+
+type pointState struct {
+	calls atomic.Uint64
+	fired atomic.Uint64
+}
+
+var armed atomic.Pointer[state]
+
+// Enable arms the injector. It replaces any previous configuration
+// and resets every per-point counter.
+func Enable(cfg Config) error {
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return fmt.Errorf("faultinject: rate %v outside [0, 1]", cfg.Rate)
+	}
+	for _, p := range cfg.Points {
+		if _, err := path.Match(p, "probe"); err != nil {
+			return fmt.Errorf("faultinject: bad point pattern %q: %v", p, err)
+		}
+	}
+	armed.Store(&state{cfg: cfg, counters: make(map[string]*pointState)})
+	return nil
+}
+
+// Disable disarms the injector; every site reverts to its no-op fast
+// path.
+func Disable() { armed.Store(nil) }
+
+// Enabled reports whether the injector is armed.
+func Enabled() bool { return armed.Load() != nil }
+
+// point returns the counter cell for a named point.
+func (s *state) point(name string) *pointState {
+	s.mu.Lock()
+	ps := s.counters[name]
+	if ps == nil {
+		ps = &pointState{}
+		s.counters[name] = ps
+	}
+	s.mu.Unlock()
+	return ps
+}
+
+// covered reports whether the point name matches the configured
+// pattern set.
+func (s *state) covered(name string) bool {
+	if len(s.cfg.Points) == 0 {
+		return true
+	}
+	for _, p := range s.cfg.Points {
+		if ok, _ := path.Match(p, name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// splitmix64 is the decision hash: a full-avalanche mix of the seed,
+// the point name and the call ordinal.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64 hashes the point name.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Fire reports whether the fault at the named point fires on this
+// call. The k-th call at a point is deterministic in (seed, point, k);
+// counters advance only for covered points, so narrowing Points never
+// shifts another point's sequence.
+func Fire(point string) bool {
+	s := armed.Load()
+	if s == nil || !s.covered(point) {
+		return false
+	}
+	ps := s.point(point)
+	k := ps.calls.Add(1) - 1
+	u := splitmix64(uint64(s.cfg.Seed) ^ fnv64(point) ^ (k * 0x9e3779b97f4a7c15))
+	// 53 uniform bits → [0, 1).
+	if float64(u>>11)/math.Exp2(53) >= s.cfg.Rate {
+		return false
+	}
+	ps.fired.Add(1)
+	return true
+}
+
+// Delay sleeps a small deterministic duration when the point fires
+// (0.5–4ms, derived from the decision hash) and returns whether it
+// fired. The sweep engine's output must be byte-identical under any
+// injected delay — delays perturb scheduling, never results.
+func Delay(point string) bool {
+	s := armed.Load()
+	if s == nil || !s.covered(point) {
+		return false
+	}
+	ps := s.point(point)
+	k := ps.calls.Add(1) - 1
+	u := splitmix64(uint64(s.cfg.Seed) ^ fnv64(point) ^ (k * 0x9e3779b97f4a7c15))
+	if float64(u>>11)/math.Exp2(53) >= s.cfg.Rate {
+		return false
+	}
+	ps.fired.Add(1)
+	time.Sleep(time.Duration(500+u%3500) * time.Microsecond)
+	return true
+}
+
+// InjectedPanic is the value a "cell.panic" injection raises; the
+// scheduler's recovery layer recognizes it and records the cell as
+// failed-injected.
+type InjectedPanic struct{ Point string }
+
+func (p InjectedPanic) Error() string { return "injected panic at " + p.Point }
+
+// CheckPanic panics with an InjectedPanic when the point fires.
+func CheckPanic(point string) {
+	if Fire(point) {
+		panic(InjectedPanic{Point: point})
+	}
+}
+
+// InjectedError is the error a firing I/O point returns; callers
+// treat it like the real fault it models (ENOSPC, a failed open).
+type InjectedError struct{ Point string }
+
+func (e InjectedError) Error() string { return "injected fault at " + e.Point }
+
+// Stats returns the cumulative (calls, fired) counters of a point
+// since Enable. Zero when disarmed or never hit.
+func Stats(point string) (calls, fired uint64) {
+	s := armed.Load()
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	ps := s.counters[point]
+	s.mu.Unlock()
+	if ps == nil {
+		return 0, 0
+	}
+	return ps.calls.Load(), ps.fired.Load()
+}
+
+// TotalFired sums the fired counters across all points.
+func TotalFired() uint64 {
+	s := armed.Load()
+	if s == nil {
+		return 0
+	}
+	var n uint64
+	s.mu.Lock()
+	for _, ps := range s.counters {
+		n += ps.fired.Load()
+	}
+	s.mu.Unlock()
+	return n
+}

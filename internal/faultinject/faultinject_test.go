@@ -1,0 +1,165 @@
+package faultinject
+
+import "testing"
+
+// drawSequence arms the injector and records the first n Fire
+// decisions at each of the given points, round-robin.
+func drawSequence(t *testing.T, cfg Config, points []string, n int) map[string][]bool {
+	t.Helper()
+	if err := Enable(cfg); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	defer Disable()
+	out := make(map[string][]bool, len(points))
+	for i := 0; i < n; i++ {
+		for _, p := range points {
+			out[p] = append(out[p], Fire(p))
+		}
+	}
+	return out
+}
+
+func TestDisabledNeverFires(t *testing.T) {
+	Disable()
+	for i := 0; i < 1000; i++ {
+		if Fire("store.write.torn") {
+			t.Fatal("disarmed injector fired")
+		}
+	}
+	if Enabled() {
+		t.Fatal("Enabled after Disable")
+	}
+	if n := TotalFired(); n != 0 {
+		t.Fatalf("TotalFired = %d while disarmed", n)
+	}
+}
+
+func TestSameSeedSameSequence(t *testing.T) {
+	points := []string{"store.write.torn", "cell.panic", "journal.append.short"}
+	cfg := Config{Seed: 42, Rate: 0.3}
+	a := drawSequence(t, cfg, points, 200)
+	b := drawSequence(t, cfg, points, 200)
+	for _, p := range points {
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				t.Fatalf("point %s decision %d differs across identical configs", p, i)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	points := []string{"cell.panic"}
+	a := drawSequence(t, Config{Seed: 1, Rate: 0.5}, points, 200)
+	b := drawSequence(t, Config{Seed: 2, Rate: 0.5}, points, 200)
+	same := true
+	for i := range a["cell.panic"] {
+		if a["cell.panic"][i] != b["cell.panic"][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 drew identical 200-decision sequences")
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	// Interleaving calls at other points must not shift a point's own
+	// sequence: the k-th decision depends only on (seed, point, k).
+	cfg := Config{Seed: 7, Rate: 0.4}
+	solo := drawSequence(t, cfg, []string{"cell.panic"}, 100)
+	mixed := drawSequence(t, cfg, []string{"cell.panic", "store.read.eintr", "cell.delay"}, 100)
+	for i := range solo["cell.panic"] {
+		if solo["cell.panic"][i] != mixed["cell.panic"][i] {
+			t.Fatalf("decision %d at cell.panic shifted under interleaving", i)
+		}
+	}
+}
+
+func TestRateEndpoints(t *testing.T) {
+	if err := Enable(Config{Seed: 3, Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !Fire("p") {
+			t.Fatal("rate 1 did not fire")
+		}
+	}
+	if err := Enable(Config{Seed: 3, Rate: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if Fire("p") {
+			t.Fatal("rate 0 fired")
+		}
+	}
+	Disable()
+}
+
+func TestPointGlobFiltering(t *testing.T) {
+	if err := Enable(Config{Seed: 9, Rate: 1, Points: []string{"store.write.*"}}); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	if !Fire("store.write.torn") {
+		t.Fatal("covered point did not fire at rate 1")
+	}
+	if Fire("cell.panic") {
+		t.Fatal("uncovered point fired")
+	}
+	// Uncovered points must not advance counters either.
+	if calls, _ := Stats("cell.panic"); calls != 0 {
+		t.Fatalf("uncovered point advanced its counter to %d", calls)
+	}
+}
+
+func TestStatsAndTotalFired(t *testing.T) {
+	if err := Enable(Config{Seed: 11, Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	for i := 0; i < 5; i++ {
+		Fire("a")
+	}
+	for i := 0; i < 3; i++ {
+		Fire("b")
+	}
+	if calls, fired := Stats("a"); calls != 5 || fired != 5 {
+		t.Fatalf("Stats(a) = %d, %d", calls, fired)
+	}
+	if n := TotalFired(); n != 8 {
+		t.Fatalf("TotalFired = %d, want 8", n)
+	}
+}
+
+func TestEnableValidation(t *testing.T) {
+	if err := Enable(Config{Rate: 1.5}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if err := Enable(Config{Rate: -0.1}); err == nil {
+		t.Fatal("rate < 0 accepted")
+	}
+	if err := Enable(Config{Rate: 0.5, Points: []string{"[bad"}}); err == nil {
+		t.Fatal("malformed glob accepted")
+	}
+	if Enabled() {
+		t.Fatal("failed Enable left the injector armed")
+	}
+}
+
+func TestCheckPanicRaisesInjectedPanic(t *testing.T) {
+	if err := Enable(Config{Seed: 1, Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	defer func() {
+		r := recover()
+		ip, ok := r.(InjectedPanic)
+		if !ok || ip.Point != "cell.panic" {
+			t.Fatalf("recovered %#v, want InjectedPanic{cell.panic}", r)
+		}
+	}()
+	CheckPanic("cell.panic")
+	t.Fatal("CheckPanic did not panic at rate 1")
+}

@@ -16,8 +16,8 @@ type Emitter interface {
 	Emit(w io.Writer, results []Result) error
 }
 
-// NewEmitter returns the emitter for a format name: "text", "json" or
-// "csv".
+// NewEmitter returns the emitter for a format name: "text", "json",
+// "csv" or "markdown".
 func NewEmitter(format string) (Emitter, error) {
 	switch format {
 	case "text":
@@ -26,10 +26,15 @@ func NewEmitter(format string) (Emitter, error) {
 		return JSONEmitter{}, nil
 	case "csv":
 		return CSVEmitter{}, nil
+	case "markdown":
+		return MarkdownEmitter{}, nil
 	default:
-		return nil, fmt.Errorf("harness: unknown output format %q (text, json, csv)", format)
+		return nil, fmt.Errorf("harness: unknown output format %q (text, json, csv, markdown)", format)
 	}
 }
+
+// Formats lists the emitter format names in canonical order.
+func Formats() []string { return []string{"text", "json", "csv", "markdown"} }
 
 // TextEmitter renders aligned plain-text tables and prerendered
 // charts/prose — the terminal report format, with published paper
@@ -90,6 +95,59 @@ func (JSONEmitter) Emit(w io.Writer, results []Result) error {
 // machine; a header record precedes each table's data records.
 // Free-form text records carry no cells and are skipped.
 type CSVEmitter struct{}
+
+// MarkdownEmitter renders tabular records as GitHub-flavored markdown
+// tables under per-record headings — the format CI pastes into step
+// summaries. Free-form text records render as fenced code blocks so
+// pre-aligned prose survives markdown's whitespace collapsing.
+type MarkdownEmitter struct{}
+
+func (MarkdownEmitter) Emit(w io.Writer, results []Result) error {
+	for i, r := range results {
+		if i == 0 || r.Experiment != results[i-1].Experiment {
+			if i > 0 {
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "## %s\n\n", r.Experiment); err != nil {
+				return err
+			}
+		}
+		if len(r.Headers) > 0 {
+			title := r.Title
+			if r.Machine != "" {
+				title += " [machine: " + r.Machine + "]"
+			}
+			if title != "" {
+				if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, stats.MarkdownTable(r.Headers, r.Rows)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+			continue
+		}
+		if r.Text == "" {
+			continue
+		}
+		body := r.Text
+		if r.Machine != "" {
+			body = "[machine: " + r.Machine + "]\n" + body
+		}
+		if body[len(body)-1] != '\n' {
+			body += "\n"
+		}
+		if _, err := fmt.Fprintf(w, "```\n%s```\n\n", body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func (CSVEmitter) Emit(w io.Writer, results []Result) error {
 	cw := csv.NewWriter(w)

@@ -135,8 +135,45 @@ func TestCSVEmitterGolden(t *testing.T) {
 	}
 }
 
+func TestMarkdownEmitterGolden(t *testing.T) {
+	// Tables become GFM tables under per-record headings; free-form
+	// text lands in fenced code blocks so pre-aligned prose survives.
+	want := strings.Join([]string{
+		"## demo",
+		"",
+		"### Demo table",
+		"",
+		"| name | value |",
+		"|---|---|",
+		"| a | 1 |",
+		"| bb | 22 |",
+		"",
+		"```",
+		"a trailing analysis line",
+		"```",
+		"",
+		"", // experiment boundary
+		"## demo2",
+		"",
+		"### Demo histogram",
+		"",
+		"| bin | fraction |",
+		"|---|---|",
+		"| [0.0,0.5) | 0.2500 |",
+		"| [0.5,1.0) | 0.7500 |",
+		"",
+	}, "\n") + "\n"
+	var buf bytes.Buffer
+	if err := (MarkdownEmitter{}).Emit(&buf, goldenResults()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Fatalf("markdown emitter output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestNewEmitter(t *testing.T) {
-	for _, format := range []string{"text", "json", "csv"} {
+	for _, format := range Formats() {
 		if _, err := NewEmitter(format); err != nil {
 			t.Fatalf("NewEmitter(%q): %v", format, err)
 		}

@@ -1,0 +1,163 @@
+package harness
+
+// Panic isolation: the sweep engine recovers per-cell panics — a
+// workload kernel bug, an injected fault, a watchdog timeout — into
+// structured CellError records instead of crashing the process.
+// Healthy cells complete normally; failed cells leave their result
+// slots zero, are listed in MatrixResult/MixResult, and surface in the
+// report as a schema-stable "FAILED cells" table (present only when
+// failures exist) that every emitter renders. cmd/califorms-bench maps
+// a non-zero failure count to exit code 3, partial failure.
+//
+// Two determinism caveats, both documented in DESIGN.md §17: which
+// cells fail under rate-based fault injection depends on scheduling
+// (the error model, not the failure set, is the invariant), and
+// watchdog timeouts depend on wall clock. Real per-cell panics are
+// pure functions of the cell and fail identically at any worker count.
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/sim"
+)
+
+// CellError is one failed run unit. Stack is diagnostic only: it goes
+// to stderr, never into emitter output (addresses are nondeterministic).
+type CellError struct {
+	Cell  string `json:"cell"`  // deterministic cell coordinates
+	Stage string `json:"stage"` // run | capture | replay | mix | task
+	Err   string `json:"error"`
+	Stack string `json:"-"`
+}
+
+// failures is a concurrency-safe CellError collector; Matrix.Run and
+// Mix.Run each use a local one so the result value can carry a plain
+// sorted slice.
+type failures struct {
+	mu   sync.Mutex
+	list []CellError
+}
+
+func (f *failures) add(ce CellError) {
+	f.mu.Lock()
+	f.list = append(f.list, ce)
+	f.mu.Unlock()
+}
+
+// sorted snapshots the collected failures in deterministic order.
+func (f *failures) sorted() []CellError {
+	f.mu.Lock()
+	out := append([]CellError(nil), f.list...)
+	f.mu.Unlock()
+	sortCellErrors(out)
+	return out
+}
+
+func sortCellErrors(out []CellError) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cell != out[j].Cell {
+			return out[i].Cell < out[j].Cell
+		}
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Err < out[j].Err
+	})
+}
+
+// Process-wide failure accounting: a monotonic count backing the CLI's
+// exit-code-3 decision, plus a pending list Run drains into the
+// current experiment's FAILED record. Experiments execute sequentially
+// through Run, so pending failures always belong to the experiment
+// being drained.
+var (
+	failTotal   atomic.Uint64
+	pendingMu   sync.Mutex
+	pendingFail []CellError
+)
+
+// recordFailure registers one failed cell with the process-wide
+// accounting and reports it on stderr (with the stack, when the panic
+// was not an already-classified injection or timeout).
+func recordFailure(ce CellError) {
+	failTotal.Add(1)
+	pendingMu.Lock()
+	pendingFail = append(pendingFail, ce)
+	pendingMu.Unlock()
+	fmt.Fprintf(os.Stderr, "harness: cell FAILED: %s [%s]: %s\n", ce.Cell, ce.Stage, ce.Err)
+	if ce.Stack != "" {
+		fmt.Fprintf(os.Stderr, "%s\n", ce.Stack)
+	}
+}
+
+// FailedCellCount returns the process-wide number of failed cells so
+// far. It only grows; callers snapshot and diff around a sweep.
+func FailedCellCount() uint64 { return failTotal.Load() }
+
+// drainPending takes the failures accumulated since the last drain, in
+// deterministic order.
+func drainPending() []CellError {
+	pendingMu.Lock()
+	out := pendingFail
+	pendingFail = nil
+	pendingMu.Unlock()
+	sortCellErrors(out)
+	return out
+}
+
+// FailedTitle titles the failure record appended to an experiment's
+// results when cells failed. The record is schema-stable: it exists
+// only when failures exist, so fully healthy reports are byte-identical
+// to pre-failure-layer output.
+const FailedTitle = "FAILED cells"
+
+func failedRecord(failed []CellError) Result {
+	r := Result{Kind: KindTable, Title: FailedTitle, Headers: []string{"cell", "stage", "error"}}
+	for _, ce := range failed {
+		r.Rows = append(r.Rows, []string{ce.Cell, ce.Stage, ce.Err})
+	}
+	return r
+}
+
+// recoveredPanic is a recovered per-cell panic, classified for
+// reporting.
+type recoveredPanic struct {
+	msg   string
+	stack string
+}
+
+// runRecovered runs f, converting a panic into a classified
+// description. Injected panics and watchdog timeouts carry no stack —
+// their provenance is the message; anything else is a real bug and
+// keeps its stack for stderr.
+func runRecovered(f func()) (rp *recoveredPanic) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		rp = &recoveredPanic{msg: panicMessage(r)}
+		switch r.(type) {
+		case faultinject.InjectedPanic, sim.CellTimeout:
+		default:
+			rp.stack = string(debug.Stack())
+		}
+	}()
+	f()
+	return nil
+}
+
+func panicMessage(r any) string {
+	switch v := r.(type) {
+	case error:
+		return v.Error()
+	default:
+		return fmt.Sprintf("panic: %v", v)
+	}
+}

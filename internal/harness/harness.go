@@ -143,8 +143,15 @@ func Names() []string {
 }
 
 // Run executes one experiment on the pool and stamps its records.
+// Cells that failed during the run (panic isolation, watchdog
+// timeouts, injected faults) surface as an appended FAILED-cells table
+// — present only when failures exist, so healthy reports keep their
+// exact byte shape.
 func Run(e Experiment, p Params, pool *Pool) []Result {
 	rs := e.Run(p, pool)
+	if failed := drainPending(); len(failed) > 0 {
+		rs = append(rs, failedRecord(failed))
+	}
 	for i := range rs {
 		rs[i].Experiment = e.Name
 	}

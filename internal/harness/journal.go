@@ -1,0 +1,250 @@
+package harness
+
+// The checkpoint/resume layer: a SweepJournal is a harness.Store that
+// records every artifact a sweep completes — finished cell results,
+// captured op-stream recordings, multicore mix units — into an
+// append-only, fsync'd journal (internal/store's framed Journal) while
+// forwarding to an optional backing store. An interrupted or killed
+// sweep resumes by reloading the journal's valid prefix as an
+// in-memory overlay: the scheduler's tier-1/tier-2 lookups serve the
+// already-finished work and only the remainder simulates.
+//
+// Byte-identical resume needs no trust in the journal itself — every
+// journaled artifact is a pure function of its key, so a lost or torn
+// record merely recomputes. What the journal must guarantee is the
+// inverse: it never serves a record the sweep's parameters do not
+// match. The manifest — the journal's first record, pinning
+// experiments, visits, seeds, machine, format and the simulator code
+// version — enforces that: -resume against a journal from a different
+// invocation or code version refuses to run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// SweepManifest pins the invocation a journal belongs to. Workers are
+// deliberately absent: output is worker-count independent, so a sweep
+// may resume at any width.
+type SweepManifest struct {
+	Schema      string   `json:"schema"`
+	CodeVersion string   `json:"code_version"`
+	Experiments []string `json:"experiments"`
+	Visits      int      `json:"visits"`
+	Seeds       int      `json:"seeds"`
+	Machine     string   `json:"machine,omitempty"`
+	Format      string   `json:"format"`
+}
+
+// ManifestSchema tags sweep-journal manifests.
+const ManifestSchema = "califorms-sweep-journal/1"
+
+// manifestKind is the journal record kind holding the manifest.
+const manifestKind = "manifest"
+
+// SweepJournal implements Store over an append-only journal plus an
+// optional backing store. All methods are safe for concurrent use.
+type SweepJournal struct {
+	j       *store.Journal
+	backing Store
+
+	mu  sync.RWMutex
+	mem map[string][]byte // kind+"\x00"+key → payload
+
+	cells atomic.Uint64
+
+	// onCell, when set, observes the running count of completed cells
+	// (run + mix records) after each journaled append — the
+	// crash-test hook behind califorms-bench's -kill-after.
+	onCell func(n uint64)
+}
+
+// NewSweep creates a fresh journal at path, writes the manifest as
+// its first record, and returns the journaling store layered over
+// backing (which may be nil).
+func NewSweep(path string, man SweepManifest, backing Store) (*SweepJournal, error) {
+	man.Schema = ManifestSchema
+	man.CodeVersion = store.CodeVersion
+	j, err := store.CreateJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(man)
+	if err != nil {
+		j.Close()
+		return nil, fmt.Errorf("journal: manifest: %w", err)
+	}
+	if err := j.Append(manifestKind, "", payload); err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &SweepJournal{j: j, backing: backing, mem: make(map[string][]byte)}, nil
+}
+
+// ResumeSweep reopens the journal at path, verifies its manifest
+// matches the resuming invocation, and loads every journaled artifact
+// into the overlay. The handle appends new completions after the
+// valid prefix.
+func ResumeSweep(path string, man SweepManifest, backing Store) (*SweepJournal, error) {
+	man.Schema = ManifestSchema
+	man.CodeVersion = store.CodeVersion
+	j, entries, err := store.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 || entries[0].Kind != manifestKind {
+		j.Close()
+		return nil, fmt.Errorf("journal: %s carries no manifest; not resumable", path)
+	}
+	var have SweepManifest
+	if err := json.Unmarshal(entries[0].Payload, &have); err != nil {
+		j.Close()
+		return nil, fmt.Errorf("journal: %s: bad manifest: %w", path, err)
+	}
+	if want, got := mustJSON(man), mustJSON(have); want != got {
+		j.Close()
+		return nil, fmt.Errorf("journal: %s was written by a different invocation:\n  journal: %s\n  resume:  %s", path, got, want)
+	}
+	s := &SweepJournal{j: j, backing: backing, mem: make(map[string][]byte)}
+	for _, e := range entries[1:] {
+		s.mem[memKey(e.Kind, e.Key)] = e.Payload
+		if e.Kind == store.KindRun || e.Kind == store.KindMix {
+			s.cells.Add(1)
+		}
+	}
+	return s, nil
+}
+
+func mustJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic("harness: manifest marshal: " + err.Error())
+	}
+	return string(data)
+}
+
+func memKey(kind, key string) string { return kind + "\x00" + key }
+
+// Cells returns the number of completed cells (run + mix records)
+// journaled so far, including those loaded by ResumeSweep.
+func (s *SweepJournal) Cells() uint64 { return s.cells.Load() }
+
+// OnCell installs the completed-cell observer (see -kill-after).
+func (s *SweepJournal) OnCell(f func(n uint64)) { s.onCell = f }
+
+// Close closes the underlying journal file.
+func (s *SweepJournal) Close() error { return s.j.Close() }
+
+// get serves the overlay.
+func (s *SweepJournal) get(kind, key string) ([]byte, bool) {
+	s.mu.RLock()
+	p, ok := s.mem[memKey(kind, key)]
+	s.mu.RUnlock()
+	return p, ok
+}
+
+// put journals a completed artifact and adds it to the overlay. A
+// failed append (injected faults, a dying disk) is reported to stderr
+// by callers' error paths upstream; here it only means this artifact
+// will recompute on resume — the overlay still serves the current
+// run.
+func (s *SweepJournal) put(kind, key string, payload []byte) {
+	s.mu.Lock()
+	_, dup := s.mem[memKey(kind, key)]
+	if !dup {
+		s.mem[memKey(kind, key)] = payload
+	}
+	s.mu.Unlock()
+	if dup {
+		return
+	}
+	s.j.Append(kind, key, payload)
+	if kind == store.KindRun || kind == store.KindMix {
+		n := s.cells.Add(1)
+		if s.onCell != nil {
+			s.onCell(n)
+		}
+	}
+}
+
+// ---- the Store interface ----
+
+// GetRun serves the overlay first, then the backing store.
+func (s *SweepJournal) GetRun(key string) (sim.Result, bool) {
+	if p, ok := s.get(store.KindRun, key); ok {
+		var r sim.Result
+		if json.Unmarshal(p, &r) == nil {
+			return r, true
+		}
+	}
+	if s.backing != nil {
+		return s.backing.GetRun(key)
+	}
+	return sim.Result{}, false
+}
+
+// PutRun journals a finished result and forwards it to the backing
+// store.
+func (s *SweepJournal) PutRun(key string, r sim.Result) {
+	if p, err := json.Marshal(r); err == nil {
+		s.put(store.KindRun, key, p)
+	}
+	if s.backing != nil {
+		s.backing.PutRun(key, r)
+	}
+}
+
+// GetRecording serves the overlay first, then the backing store.
+func (s *SweepJournal) GetRecording(key string) (*trace.Recording, bool) {
+	if p, ok := s.get(store.KindRec, key); ok {
+		rec := trace.NewRecording(0)
+		if rec.UnmarshalBinary(p) == nil {
+			return rec, true
+		}
+	}
+	if s.backing != nil {
+		return s.backing.GetRecording(key)
+	}
+	return nil, false
+}
+
+// PutRecording journals a captured op stream and forwards it.
+func (s *SweepJournal) PutRecording(key string, rec *trace.Recording) {
+	if p, err := rec.MarshalBinary(); err == nil {
+		s.put(store.KindRec, key, p)
+	}
+	if s.backing != nil {
+		s.backing.PutRecording(key, rec)
+	}
+}
+
+// GetMix serves the overlay first, then the backing store.
+func (s *SweepJournal) GetMix(key string, v any) bool {
+	if p, ok := s.get(store.KindMix, key); ok {
+		if json.Unmarshal(p, v) == nil {
+			return true
+		}
+	}
+	if s.backing != nil {
+		return s.backing.GetMix(key, v)
+	}
+	return false
+}
+
+// PutMix journals a finished mix unit and forwards it.
+func (s *SweepJournal) PutMix(key string, v any) {
+	if p, err := json.Marshal(v); err == nil {
+		s.put(store.KindMix, key, p)
+	}
+	if s.backing != nil {
+		s.backing.PutMix(key, v)
+	}
+}
+
+var _ Store = (*SweepJournal)(nil)

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"fmt"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -123,6 +125,10 @@ type MatrixResult struct {
 	// Runs[b][c][s][mi] is the (bench, config, seed, machine) unit
 	// result.
 	Runs [][][][]sim.Result
+	// Failed lists the cells whose execution panicked (a kernel bug, an
+	// injected fault, a watchdog timeout), in deterministic order. The
+	// slots of failed cells hold zero Results.
+	Failed []CellError
 }
 
 // visits returns the effective per-unit visit count, mirroring
@@ -244,19 +250,47 @@ func (m Matrix) groups(cells []Cell) []*matrixGroup {
 func (m Matrix) Run(pool *Pool) MatrixResult {
 	res := newMatrixResult(m)
 	cells := m.Cells()
+	fs := &failures{}
 	if disableReplay {
 		pool.Map(len(cells), func(i int) {
-			res.emit(cells[i], sim.Run(m.Benches[cells[i].Bench], m.Config(cells[i])))
+			if rp := runRecovered(func() {
+				faultinject.CheckPanic("cell.panic")
+				faultinject.Delay("cell.delay")
+				res.emit(cells[i], sim.Run(m.Benches[cells[i].Bench], m.Config(cells[i])))
+			}); rp != nil {
+				m.fail(fs, cells[i], "run", rp)
+			}
 		})
+		res.Failed = fs.sorted()
 		return res
 	}
-	pool.Run(m.schedule(cells, activeStore(), res.emit))
+	pool.Run(m.schedule(cells, activeStore(), res.emit, fs))
+	res.Failed = fs.sorted()
 	return res
 }
 
+// cellName renders a cell's coordinates for failure reports —
+// deterministic text, no addresses, no timing.
+func (m Matrix) cellName(cell Cell) string {
+	cfg := "baseline"
+	if cell.Config >= 0 {
+		cfg = fmt.Sprintf("cfg=%d", cell.Config)
+	}
+	return fmt.Sprintf("%s/%s/seed=%d/machine=%d", m.Benches[cell.Bench].Name, cfg, cell.Seed, cell.Machine)
+}
+
+// fail records one failed cell with the matrix-local collector and the
+// process-wide accounting behind exit code 3.
+func (m Matrix) fail(fs *failures, cell Cell, stage string, rp *recoveredPanic) {
+	ce := CellError{Cell: m.cellName(cell), Stage: stage, Err: rp.msg, Stack: rp.stack}
+	fs.add(ce)
+	recordFailure(ce)
+}
+
 // schedule turns the enumerated cells into pool tasks, one per
-// op-stream group, each planned against st (nil: always run).
-func (m Matrix) schedule(cells []Cell, st Store, emit func(Cell, sim.Result)) []Task {
+// op-stream group, each planned against st (nil: always run). Failed
+// cells land in fs; the group's healthy cells still emit.
+func (m Matrix) schedule(cells []Cell, st Store, emit func(Cell, sim.Result), fs *failures) []Task {
 	// One decision script per benchmark, captured on first use and
 	// shared read-only by every cell of that benchmark. Fully warm
 	// groups never force the capture.
@@ -270,7 +304,7 @@ func (m Matrix) schedule(cells []Cell, st Store, emit func(Cell, sim.Result)) []
 	tasks := make([]Task, len(groups))
 	for gi, g := range groups {
 		g := g
-		tasks[gi] = func(func(Task)) { m.runGroup(cells, g, st, script, emit) }
+		tasks[gi] = func(func(Task)) { m.runGroup(cells, g, st, script, emit, fs) }
 	}
 	return tasks
 }
@@ -278,8 +312,11 @@ func (m Matrix) schedule(cells []Cell, st Store, emit func(Cell, sim.Result)) []
 // runGroup executes one op-stream group through the store tiers:
 // result hits emit directly, a stored recording replays onto the
 // missing machines, and only a full miss captures the stream — once,
-// multicast to every missing sibling, then persisted.
-func (m Matrix) runGroup(cells []Cell, g *matrixGroup, st Store, script func(int) *workload.Script, emit func(Cell, sim.Result)) {
+// multicast to every missing sibling, then persisted. Each tier's
+// execution is panic-isolated: a replay failure costs one cell, a
+// capture failure costs the group's missing cells (the generation pass
+// is shared), and either way the rest of the sweep completes.
+func (m Matrix) runGroup(cells []Cell, g *matrixGroup, st Store, script func(int) *workload.Script, emit func(Cell, sim.Result), fs *failures) {
 	first := cells[g.cells[0]]
 	spec := m.Benches[first.Bench]
 	rcs := make([]sim.RunConfig, len(g.cells))
@@ -319,9 +356,16 @@ func (m Matrix) runGroup(cells []Cell, g *matrixGroup, st Store, script func(int
 		streamKey = sim.StreamKey(spec, rcs[0])
 		if rec, ok := st.GetRecording(streamKey); ok {
 			for _, i := range missing {
-				r := sim.RunReplayed(spec.Name, rcs[i], rec)
-				st.PutRun(keys[i], r)
-				emit(cells[g.cells[i]], r)
+				i := i
+				if rp := runRecovered(func() {
+					faultinject.CheckPanic("cell.panic")
+					faultinject.Delay("cell.delay")
+					r := sim.RunReplayed(spec.Name, rcs[i], rec)
+					st.PutRun(keys[i], r)
+					emit(cells[g.cells[i]], r)
+				}); rp != nil {
+					m.fail(fs, cells[g.cells[i]], "replay", rp)
+				}
 			}
 			return
 		}
@@ -331,29 +375,40 @@ func (m Matrix) runGroup(cells []Cell, g *matrixGroup, st Store, script func(int
 	// machine (kernel, allocator and batch construction run once; each
 	// flushed batch is multicast to all cores), teeing the stream into
 	// a recording when a store wants it.
-	var rec *trace.Recording
-	if st != nil {
-		rec = trace.NewRecording(0)
-	}
-	sc := script(first.Bench)
-	var results []sim.Result
-	if len(missing) == 1 {
-		results = []sim.Result{sim.RunScripted(spec, rcs[missing[0]], sc, rec)}
-	} else {
-		sub := make([]sim.RunConfig, len(missing))
-		for j, i := range missing {
-			sub[j] = rcs[i]
-		}
-		results = sim.RunFanout(spec, sub, sc, rec)
-	}
-	if st != nil {
-		st.PutRecording(streamKey, rec)
-	}
-	for j, i := range missing {
+	rp := runRecovered(func() {
+		faultinject.CheckPanic("cell.panic")
+		faultinject.Delay("cell.delay")
+		var rec *trace.Recording
 		if st != nil {
-			st.PutRun(keys[i], results[j])
+			rec = trace.NewRecording(0)
 		}
-		emit(cells[g.cells[i]], results[j])
+		sc := script(first.Bench)
+		var results []sim.Result
+		if len(missing) == 1 {
+			results = []sim.Result{sim.RunScripted(spec, rcs[missing[0]], sc, rec)}
+		} else {
+			sub := make([]sim.RunConfig, len(missing))
+			for j, i := range missing {
+				sub[j] = rcs[i]
+			}
+			results = sim.RunFanout(spec, sub, sc, rec)
+		}
+		if st != nil {
+			st.PutRecording(streamKey, rec)
+		}
+		for j, i := range missing {
+			if st != nil {
+				st.PutRun(keys[i], results[j])
+			}
+			emit(cells[g.cells[i]], results[j])
+		}
+	})
+	if rp != nil {
+		// The generation pass is shared: a capture panic abandons every
+		// cell still missing from this group.
+		for _, i := range missing {
+			m.fail(fs, cells[g.cells[i]], "capture", rp)
+		}
 	}
 }
 

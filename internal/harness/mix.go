@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/machine"
 	"repro/internal/multicore"
 	"repro/internal/sim"
@@ -114,6 +115,10 @@ type MixResult struct {
 	// core results plus the shared-L3 view.
 	MixBase [][]multicore.RunResult
 	MixProt [][][]multicore.RunResult
+	// Failed lists the units whose execution panicked, in deterministic
+	// order; their slots hold zero results. A failed solo capture also
+	// fails the mix units that needed its recording.
+	Failed []CellError
 
 	benchIdx map[string]int
 }
@@ -192,15 +197,22 @@ func (mx Mix) Run(pool *Pool) MixResult {
 		st.PutRun(runKey, r)
 		return r, rec
 	}
+	fs := &failures{}
 	pool.Map(len(benches)*variants, func(u int) {
 		b, v := u/variants, u%variants
-		r, rec := solo(b, v)
-		if v == 0 {
-			res.SoloBase[b] = r
-			recBase[b] = rec
-		} else {
-			res.SoloProt[b][v-1] = r
-			recProt[b][v-1] = rec
+		if rp := runRecovered(func() {
+			faultinject.CheckPanic("cell.panic")
+			faultinject.Delay("cell.delay")
+			r, rec := solo(b, v)
+			if v == 0 {
+				res.SoloBase[b] = r
+				recBase[b] = rec
+			} else {
+				res.SoloProt[b][v-1] = r
+				recProt[b][v-1] = rec
+			}
+		}); rp != nil {
+			mixFail(fs, fmt.Sprintf("solo/%s/%s", benches[b].Name, variantName(v)), "capture", rp)
 		}
 	})
 
@@ -216,31 +228,60 @@ func (mx Mix) Run(pool *Pool) MixResult {
 		t, r := u/per, u%per
 		ci, v := r/variants, r%variants
 		tuple := mx.Tuples[t]
-		key := ""
-		var rr multicore.RunResult
-		if st != nil {
-			key = mx.unitKey(tuple, mx.Cores[ci], v)
-			if st.GetMix(key, &rr) {
-				emitMix(&res, t, ci, v, rr)
-				return
+		if rp := runRecovered(func() {
+			faultinject.CheckPanic("cell.panic")
+			faultinject.Delay("cell.delay")
+			key := ""
+			var rr multicore.RunResult
+			if st != nil {
+				key = mx.unitKey(tuple, mx.Cores[ci], v)
+				if st.GetMix(key, &rr) {
+					emitMix(&res, t, ci, v, rr)
+					return
+				}
 			}
-		}
-		streams := make([]multicore.Stream, mx.Cores[ci])
-		for slot := range streams {
-			b := benchIdx[tuple.bench(slot).Name]
-			rec := recBase[b]
-			if v > 0 {
-				rec = recProt[b][v-1]
+			streams := make([]multicore.Stream, mx.Cores[ci])
+			for slot := range streams {
+				b := benchIdx[tuple.bench(slot).Name]
+				rec := recBase[b]
+				if v > 0 {
+					rec = recProt[b][v-1]
+				}
+				if rec == nil {
+					// The solo capture this unit depends on failed; fail
+					// the unit explicitly instead of panicking in replay.
+					panic(fmt.Errorf("missing recording for %s (solo capture failed)", tuple.bench(slot).Name))
+				}
+				streams[slot] = multicore.Stream{Name: tuple.bench(slot).Name, Rec: rec}
 			}
-			streams[slot] = multicore.Stream{Name: tuple.bench(slot).Name, Rec: rec}
+			rr = multicore.Run(cfg, streams)
+			if st != nil {
+				st.PutMix(key, rr)
+			}
+			emitMix(&res, t, ci, v, rr)
+		}); rp != nil {
+			mixFail(fs, fmt.Sprintf("mix/%s/cores=%d/%s", tuple.Name, mx.Cores[ci], variantName(v)), "mix", rp)
 		}
-		rr = multicore.Run(cfg, streams)
-		if st != nil {
-			st.PutMix(key, rr)
-		}
-		emitMix(&res, t, ci, v, rr)
 	})
+	res.Failed = fs.sorted()
 	return res
+}
+
+// variantName labels a mix variant index: the baseline, or a protected
+// seed replica.
+func variantName(v int) string {
+	if v == 0 {
+		return "base"
+	}
+	return fmt.Sprintf("seed=%d", v-1)
+}
+
+// mixFail records one failed mix unit with the sweep-local collector
+// and the process-wide accounting.
+func mixFail(fs *failures, cell, stage string, rp *recoveredPanic) {
+	ce := CellError{Cell: cell, Stage: stage, Err: rp.msg, Stack: rp.stack}
+	fs.add(ce)
+	recordFailure(ce)
 }
 
 // emitMix folds one stage-two unit into its coordinate slot.

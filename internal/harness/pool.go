@@ -2,7 +2,9 @@ package harness
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a fixed-width worker pool with a work-stealing shard
@@ -11,8 +13,18 @@ import (
 // (a captured trace fanning out to its sibling configurations) with
 // Run. Unit results are written to index-addressed slots, so
 // scheduling order never leaks into output.
+//
+// Drain is the graceful-shutdown half of the failure layer: once
+// called, queued and newly spawned tasks are discarded while in-flight
+// tasks finish, and every later Run returns immediately — the signal
+// handler in cmd/califorms-bench drains the pool, flushes store and
+// journal, and exits resumable.
 type Pool struct {
 	workers int
+	drain   atomic.Bool
+
+	mu     sync.Mutex
+	active *sched
 }
 
 // NewPool returns a pool of the given width; workers <= 0 means
@@ -26,6 +38,25 @@ func NewPool(workers int) *Pool {
 
 // Workers reports the pool width.
 func (p *Pool) Workers() int { return p.workers }
+
+// Drain asks the pool to stop dispatching: queued and newly spawned
+// tasks are dropped, in-flight tasks run to completion, and Run
+// returns once the last one finishes. The flag is sticky — subsequent
+// Run calls on a drained pool return immediately.
+func (p *Pool) Drain() {
+	p.drain.Store(true)
+	p.mu.Lock()
+	s := p.active
+	p.mu.Unlock()
+	if s != nil {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (p *Pool) Draining() bool { return p.drain.Load() }
 
 // Task is one schedulable unit. It may spawn follow-up tasks, which
 // land on the spawning worker's own deque (depth-first, keeping
@@ -43,6 +74,7 @@ type sched struct {
 	cond        *sync.Cond
 	deques      [][]Task
 	outstanding int
+	drain       *atomic.Bool
 }
 
 func (s *sched) push(w int, t Task) {
@@ -54,11 +86,18 @@ func (s *sched) push(w int, t Task) {
 }
 
 // next pops the worker's own deque, stealing on empty. It returns nil
-// only when every task has finished.
+// only when every task has finished — or, under drain, once the queues
+// have been discarded and the in-flight tasks have completed.
 func (s *sched) next(w int) Task {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if s.drain.Load() {
+			for i := range s.deques {
+				s.outstanding -= len(s.deques[i])
+				s.deques[i] = nil
+			}
+		}
 		if d := s.deques[w]; len(d) > 0 {
 			t := d[len(d)-1]
 			s.deques[w] = d[:len(d)-1]
@@ -110,21 +149,35 @@ func (p *Pool) Run(tasks []Task) {
 		var stack []Task
 		spawn := func(t Task) { stack = append(stack, t) }
 		for _, t := range tasks {
-			t(spawn)
+			if p.drain.Load() {
+				return
+			}
+			runTask(t, spawn)
 			for len(stack) > 0 {
+				if p.drain.Load() {
+					return
+				}
 				n := len(stack) - 1
 				st := stack[n]
 				stack = stack[:n]
-				st(spawn)
+				runTask(st, spawn)
 			}
 		}
 		return
 	}
-	s := &sched{deques: make([][]Task, workers), outstanding: len(tasks)}
+	s := &sched{deques: make([][]Task, workers), outstanding: len(tasks), drain: &p.drain}
 	s.cond = sync.NewCond(&s.mu)
 	for i, t := range tasks {
 		s.deques[i%workers] = append(s.deques[i%workers], t)
 	}
+	p.mu.Lock()
+	p.active = s
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.active = nil
+		p.mu.Unlock()
+	}()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -136,12 +189,26 @@ func (p *Pool) Run(tasks []Task) {
 				if t == nil {
 					return
 				}
-				t(spawn)
+				runTask(t, spawn)
 				s.done()
 			}
 		}(w)
 	}
 	wg.Wait()
+}
+
+// runTask is the pool's last-resort panic backstop. The scheduler
+// guards cell execution itself (with precise cell coordinates); a
+// panic reaching here escaped those guards — it is still recorded and
+// isolated so one broken task can neither kill the process nor
+// deadlock the pool's termination accounting.
+func runTask(t Task, spawn func(Task)) {
+	defer func() {
+		if r := recover(); r != nil {
+			recordFailure(CellError{Cell: "(pool task)", Stage: "task", Err: panicMessage(r), Stack: string(debug.Stack())})
+		}
+	}()
+	t(spawn)
 }
 
 // Map runs f(0..n-1) across the pool and returns when all calls have

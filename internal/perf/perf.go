@@ -208,13 +208,15 @@ func Measure(names []string, p harness.Params, pool *harness.Pool) (Report, erro
 	return r, nil
 }
 
-// Write stores the report as indented JSON.
+// Write stores the report as indented JSON. The write is atomic
+// (temp file + rename) so a crash mid-write never leaves a truncated
+// baseline behind.
 func Write(path string, r Report) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return store.AtomicWriteFile(path, append(data, '\n'), 0o644)
 }
 
 // Read loads a report, verifying the schema tag.

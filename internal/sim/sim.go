@@ -212,9 +212,17 @@ func runUncached(spec workload.Spec, rc RunConfig) Result {
 	genPasses.Add(1)
 	t := probeStart()
 	m := buildMachine(rc)
-	heap := buildHeap(rc, m.core)
+	var sink trace.Sink = m.core
+	check := watchdog()
+	if check != nil {
+		sink = trace.NewGuard(m.core, check)
+	}
+	heap := buildHeap(rc, sink)
 	ins := instrument(spec, rc)
 	env := &workload.Env{Core: m.core, Heap: heap, Ins: ins}
+	if check != nil {
+		env.Sink = sink
+	}
 	visits := rc.Visits
 	if visits <= 0 {
 		visits = 100_000
@@ -255,6 +263,12 @@ func RunScripted(spec workload.Spec, rc RunConfig, sc *workload.Script, rec *tra
 	if rec != nil {
 		env.Sink = rec.Record(m.core)
 		env.ResetHook = rec.MarkReset
+	}
+	if check := watchdog(); check != nil {
+		// The guard wraps outermost so the recording tee (when present)
+		// still sees every op; batch delivery forwards through the tee's
+		// own batched path, leaving results and captures unchanged.
+		env.Sink = trace.NewGuard(env.SinkOrCore(), check)
 	}
 	env.Heap = buildHeap(rc, env.SinkOrCore())
 	t = probeStage(t, &probe.setupNs)
@@ -299,6 +313,9 @@ func RunFanout(spec workload.Spec, rcs []RunConfig, sc *workload.Script, rec *tr
 	var sink trace.Sink = mc
 	if rec != nil {
 		sink = rec.Record(mc)
+	}
+	if check := watchdog(); check != nil {
+		sink = trace.NewGuard(sink, check)
 	}
 	env := &workload.Env{
 		Core: machines[0].core,
@@ -371,16 +388,17 @@ func RunReplayed(name string, rc RunConfig, rec *trace.Recording) Result {
 	m := buildMachine(rc)
 	b := trace.NewBatch(trace.DefaultBatchCap)
 	t = probeStage(t, &probe.setupNs)
+	check := watchdog()
 	boundary := rec.ResetAt()
 	if boundary < 0 {
 		boundary = rec.Len()
 	}
-	rec.ReplayRange(m.core, b, 0, boundary)
+	guardReplay(check, rec, m.core, b, 0, boundary)
 	if rec.ResetAt() >= 0 {
 		m.core.ResetTiming()
 		m.hier.ResetStats()
 	}
-	rec.ReplayRange(m.core, b, boundary, rec.Len())
+	guardReplay(check, rec, m.core, b, boundary, rec.Len())
 	probeStage(t, &probe.replayNs)
 	probeOps(m.core.Stats.Instructions)
 	r := m.result(name, rec.HeapBytes())

@@ -1,0 +1,86 @@
+package sim
+
+// The per-cell watchdog: an opt-in deadline (-cell-timeout) on each
+// run unit's simulation, enforced cooperatively at trace-batch
+// boundaries rather than preemptively — a firing watchdog panics with
+// CellTimeout from inside the cell's own goroutine, the harness's
+// recovery layer records the cell as failed-timeout, and every other
+// cell proceeds. Batches are a few thousand ops, so a runaway kernel
+// is cut off within microseconds of its deadline without any per-op
+// cost; a run that never flushes another batch (a hang outside the
+// simulation loop) is out of scope — the watchdog targets pathological
+// configurations that simulate forever, the CI failure mode that
+// motivated it.
+//
+// Timeouts are wall-clock and therefore exempt from the repo's
+// byte-determinism contract: which cells time out can vary across
+// machines and runs. The rendered error is deterministic (it names
+// only the configured limit), so a FAILED table is still stable for a
+// given failure set.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// cellTimeoutNs is the configured per-cell deadline; 0 disables the
+// watchdog (the default).
+var cellTimeoutNs atomic.Int64
+
+// SetCellTimeout installs the per-cell deadline for subsequent runs;
+// d <= 0 disables it.
+func SetCellTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	cellTimeoutNs.Store(int64(d))
+}
+
+// CellTimeout is the panic value a firing watchdog raises. The
+// harness's recovery layer classifies it as a timeout failure.
+type CellTimeout struct{ Limit time.Duration }
+
+func (e CellTimeout) Error() string {
+	return fmt.Sprintf("cell exceeded -cell-timeout=%s", e.Limit)
+}
+
+// watchdog arms one run's deadline, returning its batch-boundary check
+// — or nil when no timeout is configured, keeping the default path
+// free of wrapping.
+func watchdog() func() {
+	ns := cellTimeoutNs.Load()
+	if ns <= 0 {
+		return nil
+	}
+	limit := time.Duration(ns)
+	start := time.Now()
+	return func() {
+		if time.Since(start) > limit {
+			panic(CellTimeout{Limit: limit})
+		}
+	}
+}
+
+// guardReplay streams rec[lo:hi) to s, interposing the watchdog check
+// every replayChunk ops when armed. The incremental cursor keeps the
+// chunked walk O(hi-lo), same as the unguarded range replay.
+func guardReplay(check func(), rec *trace.Recording, s trace.BatchSink, b *trace.Batch, lo, hi int) {
+	if check == nil {
+		rec.ReplayRange(s, b, lo, hi)
+		return
+	}
+	const replayChunk = 1 << 16
+	c := trace.NewReplayCursor(rec, 0)
+	c.Seek(lo)
+	for c.Pos() < hi {
+		check()
+		n := hi - c.Pos()
+		if n > replayChunk {
+			n = replayChunk
+		}
+		c.Replay(s, b, n)
+	}
+}

@@ -1,0 +1,226 @@
+package store
+
+// The sweep journal: an append-only file of framed (kind, key,
+// payload) records with the same one-sided error model as the entry
+// store. califorms-bench journals every completed cell of a sweep
+// through it (see internal/harness's sweep journal store), so an
+// interrupted or killed sweep can resume from exactly the work that
+// finished: -resume loads the journal's valid prefix as an in-memory
+// result overlay and the scheduler's store tiers serve it.
+//
+// Frame format, after a file-level magic header:
+//
+//	u32 kindLen | kind | u32 keyLen | key | u32 payloadLen |
+//	sha256(kind ++ key ++ payload) | payload
+//
+// Appends are single-Write + fsync, so a crash can tear at most the
+// final frame; OpenJournal reads the longest valid prefix, drops the
+// torn tail and truncates it away, positioning the handle to append
+// after the last good record. A corrupt frame ends the prefix — the
+// journal never serves bytes its checksum cannot vouch for.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// journalMagic guards the journal file format.
+const journalMagic = "califorms-journal/1\n"
+
+// maxFrameField bounds the length fields while decoding, so a corrupt
+// length cannot drive a giant allocation.
+const maxFrameField = 1 << 30
+
+// JournalEntry is one decoded journal record.
+type JournalEntry struct {
+	Kind    string
+	Key     string
+	Payload []byte
+}
+
+// Journal is an open journal positioned for appending. Appends are
+// serialized and fsync'd; the handle is safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// CreateJournal creates (truncating any previous file) a fresh
+// journal at path.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.WriteString(journalMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// OpenJournal opens an existing journal for resuming: it decodes the
+// longest valid record prefix, truncates any torn or corrupt tail
+// away, and returns the entries with a handle positioned to append.
+func OpenJournal(path string) (*Journal, []JournalEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
+		return nil, nil, fmt.Errorf("journal: %s is not a sweep journal (bad magic)", path)
+	}
+	entries, good := decodeJournal(data[len(journalMagic):])
+	goodOff := int64(len(journalMagic) + good)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if goodOff < int64(len(data)) {
+		// Torn tail from a crashed append: drop it so the next append
+		// starts at a frame boundary.
+		if err := f.Truncate(goodOff); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, entries, nil
+}
+
+// decodeJournal walks the record area, returning the decoded entries
+// and the byte length of the valid prefix.
+func decodeJournal(data []byte) ([]JournalEntry, int) {
+	var entries []JournalEntry
+	off := 0
+	for {
+		e, n, ok := decodeFrame(data[off:])
+		if !ok {
+			return entries, off
+		}
+		entries = append(entries, e)
+		off += n
+	}
+}
+
+// decodeFrame decodes one frame from the head of data.
+func decodeFrame(data []byte) (JournalEntry, int, bool) {
+	off := 0
+	readLen := func() (int, bool) {
+		if off+4 > len(data) {
+			return 0, false
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if n < 0 || n > maxFrameField {
+			return 0, false
+		}
+		return n, true
+	}
+	kindLen, ok := readLen()
+	if !ok || off+kindLen > len(data) {
+		return JournalEntry{}, 0, false
+	}
+	kind := string(data[off : off+kindLen])
+	off += kindLen
+	keyLen, ok := readLen()
+	if !ok || off+keyLen > len(data) {
+		return JournalEntry{}, 0, false
+	}
+	key := string(data[off : off+keyLen])
+	off += keyLen
+	payLen, ok := readLen()
+	if !ok || off+sha256.Size+payLen > len(data) {
+		return JournalEntry{}, 0, false
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], data[off:off+sha256.Size])
+	off += sha256.Size
+	payload := append([]byte(nil), data[off:off+payLen]...)
+	off += payLen
+	if frameSum(kind, key, payload) != sum {
+		return JournalEntry{}, 0, false
+	}
+	return JournalEntry{Kind: kind, Key: key, Payload: payload}, off, true
+}
+
+// frameSum checksums one record's content.
+func frameSum(kind, key string, payload []byte) [sha256.Size]byte {
+	h := sha256.New()
+	io.WriteString(h, kind)
+	io.WriteString(h, key)
+	h.Write(payload)
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// encodeFrame builds one record frame.
+func encodeFrame(kind, key string, payload []byte) []byte {
+	sum := frameSum(kind, key, payload)
+	out := make([]byte, 0, 12+len(kind)+len(key)+len(sum)+len(payload))
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(kind)))
+	out = append(out, n[:]...)
+	out = append(out, kind...)
+	binary.LittleEndian.PutUint32(n[:], uint32(len(key)))
+	out = append(out, n[:]...)
+	out = append(out, key...)
+	binary.LittleEndian.PutUint32(n[:], uint32(len(payload)))
+	out = append(out, n[:]...)
+	out = append(out, sum[:]...)
+	out = append(out, payload...)
+	return out
+}
+
+// Append durably appends one record: a single write of the whole
+// frame followed by fsync, so a crash tears at most this record and
+// OpenJournal's prefix rule drops it cleanly. Transient write errors
+// retry bounded; the injected "journal.append.short" fault leaves a
+// deliberately torn tail behind (and reports the failure), exercising
+// that rule.
+func (j *Journal) Append(kind, key string, payload []byte) error {
+	frame := encodeFrame(kind, key, payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if faultinject.Fire("journal.append.short") {
+		j.f.Write(frame[:len(frame)/2])
+		j.f.Sync()
+		return faultinject.InjectedError{Point: "journal.append.short"}
+	}
+	err := retryTransient(func() error {
+		_, werr := j.f.Write(frame)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

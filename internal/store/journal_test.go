@@ -1,0 +1,297 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func createJournal(t *testing.T) (*Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatalf("CreateJournal: %v", err)
+	}
+	return j, path
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j, path := createJournal(t)
+	want := []JournalEntry{
+		{Kind: "run", Key: "a", Payload: []byte("ra")},
+		{Kind: "rec", Key: "", Payload: nil},
+		{Kind: "mix", Key: "b/with/slashes", Payload: bytes.Repeat([]byte{0xff, 0x00}, 500)},
+	}
+	for _, e := range want {
+		if err := j.Append(e.Kind, e.Key, e.Payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	j2, got, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Key != want[i].Key || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalTornTailTruncatedAndAppendable(t *testing.T) {
+	j, path := createJournal(t)
+	j.Append("run", "k1", []byte("v1"))
+	j.Append("run", "k2", []byte("v2"))
+	j.Close()
+
+	// Simulate a crash mid-append: a partial frame at the tail.
+	torn := encodeFrame("run", "k3", []byte("v3"))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(torn[:len(torn)-5])
+	f.Close()
+
+	j2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal on torn journal: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("torn journal decoded %d entries, want 2", len(entries))
+	}
+	// The torn tail is truncated: a fresh append lands on a frame
+	// boundary and the whole file decodes again.
+	if err := j2.Append("run", "k3", []byte("v3")); err != nil {
+		t.Fatalf("Append after truncation: %v", err)
+	}
+	j2.Close()
+	_, entries, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[2].Key != "k3" {
+		t.Fatalf("post-repair journal decoded %d entries (last %+v), want 3 ending in k3", len(entries), entries[len(entries)-1])
+	}
+}
+
+func TestJournalCorruptFrameEndsPrefix(t *testing.T) {
+	j, path := createJournal(t)
+	j.Append("run", "k1", []byte("v1"))
+	j.Append("run", "k2", []byte("v2"))
+	j.Append("run", "k3", []byte("v3"))
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the middle frame: k1 must survive,
+	// k2 and everything after must be dropped — never served corrupt.
+	frame1 := len(journalMagic) + len(encodeFrame("run", "k1", []byte("v1")))
+	frame2 := len(encodeFrame("run", "k2", []byte("v2")))
+	data[frame1+frame2-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal on corrupt journal: %v", err)
+	}
+	j2.Close()
+	if len(entries) != 1 || entries[0].Key != "k1" {
+		t.Fatalf("corrupt journal decoded %d entries, want just k1", len(entries))
+	}
+}
+
+func TestJournalBadMagicRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-journal")
+	if err := os.WriteFile(path, []byte("something else entirely\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("OpenJournal accepted a non-journal file")
+	}
+}
+
+func TestJournalInjectedShortAppend(t *testing.T) {
+	j, path := createJournal(t)
+	j.Append("run", "k1", []byte("v1"))
+	if err := faultinject.Enable(faultinject.Config{Seed: 1, Rate: 1, Points: []string{"journal.append.short"}}); err != nil {
+		t.Fatal(err)
+	}
+	err := j.Append("run", "k2", []byte("v2"))
+	faultinject.Disable()
+	var ie faultinject.InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("short append returned %v, want InjectedError", err)
+	}
+	j.Close()
+
+	// The deliberately torn tail must vanish under the prefix rule.
+	j2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if len(entries) != 1 || entries[0].Key != "k1" {
+		t.Fatalf("journal with injected torn tail decoded %d entries, want just k1", len(entries))
+	}
+}
+
+func TestAtomicWriteFileFaults(t *testing.T) {
+	// Failing faults (open, ENOSPC) must error and leave the old
+	// content intact; the "successful corruption" faults (short, torn)
+	// model bytes the OS accepted but landed wrong — the write reports
+	// success and the damage must be caught by the caller's checksum
+	// (exercised at the Store level below). Neither leaves temp litter.
+	for _, tc := range []struct {
+		point    string
+		wantErr  bool
+		wantFile string
+	}{
+		{"store.write.open", true, "old"},
+		{"store.write.enospc", true, "old"},
+		{"store.write.short", false, "n"},  // halve of "new"
+		{"store.write.torn", false, "n%w"}, // 'e' ^ 0x40
+	} {
+		t.Run(tc.point, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "out.json")
+			if err := AtomicWriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatalf("setup write: %v", err)
+			}
+			if err := faultinject.Enable(faultinject.Config{Seed: 1, Rate: 1, Points: []string{tc.point}}); err != nil {
+				t.Fatal(err)
+			}
+			err := AtomicWriteFile(path, []byte("new"), 0o644)
+			faultinject.Disable()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("AtomicWriteFile error = %v, wantErr %v", err, tc.wantErr)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || string(got) != tc.wantFile {
+				t.Fatalf("destination after faulted write: %q, %v (want %q)", got, rerr, tc.wantFile)
+			}
+			// No temp litter left behind.
+			ents, _ := os.ReadDir(filepath.Dir(path))
+			if len(ents) != 1 {
+				t.Fatalf("temp files left behind: %v", ents)
+			}
+		})
+	}
+}
+
+func TestStorePutFaultsNeverServeCorrupt(t *testing.T) {
+	// The one-sided error model end to end: with every write fault
+	// firing, Put fails silently and Get reports a miss — never a
+	// corrupt or torn entry.
+	for _, point := range []string{"store.write.enospc", "store.write.short", "store.write.torn"} {
+		t.Run(point, func(t *testing.T) {
+			s := open(t, t.TempDir(), Options{})
+			if err := faultinject.Enable(faultinject.Config{Seed: 7, Rate: 1, Points: []string{point}}); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				s.Put(KindRun, fmt.Sprintf("k%d", i), []byte("payload"))
+			}
+			faultinject.Disable()
+			for i := 0; i < 10; i++ {
+				if got, ok := s.Get(KindRun, fmt.Sprintf("k%d", i)); ok {
+					t.Fatalf("entry written under %s served: %q", point, got)
+				}
+			}
+			// Healthy writes repair every key.
+			for i := 0; i < 10; i++ {
+				s.Put(KindRun, fmt.Sprintf("k%d", i), []byte("payload"))
+				if got, ok := s.Get(KindRun, fmt.Sprintf("k%d", i)); !ok || string(got) != "payload" {
+					t.Fatalf("post-recovery Get(k%d) = %q, %v", i, got, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestInjectedEINTRRetries(t *testing.T) {
+	// A transient read fault at rate 1 exhausts the bounded retry and
+	// misses; at a partial rate the retry loop recovers and the read
+	// succeeds. Either way the entry is never served corrupt.
+	s := open(t, t.TempDir(), Options{})
+	s.Put(KindRun, "k", []byte("v"))
+
+	if err := faultinject.Enable(faultinject.Config{Seed: 5, Rate: 1, Points: []string{"store.read.eintr"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindRun, "k"); ok {
+		t.Fatal("Get succeeded with every read attempt faulting")
+	}
+	// Rate 0.5: across several reads, the 3-attempt retry recovers at
+	// least once (seed-deterministic, verified by the fired counters).
+	if err := faultinject.Enable(faultinject.Config{Seed: 5, Rate: 0.5, Points: []string{"store.read.eintr"}}); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 20; i++ {
+		if got, ok := s.Get(KindRun, "k"); ok {
+			hits++
+			if string(got) != "v" {
+				t.Fatalf("recovered read returned %q", got)
+			}
+		}
+	}
+	calls, fired := faultinject.Stats("store.read.eintr")
+	faultinject.Disable()
+	if hits == 0 {
+		t.Fatalf("no read recovered under rate 0.5 (calls=%d fired=%d)", calls, fired)
+	}
+	if fired == 0 {
+		t.Fatal("injection never fired; test exercised nothing")
+	}
+}
+
+func TestGCRacesWritersAndPinnedReaders(t *testing.T) {
+	// satellite (c): GC(0) racing writers and pinned readers under
+	// -race. The invariant is the pin contract — an entry a live handle
+	// has touched survives — plus crash-free concurrent eviction.
+	dir := t.TempDir()
+	seed := open(t, dir, Options{})
+	for i := 0; i < 16; i++ {
+		seed.Put(KindRun, fmt.Sprintf("stale-%d", i), []byte("s"))
+	}
+
+	s := open(t, dir, Options{})
+	s.Put(KindRun, "pinned", []byte("p"))
+	if _, ok := s.Get(KindRun, "pinned"); !ok {
+		t.Fatal("setup: pinned entry missing")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s.Put(KindRun, fmt.Sprintf("new-%d", i%4), []byte("n"))
+			s.Get(KindRun, "pinned")
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := s.GC(0); err != nil {
+			t.Fatalf("GC under concurrency: %v", err)
+		}
+	}
+	<-done
+	if _, ok := s.Get(KindRun, "pinned"); !ok {
+		t.Fatal("GC evicted a pinned entry while racing writers")
+	}
+}

@@ -42,13 +42,19 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -155,11 +161,48 @@ func (s *Store) pin(path string) {
 	s.mu.Unlock()
 }
 
-// Get returns the payload stored under (kind, key). Every failure
-// mode — absent, truncated, corrupted, wrong key — is a miss.
+// isTransient classifies syscall-level errors worth retrying: an
+// interrupted call or a momentarily unavailable resource (EINTR,
+// EAGAIN) and a short write on a full-but-recovering disk. Everything
+// else — and in particular a frame that read fine but fails to decode
+// — is never retried: corruption is strictly a miss.
+func isTransient(err error) bool {
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, io.ErrShortWrite)
+}
+
+// retryTransient runs op, retrying up to three attempts with a small
+// jittered backoff when the error is syscall-transient. The jitter
+// desynchronizes concurrent retriers; it never influences results,
+// only when a retry lands.
+func retryTransient(op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || attempt >= 2 || !isTransient(err) {
+			return err
+		}
+		time.Sleep(time.Duration(200+rand.Intn(800)) * time.Microsecond * time.Duration(attempt+1))
+	}
+}
+
+// Get returns the payload stored under (kind, key). Every persistent
+// failure mode — absent, truncated, corrupted, wrong key — is a miss;
+// transient syscall errors are retried a bounded number of times
+// before being declared one.
 func (s *Store) Get(kind, key string) ([]byte, bool) {
 	path := s.entryPath(kind, key)
-	data, err := os.ReadFile(path)
+	var data []byte
+	err := retryTransient(func() error {
+		if faultinject.Fire("store.read.eintr") {
+			// Wraps EINTR so the retry classifier treats the injected
+			// fault exactly like the real one.
+			return fmt.Errorf("faultinject: store.read.eintr: %w", syscall.EINTR)
+		}
+		var rerr error
+		data, rerr = os.ReadFile(path)
+		return rerr
+	})
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
@@ -175,32 +218,87 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 	return payload, true
 }
 
-// Put stores payload under (kind, key) atomically: the entry is
-// written to a temp file in the destination directory and renamed
-// into place, so concurrent readers see either the old entry or the
-// complete new one. No-op on a read-only store. Errors are returned
-// for observability but callers treat the store as best-effort.
+// AtomicWriteFile writes data to path atomically: the bytes land in a
+// temp file in the destination directory, are fsync'd, and the temp
+// file is renamed into place — so readers never observe a
+// half-written file and a crash mid-write leaves the previous content
+// (or nothing) behind, never a torn one. It is the shared write
+// helper behind store entries, the sweep journal's sibling files and
+// the committed report baselines (BENCH/CALIB_califorms.json), whose
+// in-place os.WriteFile predecessors a crash could corrupt.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var tmp *os.File
+	err := retryTransient(func() error {
+		if faultinject.Fire("store.write.open") {
+			return faultinject.InjectedError{Point: "store.write.open"}
+		}
+		var terr error
+		tmp, terr = os.CreateTemp(filepath.Dir(path), ".tmp-*")
+		return terr
+	})
+	if err != nil {
+		return err
+	}
+	// Injected write faults model the crash modes a torn disk state
+	// leaves behind: a short write that still gets renamed (a temp
+	// file renamed before its tail hit the disk), a bit flip inside
+	// the payload, and a disk-full failure. The first two MUST be
+	// caught by the reader's frame checksum; the third leaves no file
+	// at all.
+	if faultinject.Fire("store.write.enospc") {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("faultinject: store.write.enospc: %w", syscall.ENOSPC)
+	}
+	if faultinject.Fire("store.write.short") && len(data) > 1 {
+		data = data[:len(data)/2]
+	} else if faultinject.Fire("store.write.torn") && len(data) > 0 {
+		data = append([]byte(nil), data...)
+		data[len(data)/2] ^= 0x40
+	}
+	err = retryTransient(func() error {
+		if _, werr := tmp.Write(data); werr != nil {
+			return werr
+		}
+		return nil
+	})
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := os.Chmod(tmp.Name(), perm); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Put stores payload under (kind, key) atomically via AtomicWriteFile,
+// so concurrent readers see either the old entry or the complete new
+// one. No-op on a read-only store. Errors are returned for
+// observability but callers treat the store as best-effort: a failed
+// Put leaves an absent (or old) entry, which later reads treat as a
+// miss and recompute.
 func (s *Store) Put(kind, key string, payload []byte) error {
 	if s.readonly {
 		return nil
 	}
 	path := s.entryPath(kind, key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
 	data := encodeEntry(key, payload)
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: writing %s: %v/%v", path, werr, cerr)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := AtomicWriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.puts.Add(1)

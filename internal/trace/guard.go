@@ -1,0 +1,51 @@
+package trace
+
+import "repro/internal/isa"
+
+// Guard wraps a sink with a cooperative-cancellation checkpoint: check
+// runs before every delivered batch, and may panic to abort the run
+// (the sweep engine's per-cell watchdog panics with sim.CellTimeout,
+// which the scheduler's recovery layer records as failed-timeout).
+// Batch boundaries are the cancellation points — a few thousand ops
+// apart — so the per-op hot path is untouched: individual Sink calls
+// forward without checking.
+//
+// Guard preserves the batched fast path: when the inner sink is itself
+// a BatchSink (the timing core, a recording batchTee, a multicast),
+// batches forward whole; otherwise they replay per-op, exactly as
+// Flush would have done against the inner sink directly.
+type Guard struct {
+	inner Sink
+	bs    BatchSink // non-nil when inner has a batched fast path
+	check func()
+}
+
+// NewGuard wraps inner with the given checkpoint.
+func NewGuard(inner Sink, check func()) *Guard {
+	g := &Guard{inner: inner, check: check}
+	if bs, ok := inner.(BatchSink); ok {
+		g.bs = bs
+	}
+	return g
+}
+
+func (g *Guard) NonMem(n uint32) { g.inner.NonMem(n) }
+func (g *Guard) Load(addr uint64, size int, dependent bool) {
+	g.inner.Load(addr, size, dependent)
+}
+func (g *Guard) Store(addr uint64, size int) { g.inner.Store(addr, size) }
+func (g *Guard) CForm(cf isa.CFORM)          { g.inner.CForm(cf) }
+func (g *Guard) WhitelistEnter()             { g.inner.WhitelistEnter() }
+func (g *Guard) WhitelistExit()              { g.inner.WhitelistExit() }
+
+// RunBatch checks the cancellation point, then delivers the batch.
+func (g *Guard) RunBatch(b *Batch) {
+	g.check()
+	if g.bs != nil {
+		g.bs.RunBatch(b)
+	} else {
+		Replay(b.Ops(), g.inner)
+	}
+}
+
+var _ BatchSink = (*Guard)(nil)

@@ -155,6 +155,10 @@ func (e *Env) SinkOrCore() trace.Sink {
 func (s Spec) Run(env *Env, visits int) {
 	r := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
 	core := env.Core
+	// Batches flush to the env sink — the core unless a wrapper (the
+	// watchdog guard) interposes; the wrapper delivers the same ops in
+	// the same order, so results are unchanged.
+	sink := env.SinkOrCore()
 
 	// Populate the heap to the steady-state working set.
 	type access struct {
@@ -248,7 +252,7 @@ func (s Spec) Run(env *Env, visits int) {
 	cursor := r.Intn(len(objs))
 	for v := 0; v < visits; v++ {
 		if b.Len()+margin > b.Cap() {
-			trace.Flush(b, core)
+			trace.Flush(b, sink)
 		}
 		if r.Float64() >= structFrac {
 			// Non-struct phase: stream over the flat buffer.
@@ -307,11 +311,11 @@ func (s Spec) Run(env *Env, visits int) {
 			// The allocator issues its CFORMs and hook work straight to
 			// the core; drain buffered ops first to preserve program
 			// order.
-			trace.Flush(b, core)
+			trace.Flush(b, sink)
 			k := r.Intn(len(objs))
 			env.Heap.Free(objs[k].addr, objs[k].in)
 			objs[k] = newObj()
 		}
 	}
-	trace.Flush(b, core)
+	trace.Flush(b, sink)
 }

@@ -16,6 +16,11 @@
 #   and warm out of it; all three outputs must match byte-for-byte
 #   (the store may change cost, never content).
 #
+#   kill/resume case — a journaled sweep is SIGTERM'd after its first
+#   completed cell (the -kill-after crash hook), which must exit 3
+#   with the report suppressed; resuming from the journal must emit
+#   bytes identical to an uninterrupted reference run.
+#
 # Usage: scripts/determinism.sh
 #   BENCH=/path/to/califorms-bench  reuse a prebuilt driver (else one
 #                                   is built into the work directory)
@@ -34,8 +39,8 @@ fi
 
 # Worker cases: "experiments|visits|seeds|formats".
 CASES=(
-  'fig3|500|1|text'
-  'fig11|200|2|text json csv'
+  'fig3|500|1|text markdown'
+  'fig11|200|2|text json csv markdown'
   'mix2|200|2|text json csv'
   'sens-machine|200|2|text json csv'
 )
@@ -65,5 +70,27 @@ echo "== store determinism: -exp $STORE_EXP (storeless vs cold vs warm)"
   -store "$STORE_DIR" >"$OUT/store-warm.json" 2>/dev/null
 diff -u "$OUT/store-off.json" "$OUT/store-cold.json"
 diff -u "$OUT/store-cold.json" "$OUT/store-warm.json"
+
+# Kill/resume case: SIGTERM after the first journaled cell, then resume.
+KR_EXP='fig11'
+JOURNAL="$OUT/sweep.journal"
+rm -f "$JOURNAL"
+echo "== kill/resume determinism: -exp $KR_EXP (-kill-after 1, then -resume)"
+"$BENCH" -exp "$KR_EXP" -visits 200 -seeds 2 -workers 8 -format json \
+  >"$OUT/kr-ref.json" 2>/dev/null
+rc=0
+"$BENCH" -exp "$KR_EXP" -visits 200 -seeds 2 -workers 8 -format json \
+  -journal "$JOURNAL" -kill-after 1 >"$OUT/kr-killed.json" 2>/dev/null || rc=$?
+if [ "$rc" != 3 ]; then
+  echo "kill/resume: killed run exited $rc, want 3 (partial, resumable)" >&2
+  exit 1
+fi
+if [ -s "$OUT/kr-killed.json" ]; then
+  echo "kill/resume: killed run emitted a partial report" >&2
+  exit 1
+fi
+"$BENCH" -exp "$KR_EXP" -visits 200 -seeds 2 -workers 8 -format json \
+  -journal "$JOURNAL" -resume >"$OUT/kr-resumed.json" 2>/dev/null
+diff -u "$OUT/kr-ref.json" "$OUT/kr-resumed.json"
 
 echo "determinism: all cases byte-identical"
