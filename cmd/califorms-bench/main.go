@@ -10,9 +10,16 @@
 //	                     list with globs, e.g. -exp 'fig4,mix*,sens-*'
 //	                [-visits N] [-seeds N] [-workers N] [-format text|json|csv|markdown]
 //	                [-machine westmere|skylake|embedded|server] [-list] [-list-machines]
-//	                [-store DIR [-store-readonly] [-store-gc BYTES]]
+//	                [-progress] [-store DIR [-store-readonly] [-store-gc BYTES]]
 //	                [-journal FILE [-resume]] [-cell-timeout D]
 //	                [-fault-seed N -fault-rate R [-fault-points GLOBS]]
+//
+// -list -format json (and -list-machines -format json) emit the
+// machine-readable registry listings — the same encoder that backs the
+// server's GET /v1/experiments and GET /v1/machines. -progress prints
+// throttled `cells done/total` lines to stderr while a sweep runs;
+// stdout bytes are untouched.
+//
 //	califorms-bench -perf [-exp ...] [-perf-out BENCH_califorms.json]
 //	                [-perf-baseline BENCH_califorms.json] [-perf-gate 15]
 //	califorms-bench -perf-diff old.json new.json
@@ -107,8 +114,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"path"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -118,61 +125,32 @@ import (
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/perf"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
 
-// expNames resolves the -exp flag: a comma-separated list of registry
-// names, globs (path.Match syntax, e.g. 'mix*' or 'fig1?') and the
-// word "all", expanded in the order given — globs and "all" in
-// canonical registry order — with duplicates dropped.
-func expNames(exp string) ([]string, error) {
-	var names []string
-	seen := make(map[string]bool)
-	add := func(name string) {
-		if !seen[name] {
-			seen[name] = true
-			names = append(names, name)
-		}
-	}
-	for _, pat := range strings.Split(exp, ",") {
-		pat = strings.TrimSpace(pat)
-		switch {
-		case pat == "":
-			continue
-		case pat == "all":
-			for _, e := range harness.Experiments() {
-				add(e.Name)
-			}
-		case strings.ContainsAny(pat, "*?["):
-			matched := false
-			for _, e := range harness.Experiments() {
-				ok, err := path.Match(pat, e.Name)
-				if err != nil {
-					return nil, fmt.Errorf("bad -exp pattern %q: %v", pat, err)
-				}
-				if ok {
-					add(e.Name)
-					matched = true
-				}
-			}
-			if !matched {
-				return nil, fmt.Errorf("-exp pattern %q matches no experiment (have: %s)", pat, strings.Join(harness.Names(), ", "))
-			}
-		default:
-			if _, ok := harness.Get(pat); !ok {
-				return nil, fmt.Errorf("unknown experiment %q (have: %s, all)", pat, strings.Join(harness.Names(), ", "))
-			}
-			add(pat)
-		}
-	}
-	if len(names) == 0 {
-		return nil, fmt.Errorf("-exp %q selects no experiments", exp)
-	}
-	return names, nil
-}
-
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// progressPrinter returns a pool progress observer that prints
+// "cells done/total" lines to w, throttled to roughly four lines per
+// second plus one whenever the counts catch up with each other (the
+// total grows as experiments schedule their matrices). It only ever
+// writes to w — with -progress on stderr, stdout bytes are untouched.
+func progressPrinter(w io.Writer) func(done, total uint64) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(done, total uint64) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if done != total && now.Sub(last) < 250*time.Millisecond {
+			return
+		}
+		last = now
+		fmt.Fprintf(w, "[progress: %d/%d cells]\n", done, total)
+	}
+}
 
 // Exit codes (see the package comment): usage errors are 2, failures
 // of the requested work are 1, partial failure (failed cells or an
@@ -194,7 +172,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seeds := fs.Int("seeds", 1, "layout randomizations averaged per configuration (paper: 3)")
 	workers := fs.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	format := fs.String("format", "text", "output format: text, json, csv, markdown")
-	list := fs.Bool("list", false, "list registered experiments and exit")
+	list := fs.Bool("list", false, "list registered experiments and exit (-format json: machine-readable, same encoder as GET /v1/experiments)")
+	progress := fs.Bool("progress", false, "print throttled 'cells done/total' progress lines to stderr (stdout bytes are untouched)")
 	machineName := fs.String("machine", "", "base machine for the sweeps (default: westmere; see -list-machines)")
 	listMachines := fs.Bool("list-machines", false, "list registered machines and exit")
 	storeDir := fs.String("store", "", "content-addressed result store directory (empty: no store)")
@@ -229,44 +208,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
+		if *format == "json" {
+			if err := server.WriteExperimentList(stdout); err != nil {
+				fmt.Fprintln(stderr, err)
+				return exitFailure
+			}
+			return exitOK
+		}
 		for _, e := range harness.Experiments() {
 			fmt.Fprintf(stdout, "%-12s %-14s %s\n", e.Name, e.Paper, e.Title)
 		}
 		return exitOK
 	}
 	if *listMachines {
+		if *format == "json" {
+			if err := server.WriteMachineList(stdout); err != nil {
+				fmt.Fprintln(stderr, err)
+				return exitFailure
+			}
+			return exitOK
+		}
 		for _, d := range machine.Machines() {
 			fmt.Fprintf(stdout, "%-10s %s\n", d.Name, d.Title)
 		}
 		return exitOK
 	}
 
-	names, err := expNames(*exp)
+	// Validate the whole sweep spec before any simulation runs: a
+	// typo'd experiment, machine or format is a usage error and must
+	// not cost a sweep. The same SweepSpec.Resolve backs the server's
+	// 400 responses, so the CLI and API reject identically.
+	spec := harness.SweepSpec{
+		Experiments: strings.Split(*exp, ","),
+		Visits:      *visits,
+		Seeds:       *seeds,
+		Machine:     *machineName,
+		Format:      *format,
+	}
+	rspec, err := spec.Resolve()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitUsage
 	}
+	names, p := rspec.Names, rspec.Params
 	pool := harness.NewPool(*workers)
-	p := harness.Params{Visits: *visits, Seeds: *seeds}
-	if *machineName != "" {
-		d, err := machine.Resolve(*machineName)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return exitUsage
-		}
-		p.Machine = d
-	}
-	// Validate the output format before any simulation runs: a typo'd
-	// -format is a usage error and must not cost a sweep. Report mode
-	// re-validates through NewEmitter below; calibrate mode's Emit
-	// happens after the runs.
-	if *calibMode {
-		switch *format {
-		case "text", "markdown", "csv", "json":
-		default:
-			fmt.Fprintf(stderr, "calibrate: unknown format %q (have text, markdown, csv, json)\n", *format)
-			return exitUsage
-		}
+	if *progress {
+		pool.SetProgress(progressPrinter(stderr))
 	}
 	if (*storeReadonly || *storeGC >= 0) && *storeDir == "" {
 		fmt.Fprintln(stderr, "-store-readonly and -store-gc require -store DIR")
@@ -312,7 +299,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var sj *harness.SweepJournal
 	if *journalPath != "" {
-		man := harness.SweepManifest{Experiments: names, Visits: *visits, Seeds: *seeds, Machine: p.MachineLabel(), Format: *format}
+		man := rspec.Manifest()
 		var backing harness.Store
 		if st != nil {
 			backing = st

@@ -1,0 +1,110 @@
+// Command califorms-server runs the Califorms sweep service: a
+// long-running daemon accepting experiment specs over an HTTP/JSON API
+// and executing them through the same deterministic harness as
+// califorms-bench, backed by a shared content-addressed result store.
+//
+// Usage:
+//
+//	califorms-server -data DIR [-addr :8377] [-workers N]
+//	                 [-queue N] [-jobs N]
+//
+// API (see DESIGN.md §18 and the README walkthrough):
+//
+//	POST   /v1/jobs             submit {"experiments": [...], "visits": N,
+//	                            "seeds": N, "machine": "...", "format": "..."}
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        job status + progress + gen_passes
+//	GET    /v1/jobs/{id}/result the rendered artifact (byte-identical to
+//	                            califorms-bench stdout for the same spec)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/experiments      machine-readable experiment registry
+//	GET    /v1/machines         machine-readable machine registry
+//	GET    /healthz             liveness
+//	GET    /debug/vars          store hit/miss/byte counters, total_gen_passes,
+//	                            job-state totals, queue occupancy
+//
+// -data DIR holds everything the service persists: the shared store
+// (DIR/store), job records and rendered artifacts (DIR/jobs), and
+// per-job sweep journals (DIR/journals). Kill the daemon at any point
+// and restart it on the same -data: queued and running jobs are
+// requeued, running jobs resume from their journals, and every final
+// artifact is byte-identical to an uninterrupted run.
+//
+// SIGINT/SIGTERM drain gracefully, exactly like the CLI path:
+// in-flight cells finish (journaled and stored), queued cells drop,
+// running jobs go back to queued, then the process exits 0. A second
+// signal aborts hard.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("califorms-server", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", ":8377", "HTTP listen address")
+	data := fs.String("data", "", "service data directory (store, jobs, journals); required")
+	workers := fs.Int("workers", 0, "per-job simulation workers (0 = GOMAXPROCS); output is byte-identical at any width")
+	queue := fs.Int("queue", 64, "job queue depth; a full queue rejects submissions with 503")
+	jobs := fs.Int("jobs", 1, "jobs executed concurrently (the stream singleflight dedups captures across them)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "califorms-server: -data DIR is required")
+		return 2
+	}
+
+	srv, err := server.New(server.Config{
+		DataDir:    *data,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Jobs:       *jobs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	fmt.Fprintf(os.Stderr, "[califorms-server listening on %s, data in %s]\n", *addr, *data)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		srv.Close()
+		return 1
+	case <-sigc:
+	}
+	fmt.Fprintln(os.Stderr, "[signal: draining — in-flight cells finish and are journaled; running jobs requeue; repeat to abort hard]")
+	go func() {
+		<-sigc
+		os.Exit(130)
+	}()
+	// Stop accepting HTTP first, then drain the executors. The HTTP
+	// shutdown deadline only bounds idle/straggling connections —
+	// the sweep drain itself has no deadline, matching the CLI.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(ctx)
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "[drained: state persisted; restart to resume]")
+	return 0
+}

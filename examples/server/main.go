@@ -1,0 +1,133 @@
+// Server client: submit a sweep to califorms-server, watch progress,
+// stream the artifact.
+//
+// This is the minimal HTTP client for the sweep service (DESIGN.md
+// §18), stdlib only — the shape to crib for scripting the API from
+// other tools. It submits one job, polls its status with a progress
+// line on stderr, and writes the rendered artifact to stdout, which
+// is byte-identical to running califorms-bench with the same flags.
+//
+// Run:
+//
+//	go run ./cmd/califorms-server -data /tmp/cserve &
+//	go run ./examples/server -exp fig3,mix2 -visits 2000 -format json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+type spec struct {
+	Experiments []string `json:"experiments"`
+	Visits      int      `json:"visits,omitempty"`
+	Seeds       int      `json:"seeds,omitempty"`
+	Machine     string   `json:"machine,omitempty"`
+	Format      string   `json:"format,omitempty"`
+}
+
+type job struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Progress struct {
+		Done  uint64 `json:"done"`
+		Total uint64 `json:"total"`
+	} `json:"progress"`
+	GenPasses uint64 `json:"gen_passes"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8377", "califorms-server base URL")
+	exp := flag.String("exp", "fig3", "experiments: comma-separated names or globs, or 'all'")
+	visits := flag.Int("visits", 0, "visits per benchmark region (0: server default)")
+	seeds := flag.Int("seeds", 0, "seeds per cell (0: server default)")
+	machine := flag.String("machine", "", "machine model (empty: server default)")
+	format := flag.String("format", "text", "report format: text, json, csv, markdown")
+	flag.Parse()
+
+	if err := run(*addr, spec{
+		Experiments: strings.Split(*exp, ","),
+		Visits:      *visits,
+		Seeds:       *seeds,
+		Machine:     *machine,
+		Format:      *format,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(base string, sp spec) error {
+	body, _ := json.Marshal(sp)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	j, err := decodeJob(resp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[submitted %s]\n", j.ID)
+
+	// Poll until the job leaves the queue and finishes. Progress counts
+	// sweep cells; total grows as experiments schedule their matrices.
+	for j.State == "queued" || j.State == "running" {
+		time.Sleep(250 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + j.ID)
+		if err != nil {
+			return err
+		}
+		if j, err = decodeJob(resp); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[%s: %d/%d cells]\n", j.State, j.Progress.Done, j.Progress.Total)
+	}
+	if j.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", j.ID, j.State, j.Error)
+	}
+	fmt.Fprintf(os.Stderr, "[done: %d generation passes — 0 means every stream came from the store]\n", j.GenPasses)
+
+	res, err := http.Get(base + "/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(res.Body)
+		return fmt.Errorf("result: %s: %s", res.Status, msg)
+	}
+	_, err = io.Copy(os.Stdout, res.Body)
+	return err
+}
+
+// decodeJob reads a job view, turning API errors ({"error": ...})
+// into Go errors.
+func decodeJob(resp *http.Response) (job, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return job{}, err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return job{}, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return job{}, fmt.Errorf("%s: %s", resp.Status, data)
+	}
+	var j job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return job{}, fmt.Errorf("bad job response: %v (%s)", err, data)
+	}
+	return j, nil
+}

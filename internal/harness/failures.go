@@ -38,8 +38,11 @@ type CellError struct {
 
 // failures is a concurrency-safe CellError collector; Matrix.Run and
 // Mix.Run each use a local one so the result value can carry a plain
-// sorted slice.
+// sorted slice. When pool is set, every added failure is also routed
+// to that pool's sweep-scoped accounting (and through it to the
+// process-wide counter behind exit code 3).
 type failures struct {
+	pool *Pool
 	mu   sync.Mutex
 	list []CellError
 }
@@ -48,6 +51,12 @@ func (f *failures) add(ce CellError) {
 	f.mu.Lock()
 	f.list = append(f.list, ce)
 	f.mu.Unlock()
+	if f.pool != nil {
+		f.pool.recordFailure(ce)
+	} else {
+		failTotal.Add(1)
+		logFailure(ce)
+	}
 }
 
 // sorted snapshots the collected failures in deterministic order.
@@ -71,25 +80,16 @@ func sortCellErrors(out []CellError) {
 	})
 }
 
-// Process-wide failure accounting: a monotonic count backing the CLI's
-// exit-code-3 decision, plus a pending list Run drains into the
-// current experiment's FAILED record. Experiments execute sequentially
-// through Run, so pending failures always belong to the experiment
-// being drained.
-var (
-	failTotal   atomic.Uint64
-	pendingMu   sync.Mutex
-	pendingFail []CellError
-)
+// failTotal is the process-wide failure count backing the CLI's
+// exit-code-3 decision. The pending list behind each experiment's
+// FAILED record lives on the Pool (see Pool.recordFailure /
+// Pool.drainPending), so concurrent sweeps on separate pools —
+// califorms-server jobs — never bleed failures into each other.
+var failTotal atomic.Uint64
 
-// recordFailure registers one failed cell with the process-wide
-// accounting and reports it on stderr (with the stack, when the panic
-// was not an already-classified injection or timeout).
-func recordFailure(ce CellError) {
-	failTotal.Add(1)
-	pendingMu.Lock()
-	pendingFail = append(pendingFail, ce)
-	pendingMu.Unlock()
+// logFailure reports one failed cell on stderr (with the stack, when
+// the panic was not an already-classified injection or timeout).
+func logFailure(ce CellError) {
 	fmt.Fprintf(os.Stderr, "harness: cell FAILED: %s [%s]: %s\n", ce.Cell, ce.Stage, ce.Err)
 	if ce.Stack != "" {
 		fmt.Fprintf(os.Stderr, "%s\n", ce.Stack)
@@ -99,17 +99,6 @@ func recordFailure(ce CellError) {
 // FailedCellCount returns the process-wide number of failed cells so
 // far. It only grows; callers snapshot and diff around a sweep.
 func FailedCellCount() uint64 { return failTotal.Load() }
-
-// drainPending takes the failures accumulated since the last drain, in
-// deterministic order.
-func drainPending() []CellError {
-	pendingMu.Lock()
-	out := pendingFail
-	pendingFail = nil
-	pendingMu.Unlock()
-	sortCellErrors(out)
-	return out
-}
 
 // FailedTitle titles the failure record appended to an experiment's
 // results when cells failed. The record is schema-stable: it exists

@@ -23,17 +23,15 @@ func smallMatrix() Matrix {
 	}
 }
 
-// armFaults enables injection for the test body and cleans every piece
-// of global failure state up afterwards.
+// armFaults enables injection for the test body and disarms it
+// afterwards. Pending-failure state is pool-scoped, so tests that
+// discard their pools leave no global residue to clean.
 func armFaults(t *testing.T, cfg faultinject.Config) {
 	t.Helper()
 	if err := faultinject.Enable(cfg); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() {
-		faultinject.Disable()
-		drainPending()
-	})
+	t.Cleanup(faultinject.Disable)
 }
 
 func TestInjectedPanicsFailEveryCellDeterministically(t *testing.T) {
@@ -111,16 +109,31 @@ func TestFailedCountAndPendingDrain(t *testing.T) {
 	m := smallMatrix()
 	armFaults(t, faultinject.Config{Seed: 1, Rate: 1, Points: []string{"cell.panic"}})
 	base := FailedCellCount()
-	res := m.Run(NewPool(2))
+	pool := NewPool(2)
+	res := m.Run(pool)
 	if n := FailedCellCount() - base; n != uint64(len(res.Failed)) {
 		t.Fatalf("process-wide count grew by %d, MatrixResult lists %d", n, len(res.Failed))
 	}
-	pending := drainPending()
+	if n := pool.FailedCells(); n != uint64(len(res.Failed)) {
+		t.Fatalf("pool-scoped count is %d, MatrixResult lists %d", n, len(res.Failed))
+	}
+	pending := pool.drainPending()
 	if !reflect.DeepEqual(pending, res.Failed) {
 		t.Fatal("drained pending failures differ from MatrixResult.Failed")
 	}
-	if len(drainPending()) != 0 {
+	if len(pool.drainPending()) != 0 {
 		t.Fatal("second drain returned failures")
+	}
+
+	// A second pool running the same faulty sweep keeps its failures to
+	// itself: nothing bleeds into the first pool's pending list.
+	other := NewPool(2)
+	m.Run(other)
+	if len(pool.drainPending()) != 0 {
+		t.Fatal("another pool's failures leaked into this pool")
+	}
+	if other.FailedCells() == 0 {
+		t.Fatal("second pool recorded no failures at rate 1")
 	}
 }
 
@@ -150,10 +163,7 @@ func TestWatchdogTimesOutRunawayCells(t *testing.T) {
 	// cell; results are zero and the error text is deterministic.
 	m := smallMatrix()
 	sim.SetCellTimeout(time.Nanosecond)
-	t.Cleanup(func() {
-		sim.SetCellTimeout(0)
-		drainPending()
-	})
+	t.Cleanup(func() { sim.SetCellTimeout(0) })
 	res := m.Run(NewPool(2))
 	if len(res.Failed) == 0 {
 		t.Fatal("no cell tripped a 1ns watchdog")
@@ -169,7 +179,6 @@ func TestWatchdogTimesOutRunawayCells(t *testing.T) {
 
 	// Disarmed, the same sweep runs clean.
 	sim.SetCellTimeout(0)
-	drainPending()
 	if res := m.Run(NewPool(2)); len(res.Failed) != 0 {
 		t.Fatalf("disarmed watchdog still failed cells: %v", res.Failed)
 	}

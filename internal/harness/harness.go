@@ -149,7 +149,7 @@ func Names() []string {
 // exact byte shape.
 func Run(e Experiment, p Params, pool *Pool) []Result {
 	rs := e.Run(p, pool)
-	if failed := drainPending(); len(failed) > 0 {
+	if failed := pool.drainPending(); len(failed) > 0 {
 		rs = append(rs, failedRecord(failed))
 	}
 	for i := range rs {

@@ -247,4 +247,12 @@ func (s *SweepJournal) PutMix(key string, v any) {
 	}
 }
 
+// AbortStream forwards an aborted stream capture to the backing store,
+// releasing any in-flight singleflight claim registered there. The
+// journal itself holds no in-flight state — nothing was appended for
+// the aborted stream.
+func (s *SweepJournal) AbortStream(key string) {
+	abortStream(s.backing, key)
+}
+
 var _ Store = (*SweepJournal)(nil)

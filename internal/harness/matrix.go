@@ -250,7 +250,7 @@ func (m Matrix) groups(cells []Cell) []*matrixGroup {
 func (m Matrix) Run(pool *Pool) MatrixResult {
 	res := newMatrixResult(m)
 	cells := m.Cells()
-	fs := &failures{}
+	fs := &failures{pool: pool}
 	if disableReplay {
 		pool.Map(len(cells), func(i int) {
 			if rp := runRecovered(func() {
@@ -264,7 +264,8 @@ func (m Matrix) Run(pool *Pool) MatrixResult {
 		res.Failed = fs.sorted()
 		return res
 	}
-	pool.Run(m.schedule(cells, activeStore(), res.emit, fs))
+	pool.addTotal(len(cells))
+	pool.Run(m.schedule(pool, cells, pool.sweepStore(), res.emit, fs))
 	res.Failed = fs.sorted()
 	return res
 }
@@ -279,18 +280,17 @@ func (m Matrix) cellName(cell Cell) string {
 	return fmt.Sprintf("%s/%s/seed=%d/machine=%d", m.Benches[cell.Bench].Name, cfg, cell.Seed, cell.Machine)
 }
 
-// fail records one failed cell with the matrix-local collector and the
-// process-wide accounting behind exit code 3.
+// fail records one failed cell with the matrix-local collector, which
+// routes it on to the sweep- and process-wide accounting behind exit
+// code 3.
 func (m Matrix) fail(fs *failures, cell Cell, stage string, rp *recoveredPanic) {
-	ce := CellError{Cell: m.cellName(cell), Stage: stage, Err: rp.msg, Stack: rp.stack}
-	fs.add(ce)
-	recordFailure(ce)
+	fs.add(CellError{Cell: m.cellName(cell), Stage: stage, Err: rp.msg, Stack: rp.stack})
 }
 
 // schedule turns the enumerated cells into pool tasks, one per
 // op-stream group, each planned against st (nil: always run). Failed
 // cells land in fs; the group's healthy cells still emit.
-func (m Matrix) schedule(cells []Cell, st Store, emit func(Cell, sim.Result), fs *failures) []Task {
+func (m Matrix) schedule(pool *Pool, cells []Cell, st Store, emit func(Cell, sim.Result), fs *failures) []Task {
 	// One decision script per benchmark, captured on first use and
 	// shared read-only by every cell of that benchmark. Fully warm
 	// groups never force the capture.
@@ -304,7 +304,7 @@ func (m Matrix) schedule(cells []Cell, st Store, emit func(Cell, sim.Result), fs
 	tasks := make([]Task, len(groups))
 	for gi, g := range groups {
 		g := g
-		tasks[gi] = func(func(Task)) { m.runGroup(cells, g, st, script, emit, fs) }
+		tasks[gi] = func(func(Task)) { m.runGroup(pool, cells, g, st, script, emit, fs) }
 	}
 	return tasks
 }
@@ -316,12 +316,22 @@ func (m Matrix) schedule(cells []Cell, st Store, emit func(Cell, sim.Result), fs
 // execution is panic-isolated: a replay failure costs one cell, a
 // capture failure costs the group's missing cells (the generation pass
 // is shared), and either way the rest of the sweep completes.
-func (m Matrix) runGroup(cells []Cell, g *matrixGroup, st Store, script func(int) *workload.Script, emit func(Cell, sim.Result), fs *failures) {
+func (m Matrix) runGroup(pool *Pool, cells []Cell, g *matrixGroup, st Store, script func(int) *workload.Script, emit func(Cell, sim.Result), fs *failures) {
 	first := cells[g.cells[0]]
 	spec := m.Benches[first.Bench]
 	rcs := make([]sim.RunConfig, len(g.cells))
 	for i, ci := range g.cells {
 		rcs[i] = m.Config(cells[ci])
+	}
+
+	// done registers one completed group cell — emitted or failed —
+	// with the pool's progress counters. The group path plans its own
+	// totals (Matrix.Run adds len(cells) up front), unlike the Map
+	// paths, which count their units themselves.
+	done := func() {
+		if pool != nil {
+			pool.cellDone()
+		}
 	}
 
 	// Tier 1: finished results. missing collects the group-local
@@ -334,6 +344,7 @@ func (m Matrix) runGroup(cells []Cell, g *matrixGroup, st Store, script func(int
 			keys[i] = sim.RunKey(spec, rcs[i])
 			if r, ok := st.GetRun(keys[i]); ok {
 				emit(cells[ci], r)
+				done()
 			} else {
 				missing = append(missing, i)
 			}
@@ -366,6 +377,7 @@ func (m Matrix) runGroup(cells []Cell, g *matrixGroup, st Store, script func(int
 				}); rp != nil {
 					m.fail(fs, cells[g.cells[i]], "replay", rp)
 				}
+				done()
 			}
 			return
 		}
@@ -401,13 +413,19 @@ func (m Matrix) runGroup(cells []Cell, g *matrixGroup, st Store, script func(int
 				st.PutRun(keys[i], results[j])
 			}
 			emit(cells[g.cells[i]], results[j])
+			done()
 		}
 	})
 	if rp != nil {
 		// The generation pass is shared: a capture panic abandons every
-		// cell still missing from this group.
+		// cell still missing from this group — and releases any
+		// in-flight claim the store's singleflight layer registered for
+		// the stream, so a concurrent sweep waiting on this capture can
+		// claim it instead of waiting forever.
+		abortStream(st, streamKey)
 		for _, i := range missing {
 			m.fail(fs, cells[g.cells[i]], "capture", rp)
+			done()
 		}
 	}
 }

@@ -165,7 +165,7 @@ func (mx Mix) Run(pool *Pool) MixResult {
 	// a stored recording skips the generation pass (replaying it when
 	// the solo result is missing); only a full miss captures — a warm
 	// mix sweep performs zero generation passes.
-	st := activeStore()
+	st := pool.sweepStore()
 	scripts := make([]*workload.Script, len(benches))
 	once := make([]sync.Once, len(benches))
 	script := func(b int) *workload.Script {
@@ -197,7 +197,7 @@ func (mx Mix) Run(pool *Pool) MixResult {
 		st.PutRun(runKey, r)
 		return r, rec
 	}
-	fs := &failures{}
+	fs := &failures{pool: pool}
 	pool.Map(len(benches)*variants, func(u int) {
 		b, v := u/variants, u%variants
 		if rp := runRecovered(func() {
@@ -212,6 +212,15 @@ func (mx Mix) Run(pool *Pool) MixResult {
 				recProt[b][v-1] = rec
 			}
 		}); rp != nil {
+			// Release any in-flight singleflight claim this unit's
+			// capture registered for its stream (the key is a pure
+			// function of the unit's coordinates, so it is recomputable
+			// here even though solo never returned).
+			rc := mx.baseConfig()
+			if v > 0 {
+				rc = mx.protConfig(v - 1)
+			}
+			abortStream(st, sim.StreamKey(benches[b], rc))
 			mixFail(fs, fmt.Sprintf("solo/%s/%s", benches[b].Name, variantName(v)), "capture", rp)
 		}
 	})
@@ -276,12 +285,10 @@ func variantName(v int) string {
 	return fmt.Sprintf("seed=%d", v-1)
 }
 
-// mixFail records one failed mix unit with the sweep-local collector
-// and the process-wide accounting.
+// mixFail records one failed mix unit with the sweep-local collector,
+// which routes it on to the sweep- and process-wide accounting.
 func mixFail(fs *failures, cell, stage string, rp *recoveredPanic) {
-	ce := CellError{Cell: cell, Stage: stage, Err: rp.msg, Stack: rp.stack}
-	fs.add(ce)
-	recordFailure(ce)
+	fs.add(CellError{Cell: cell, Stage: stage, Err: rp.msg, Stack: rp.stack})
 }
 
 // emitMix folds one stage-two unit into its coordinate slot.

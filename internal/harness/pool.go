@@ -19,12 +19,40 @@ import (
 // tasks finish, and every later Run returns immediately — the signal
 // handler in cmd/califorms-bench drains the pool, flushes store and
 // journal, and exits resumable.
+//
+// Beyond scheduling, a Pool is the per-sweep execution context: it
+// carries the sweep's store handle (SetStore — overriding the
+// process-global UseStore seam), its progress counters (SetProgress),
+// and its failed-cell list. That is what lets several sweeps run
+// concurrently in one process — califorms-server executes each job on
+// its own Pool with its own journal-backed store, and neither the
+// failure tables nor the progress counts of concurrent jobs can bleed
+// into each other.
 type Pool struct {
 	workers int
 	drain   atomic.Bool
 
 	mu     sync.Mutex
 	active *sched
+
+	// store is the per-sweep store override; nil falls back to the
+	// process-global UseStore handle. Set before the sweep starts,
+	// never concurrently with Run.
+	store Store
+
+	// Progress accounting: total counts every scheduled sweep cell
+	// (matrix cells, mix units, Map units), done every cell that
+	// finished — emitted a result or failed. onProgress, when set,
+	// observes each completed cell from whichever worker finished it.
+	cellsDone  atomic.Uint64
+	cellsTotal atomic.Uint64
+	onProgress func(done, total uint64)
+
+	// Failure accounting: the cells that failed on this pool, drained
+	// into the running experiment's FAILED record by Run.
+	failCount atomic.Uint64
+	pendingMu sync.Mutex
+	pending   []CellError
 }
 
 // NewPool returns a pool of the given width; workers <= 0 means
@@ -38,6 +66,77 @@ func NewPool(workers int) *Pool {
 
 // Workers reports the pool width.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetStore installs the store this pool's sweeps schedule against,
+// overriding the process-global UseStore handle. nil restores the
+// fallback. Call it before submitting work, never concurrently with
+// Run — it is sweep setup, not a hot-path knob.
+func (p *Pool) SetStore(s Store) { p.store = s }
+
+// sweepStore resolves the store for this pool's sweeps: the per-pool
+// override when set, the process-global handle otherwise.
+func (p *Pool) sweepStore() Store {
+	if p.store != nil {
+		return p.store
+	}
+	return activeStore()
+}
+
+// SetProgress installs an observer of the pool's cell progress. It is
+// invoked after every completed cell — from worker goroutines, so it
+// must be safe for concurrent use — with the running done count and
+// the total scheduled so far. The total grows as experiments schedule
+// their matrices: done/total is exact once the last experiment has
+// started. Call before submitting work.
+func (p *Pool) SetProgress(f func(done, total uint64)) { p.onProgress = f }
+
+// Progress returns the pool's cell counts: cells completed (emitted
+// or failed) and cells scheduled so far.
+func (p *Pool) Progress() (done, total uint64) {
+	return p.cellsDone.Load(), p.cellsTotal.Load()
+}
+
+// addTotal registers n scheduled cells.
+func (p *Pool) addTotal(n int) {
+	if n > 0 {
+		p.cellsTotal.Add(uint64(n))
+	}
+}
+
+// cellDone registers one completed cell and notifies the observer.
+func (p *Pool) cellDone() {
+	done := p.cellsDone.Add(1)
+	if p.onProgress != nil {
+		p.onProgress(done, p.cellsTotal.Load())
+	}
+}
+
+// FailedCells returns the number of cells that failed on this pool.
+func (p *Pool) FailedCells() uint64 { return p.failCount.Load() }
+
+// recordFailure registers one failed cell with the pool-scoped and
+// process-wide accounting and reports it on stderr.
+func (p *Pool) recordFailure(ce CellError) {
+	failTotal.Add(1)
+	p.failCount.Add(1)
+	p.pendingMu.Lock()
+	p.pending = append(p.pending, ce)
+	p.pendingMu.Unlock()
+	logFailure(ce)
+}
+
+// drainPending takes the failures accumulated on this pool since the
+// last drain, in deterministic order. Experiments execute sequentially
+// per pool, so drained failures always belong to the experiment being
+// drained.
+func (p *Pool) drainPending() []CellError {
+	p.pendingMu.Lock()
+	out := p.pending
+	p.pending = nil
+	p.pendingMu.Unlock()
+	sortCellErrors(out)
+	return out
+}
 
 // Drain asks the pool to stop dispatching: queued and newly spawned
 // tasks are dropped, in-flight tasks run to completion, and Run
@@ -152,7 +251,7 @@ func (p *Pool) Run(tasks []Task) {
 			if p.drain.Load() {
 				return
 			}
-			runTask(t, spawn)
+			p.runTask(t, spawn)
 			for len(stack) > 0 {
 				if p.drain.Load() {
 					return
@@ -160,7 +259,7 @@ func (p *Pool) Run(tasks []Task) {
 				n := len(stack) - 1
 				st := stack[n]
 				stack = stack[:n]
-				runTask(st, spawn)
+				p.runTask(st, spawn)
 			}
 		}
 		return
@@ -189,7 +288,7 @@ func (p *Pool) Run(tasks []Task) {
 				if t == nil {
 					return
 				}
-				runTask(t, spawn)
+				p.runTask(t, spawn)
 				s.done()
 			}
 		}(w)
@@ -202,10 +301,10 @@ func (p *Pool) Run(tasks []Task) {
 // panic reaching here escaped those guards — it is still recorded and
 // isolated so one broken task can neither kill the process nor
 // deadlock the pool's termination accounting.
-func runTask(t Task, spawn func(Task)) {
+func (p *Pool) runTask(t Task, spawn func(Task)) {
 	defer func() {
 		if r := recover(); r != nil {
-			recordFailure(CellError{Cell: "(pool task)", Stage: "task", Err: panicMessage(r), Stack: string(debug.Stack())})
+			p.recordFailure(CellError{Cell: "(pool task)", Stage: "task", Err: panicMessage(r), Stack: string(debug.Stack())})
 		}
 	}()
 	t(spawn)
@@ -213,15 +312,21 @@ func runTask(t Task, spawn func(Task)) {
 
 // Map runs f(0..n-1) across the pool and returns when all calls have
 // finished. f must write its result to an index-addressed location;
-// invocation order is unspecified.
+// invocation order is unspecified. Each unit counts toward the pool's
+// cell progress: the total grows by n up front, done by one per
+// returned call (failed units return normally — their guards recover).
 func (p *Pool) Map(n int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
+	p.addTotal(n)
 	tasks := make([]Task, n)
 	for i := range tasks {
 		i := i
-		tasks[i] = func(func(Task)) { f(i) }
+		tasks[i] = func(func(Task)) {
+			f(i)
+			p.cellDone()
+		}
 	}
 	p.Run(tasks)
 }

@@ -1,0 +1,164 @@
+package harness
+
+// SweepSpec is the serializable description of one sweep request — the
+// shared vocabulary between califorms-bench's flags and
+// califorms-server's POST /v1/jobs body. Both front ends validate
+// through Resolve, so a bad spec produces the same descriptive error
+// as a CLI usage message (exit 2) and as a server 400 response.
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// Sweep defaults, mirrored by the califorms-bench flag defaults.
+const (
+	// DefaultVisits is the steady-state object-visit count used when a
+	// spec leaves Visits zero.
+	DefaultVisits = 30000
+	// DefaultSeeds is the layout-randomization count used when a spec
+	// leaves Seeds zero (the paper builds three binaries; one keeps the
+	// quick paths quick).
+	DefaultSeeds = 1
+)
+
+// SweepSpec selects experiments and sweep parameters. The zero value
+// of every field but Experiments means "the default", so a minimal
+// JSON body is {"experiments": ["fig3"]}.
+type SweepSpec struct {
+	// Experiments lists registry names, globs (path.Match syntax:
+	// 'mix*', 'fig1?') and the word "all", expanded in the order given
+	// — globs and "all" in canonical registry order — with duplicates
+	// dropped.
+	Experiments []string `json:"experiments"`
+	// Visits is the steady-state object-visit count per benchmark run
+	// (0: DefaultVisits; negative is an error).
+	Visits int `json:"visits,omitempty"`
+	// Seeds is the number of layout randomizations averaged per
+	// configuration (0: DefaultSeeds; negative is an error).
+	Seeds int `json:"seeds,omitempty"`
+	// Machine names the base machine of the sweeps ("": the default
+	// westmere).
+	Machine string `json:"machine,omitempty"`
+	// Format is the report format ("": "text"; see Formats).
+	Format string `json:"format,omitempty"`
+}
+
+// ResolvedSpec is a validated SweepSpec: expanded experiment names,
+// materialized Params, defaulted format.
+type ResolvedSpec struct {
+	Names  []string
+	Params Params
+	Format string
+}
+
+// Resolve validates the spec and expands it into runnable form. Every
+// error is descriptive and user-facing: califorms-bench prints it as a
+// usage error, califorms-server returns it as a 400 body.
+func (s SweepSpec) Resolve() (ResolvedSpec, error) {
+	names, err := ExpandExperiments(s.Experiments)
+	if err != nil {
+		return ResolvedSpec{}, err
+	}
+	r := ResolvedSpec{Names: names, Params: Params{Visits: s.Visits, Seeds: s.Seeds}, Format: s.Format}
+	if r.Params.Visits == 0 {
+		r.Params.Visits = DefaultVisits
+	}
+	if r.Params.Visits < 0 {
+		return ResolvedSpec{}, fmt.Errorf("visits must be positive (0 or omitted: %d), got %d", DefaultVisits, s.Visits)
+	}
+	if r.Params.Seeds == 0 {
+		r.Params.Seeds = DefaultSeeds
+	}
+	if r.Params.Seeds < 0 {
+		return ResolvedSpec{}, fmt.Errorf("seeds must be positive (0 or omitted: %d), got %d", DefaultSeeds, s.Seeds)
+	}
+	if s.Machine != "" {
+		d, err := machine.Resolve(s.Machine)
+		if err != nil {
+			return ResolvedSpec{}, err
+		}
+		r.Params.Machine = d
+	}
+	if r.Format == "" {
+		r.Format = "text"
+	}
+	if !validFormat(r.Format) {
+		return ResolvedSpec{}, fmt.Errorf("unknown format %q (have: %s)", r.Format, strings.Join(Formats(), ", "))
+	}
+	return r, nil
+}
+
+func validFormat(format string) bool {
+	for _, f := range Formats() {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// Manifest returns the sweep-journal manifest this spec pins: resuming
+// the same spec accepts the journal, any other spec refuses it.
+func (r ResolvedSpec) Manifest() SweepManifest {
+	return SweepManifest{
+		Experiments: r.Names,
+		Visits:      r.Params.Visits,
+		Seeds:       r.Params.Seeds,
+		Machine:     r.Params.MachineLabel(),
+		Format:      r.Format,
+	}
+}
+
+// ExpandExperiments resolves experiment selectors (names, globs,
+// "all") against the registry, in the order given, deduplicated. It is
+// the one expansion both front ends use, so `-exp 'fig4,mix*'` and
+// {"experiments": ["fig4", "mix*"]} select identically.
+func ExpandExperiments(pats []string) ([]string, error) {
+	var names []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	for _, pat := range pats {
+		pat = strings.TrimSpace(pat)
+		switch {
+		case pat == "":
+			continue
+		case pat == "all":
+			for _, e := range Experiments() {
+				add(e.Name)
+			}
+		case strings.ContainsAny(pat, "*?["):
+			matched := false
+			for _, e := range Experiments() {
+				ok, err := path.Match(pat, e.Name)
+				if err != nil {
+					return nil, fmt.Errorf("bad experiment pattern %q: %v", pat, err)
+				}
+				if ok {
+					add(e.Name)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("experiment pattern %q matches no experiment (have: %s)", pat, strings.Join(Names(), ", "))
+			}
+		default:
+			if _, ok := Get(pat); !ok {
+				return nil, fmt.Errorf("unknown experiment %q (have: %s, all)", pat, strings.Join(Names(), ", "))
+			}
+			add(pat)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("spec selects no experiments")
+	}
+	return names, nil
+}

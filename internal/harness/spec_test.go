@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestSweepSpecResolve(t *testing.T) {
+	cases := []struct {
+		name string
+		spec SweepSpec
+		// wantErr, when non-empty, must be a substring of the error.
+		wantErr string
+		check   func(t *testing.T, r ResolvedSpec)
+	}{
+		{
+			name: "defaults fill in",
+			spec: SweepSpec{Experiments: []string{"fig3"}},
+			check: func(t *testing.T, r ResolvedSpec) {
+				if r.Params.Visits != DefaultVisits || r.Params.Seeds != DefaultSeeds {
+					t.Errorf("defaults = visits %d seeds %d", r.Params.Visits, r.Params.Seeds)
+				}
+				if r.Format != "text" {
+					t.Errorf("default format = %q", r.Format)
+				}
+				if !r.Params.Machine.IsZero() {
+					t.Errorf("empty machine resolved to %q", r.Params.Machine.Name)
+				}
+			},
+		},
+		{
+			name: "explicit values survive",
+			spec: SweepSpec{Experiments: []string{"fig3", "table1"}, Visits: 500, Seeds: 2, Machine: "skylake", Format: "json"},
+			check: func(t *testing.T, r ResolvedSpec) {
+				if !reflect.DeepEqual(r.Names, []string{"fig3", "table1"}) {
+					t.Errorf("names = %v", r.Names)
+				}
+				if r.Params.Visits != 500 || r.Params.Seeds != 2 || r.Format != "json" {
+					t.Errorf("resolved = %+v format %q", r.Params, r.Format)
+				}
+				if r.Params.Machine.Name != "skylake" {
+					t.Errorf("machine = %q", r.Params.Machine.Name)
+				}
+			},
+		},
+		{
+			name: "glob expansion in registry order",
+			spec: SweepSpec{Experiments: []string{"mix*"}},
+			check: func(t *testing.T, r ResolvedSpec) {
+				if !reflect.DeepEqual(r.Names, []string{"mix2", "mix4"}) {
+					t.Errorf("mix* = %v", r.Names)
+				}
+			},
+		},
+		{
+			name: "duplicates dropped",
+			spec: SweepSpec{Experiments: []string{"fig3", "fig3", "fig*"}},
+			check: func(t *testing.T, r ResolvedSpec) {
+				seen := map[string]int{}
+				for _, n := range r.Names {
+					seen[n]++
+				}
+				if seen["fig3"] != 1 {
+					t.Errorf("fig3 appears %d times in %v", seen["fig3"], r.Names)
+				}
+			},
+		},
+		{name: "unknown experiment", spec: SweepSpec{Experiments: []string{"nope"}}, wantErr: `unknown experiment "nope"`},
+		{name: "glob matching nothing", spec: SweepSpec{Experiments: []string{"zz*"}}, wantErr: "matches no experiment"},
+		{name: "malformed glob", spec: SweepSpec{Experiments: []string{"fig[3"}}, wantErr: "bad experiment pattern"},
+		{name: "empty selection", spec: SweepSpec{Experiments: nil}, wantErr: "selects no experiments"},
+		{name: "blank selectors only", spec: SweepSpec{Experiments: []string{"", " "}}, wantErr: "selects no experiments"},
+		{name: "negative visits", spec: SweepSpec{Experiments: []string{"fig3"}, Visits: -1}, wantErr: "visits must be positive"},
+		{name: "negative seeds", spec: SweepSpec{Experiments: []string{"fig3"}, Seeds: -2}, wantErr: "seeds must be positive"},
+		{name: "unknown machine", spec: SweepSpec{Experiments: []string{"fig3"}, Machine: "pdp11"}, wantErr: "pdp11"},
+		{name: "unknown format", spec: SweepSpec{Experiments: []string{"fig3"}, Format: "yaml"}, wantErr: `unknown format "yaml"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := tc.spec.Resolve()
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("Resolve succeeded, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q lacks %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, r)
+		})
+	}
+}
+
+func TestResolvedSpecManifest(t *testing.T) {
+	r, err := SweepSpec{Experiments: []string{"fig3"}, Machine: "skylake", Format: "csv"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := r.Manifest()
+	want := SweepManifest{Experiments: []string{"fig3"}, Visits: DefaultVisits, Seeds: DefaultSeeds, Machine: "skylake", Format: "csv"}
+	if !reflect.DeepEqual(man, want) {
+		t.Fatalf("manifest = %+v, want %+v", man, want)
+	}
+
+	// The default machine — explicit or omitted — labels the manifest
+	// empty, so both spellings resume each other's journals.
+	r2, err := SweepSpec{Experiments: []string{"fig3"}, Machine: machine.Default().Name}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Manifest().Machine; got != "" {
+		t.Fatalf("default machine labeled %q in manifest, want empty", got)
+	}
+}

@@ -43,6 +43,25 @@ type Store interface {
 	PutMix(key string, v any)
 }
 
+// StreamAborter is an optional Store extension for stores that track
+// in-flight stream captures (the server's singleflight layer).
+// AbortStream releases any in-flight claim on the stream key so that a
+// waiter can retry after the claiming capture panicked. Stores without
+// in-flight state simply don't implement it.
+type StreamAborter interface {
+	AbortStream(key string)
+}
+
+// abortStream releases st's in-flight claim on key, if st tracks one.
+func abortStream(st Store, key string) {
+	if st == nil || key == "" {
+		return
+	}
+	if a, ok := st.(StreamAborter); ok {
+		a.AbortStream(key)
+	}
+}
+
 var (
 	storeMu    sync.RWMutex
 	sweepStore Store

@@ -1,0 +1,117 @@
+// Package server is the long-running sweep service behind
+// cmd/califorms-server: a bounded FIFO job queue, an HTTP/JSON API for
+// submitting experiment specs and fetching rendered artifacts, and a
+// worker executor built on the harness's enumerate → schedule → emit
+// stages. All jobs share one content-addressed store handle wrapped in
+// an in-flight singleflight keyed on sim.StreamKey, so concurrent jobs
+// never capture the same op stream twice and a resubmitted identical
+// sweep is a pure lookup. Each running job journals its completed
+// cells (harness.SweepJournal); a killed server resumes queued and
+// running jobs on restart with byte-identical final artifacts.
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"repro/internal/calibrate"
+	"repro/internal/harness"
+	"repro/internal/machine"
+)
+
+// ExperimentInfo is the machine-readable registry entry served by
+// GET /v1/experiments and printed by `califorms-bench -list -format
+// json` — one encoder for both, so API clients never scrape the text
+// listing.
+type ExperimentInfo struct {
+	Name string `json:"name"`
+	// Kind classifies the reproduced artifact: "figure", "table",
+	// "appendix" (paper artifacts) or "beyond-paper" (experiments the
+	// repo adds past the paper's evaluation).
+	Kind string `json:"kind"`
+	// Paper names the reproduced artifact ("Figure 3", "DESIGN.md §13").
+	Paper string `json:"paper"`
+	Title string `json:"title"`
+	// Coverage lists the experiment's calibration roles ("scored",
+	// "envelope", "exempt") in stable order.
+	Coverage []string `json:"coverage"`
+	// DefaultVisits and DefaultSeeds are the sweep defaults a spec
+	// omitting them gets.
+	DefaultVisits int `json:"default_visits"`
+	DefaultSeeds  int `json:"default_seeds"`
+}
+
+// experimentKind classifies a registry entry by its Paper designation.
+func experimentKind(paper string) string {
+	switch {
+	case strings.HasPrefix(paper, "Figure"):
+		return "figure"
+	case strings.HasPrefix(paper, "Table"):
+		return "table"
+	case strings.HasPrefix(paper, "Appendix"):
+		return "appendix"
+	default:
+		return "beyond-paper"
+	}
+}
+
+// ExperimentInfos returns the registry in canonical report order.
+func ExperimentInfos() []ExperimentInfo {
+	coverages := calibrate.Coverages()
+	var out []ExperimentInfo
+	for _, e := range harness.Experiments() {
+		info := ExperimentInfo{
+			Name:          e.Name,
+			Kind:          experimentKind(e.Paper),
+			Paper:         e.Paper,
+			Title:         e.Title,
+			Coverage:      []string{},
+			DefaultVisits: harness.DefaultVisits,
+			DefaultSeeds:  harness.DefaultSeeds,
+		}
+		for _, r := range coverages[e.Name].Roles {
+			info.Coverage = append(info.Coverage, string(r))
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// MachineInfo is the machine-readable machine-registry entry served by
+// GET /v1/machines.
+type MachineInfo struct {
+	Name  string `json:"name"`
+	Title string `json:"title"`
+	Cores int    `json:"cores"`
+	// Default marks the machine a spec omitting "machine" gets.
+	Default bool `json:"default"`
+}
+
+// MachineInfos returns the machine registry in its canonical order.
+func MachineInfos() []MachineInfo {
+	def := machine.Default().Name
+	var out []MachineInfo
+	for _, d := range machine.Machines() {
+		out = append(out, MachineInfo{Name: d.Name, Title: d.Title, Cores: d.Cores, Default: d.Name == def})
+	}
+	return out
+}
+
+// WriteExperimentList writes the experiment listing as indented JSON —
+// the `-list -format json` body and the GET /v1/experiments body.
+func WriteExperimentList(w io.Writer) error {
+	return writeJSON(w, ExperimentInfos())
+}
+
+// WriteMachineList writes the machine listing as indented JSON — the
+// `-list-machines -format json` body and the GET /v1/machines body.
+func WriteMachineList(w io.Writer) error {
+	return writeJSON(w, MachineInfos())
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

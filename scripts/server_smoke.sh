@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# End-to-end smoke for cmd/califorms-server, shared by CI and
+# developers. Two gates, each over the real HTTP API with curl + jq:
+#
+#   warm resubmit — submit the same {fig3,mix2} spec twice. The first
+#   job fills the store (gen_passes > 0); the second must be a pure
+#   lookup: gen_passes == 0 and response bytes identical to the first
+#   job's.
+#
+#   kill/resume — submit a longer sweep, SIGTERM the daemon after the
+#   job's first journaled cell, restart it on the same -data, and
+#   byte-compare the resumed artifact against an uninterrupted
+#   califorms-bench run of the same spec (the server's results are
+#   byte-identical to CLI stdout).
+#
+# Usage: scripts/server_smoke.sh
+#   SERVER=/path/to/califorms-server  reuse a prebuilt daemon
+#   BENCH=/path/to/califorms-bench    reuse a prebuilt CLI
+#   ADDR=host:port                    listen address (default
+#                                     127.0.0.1:18377)
+#   OUT=/path/to/workdir              scratch directory (default under
+#                                     TMPDIR)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-${TMPDIR:-/tmp}/califorms-server-smoke}"
+ADDR="${ADDR:-127.0.0.1:18377}"
+BASE="http://$ADDR"
+rm -rf "$OUT"
+mkdir -p "$OUT"
+if [ -z "${SERVER:-}" ]; then
+  SERVER="$OUT/califorms-server"
+  echo "== building $SERVER"
+  go build -o "$SERVER" ./cmd/califorms-server
+fi
+if [ -z "${BENCH:-}" ]; then
+  BENCH="$OUT/califorms-bench"
+  echo "== building $BENCH"
+  go build -o "$BENCH" ./cmd/califorms-bench
+fi
+
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+start_server() { # start_server <data-dir> <workers>
+  "$SERVER" -addr "$ADDR" -data "$1" -workers "$2" >>"$OUT/server.log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "server never became healthy; log tail:" >&2
+  tail -20 "$OUT/server.log" >&2
+  exit 1
+}
+
+stop_server() { # graceful SIGTERM drain, must exit 0
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID"
+  SERVER_PID=""
+}
+
+submit() { # submit <spec-json> -> job id
+  curl -sf -X POST -H 'Content-Type: application/json' -d "$1" "$BASE/v1/jobs" | jq -r .id
+}
+
+wait_state() { # wait_state <id> <state>
+  for _ in $(seq 1 600); do
+    state=$(curl -sf "$BASE/v1/jobs/$1" | jq -r .state)
+    if [ "$state" = "$2" ]; then
+      return 0
+    fi
+    if [ "$state" = failed ]; then
+      echo "job $1 failed: $(curl -sf "$BASE/v1/jobs/$1" | jq -r .error)" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  echo "job $1 never reached $2 (last state: $state)" >&2
+  exit 1
+}
+
+echo "== warm resubmit: second identical job must be a pure lookup"
+start_server "$OUT/data-warm" 2
+SPEC='{"experiments": ["fig3", "mix2"], "visits": 500, "seeds": 1, "format": "json"}'
+id1=$(submit "$SPEC")
+wait_state "$id1" done
+gen1=$(curl -sf "$BASE/v1/jobs/$id1" | jq -r .gen_passes)
+curl -sf "$BASE/v1/jobs/$id1/result" >"$OUT/warm-first.json"
+if [ "$gen1" = 0 ]; then
+  echo "cold job $id1 reported gen_passes == 0, want > 0" >&2
+  exit 1
+fi
+id2=$(submit "$SPEC")
+wait_state "$id2" done
+gen2=$(curl -sf "$BASE/v1/jobs/$id2" | jq -r .gen_passes)
+curl -sf "$BASE/v1/jobs/$id2/result" >"$OUT/warm-second.json"
+echo "   $id1: $gen1 generation passes; $id2: $gen2"
+if [ "$gen2" != 0 ]; then
+  echo "warm resubmit FAILED: job $id2 performed $gen2 generation passes, want 0" >&2
+  exit 1
+fi
+diff -u "$OUT/warm-first.json" "$OUT/warm-second.json"
+curl -sf "$BASE/debug/vars" | jq '{store, total_gen_passes, jobs}'
+stop_server
+
+echo "== kill/resume: SIGTERM mid-sweep, restart, byte-identical artifact"
+RESUME_SPEC='{"experiments": ["fig10"], "visits": 400000, "seeds": 1, "format": "json"}'
+"$BENCH" -exp fig10 -visits 400000 -seeds 1 -format json >"$OUT/resume-ref.json"
+start_server "$OUT/data-resume" 1
+rid=$(submit "$RESUME_SPEC")
+for _ in $(seq 1 600); do
+  journaled=$(curl -sf "$BASE/v1/jobs/$rid" | jq -r .progress.journaled)
+  if [ "$journaled" -ge 1 ]; then
+    break
+  fi
+  sleep 0.05
+done
+if [ "$journaled" -lt 1 ]; then
+  echo "job $rid never journaled a cell before the kill" >&2
+  exit 1
+fi
+stop_server # SIGTERM: drains, persists the job as queued
+echo "   killed after $journaled journaled cells; restarting"
+start_server "$OUT/data-resume" 1
+wait_state "$rid" done
+curl -sf "$BASE/v1/jobs/$rid/result" >"$OUT/resume-got.json"
+diff -u "$OUT/resume-ref.json" "$OUT/resume-got.json"
+stop_server
+
+echo "server smoke OK"
